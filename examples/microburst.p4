@@ -1,0 +1,55 @@
+// microburst.p4 — the paper's Section 2 worked example, as accepted by
+// the evpp P4 subset (see P4dsl.Loader for the binding rules).
+//
+// Run it with:  dune exec examples/p4_demo.exe examples/microburst.p4
+
+const NUM_REGS = 1024;
+const FLOW_THRESH = 20000;
+
+shared_register<bit<32>>(NUM_REGS) bufSize_reg;
+
+// Ingress Packet Event Logic
+control Ingress(pkt, enq_meta, deq_meta) {
+  bit<32> bufSize;
+  bit<32> flowID;
+  apply {
+    // compute flowID
+    hash(hdr.ip.src ++ hdr.ip.dst, flowID);
+    flowID = flowID % NUM_REGS;
+    // initialize enq & deq metadata for this pkt
+    enq_meta.flowID = flowID;
+    enq_meta.pkt_len = pkt.len;
+    deq_meta.flowID = flowID;
+    deq_meta.pkt_len = pkt.len;
+    // read buffer occupancy of this flow
+    bufSize_reg.read(flowID, bufSize);
+    // detect microburst
+    if (bufSize > FLOW_THRESH) {
+      /* microburst culprit! */
+      mark(1);
+      notify("microburst-culprit");
+    }
+    forward(3);
+  }
+}
+
+// Enqueue Event Logic
+control Enqueue(enq_data_t meta) {
+  bit<32> bufSize;
+  apply {
+    // increment buffer occupancy of this flow
+    bufSize_reg.read(meta.flowID, bufSize);
+    bufSize = bufSize + meta.pkt_len;
+    bufSize_reg.write(meta.flowID, bufSize);
+  }
+}
+
+// Dequeue Event Logic
+control Dequeue(deq_data_t meta) {
+  bit<32> bufSize;
+  apply {
+    bufSize_reg.read(meta.flowID, bufSize);
+    bufSize = bufSize - meta.pkt_len;
+    bufSize_reg.write(meta.flowID, bufSize);
+  }
+}
