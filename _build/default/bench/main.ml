@@ -1,0 +1,175 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper (the
+   experiment registry: Tables 1-3, Figures 3-4, and the per-section
+   application experiments E6-E15).
+
+   Part 2 runs Bechamel microbenchmarks — one per reproduced artifact —
+   of the hot kernel each experiment leans on, so simulator performance
+   regressions are visible: event dispatch (Table 1), sketch updates
+   (Table 2 workloads), the aggregation drain (Figure 3), pipeline
+   admission (Figure 4 line rate), and the per-application primitives. *)
+
+open Bechamel
+
+let mk_pkt () =
+  Netcore.Packet.udp_packet
+    ~src:(Netcore.Ipv4_addr.of_string "10.0.0.1")
+    ~dst:(Netcore.Ipv4_addr.of_string "10.0.0.2")
+    ~src_port:1234 ~dst_port:80 ~payload_len:86 ()
+
+(* Table 1 kernel: firing + merging + dispatching one event through a
+   live switch. *)
+let bench_event_dispatch =
+  let sched = Eventsim.Scheduler.create () in
+  let config = Evcore.Event_switch.default_config Evcore.Arch.event_pisa_full in
+  let count = ref 0 in
+  let program _ctx =
+    Evcore.Program.make ~name:"bench"
+      ~ingress:(fun _ctx _pkt -> Evcore.Program.Forward 0)
+      ~user:(fun _ctx _ev -> incr count)
+      ()
+  in
+  let sw = Evcore.Event_switch.create ~sched ~config ~program () in
+  Evcore.Event_switch.set_port_tx sw ~port:0 (fun _ -> ());
+  let ctx = Evcore.Event_switch.ctx sw in
+  Test.make ~name:"table1/event-dispatch"
+    (Staged.stage (fun () ->
+         ctx.Evcore.Program.emit_user_event ~tag:1 ~data:2;
+         Eventsim.Scheduler.run sched))
+
+(* Table 2 kernel: count-min sketch update+query (the monitoring
+   workhorse). *)
+let bench_cms =
+  let alloc = Pisa.Register_alloc.create () in
+  let cms = Pisa.Cms.create ~alloc ~width:1024 ~depth:3 ~counter_bits:32 () in
+  let key = ref 0 in
+  Test.make ~name:"table2/cms-update-query"
+    (Staged.stage (fun () ->
+         incr key;
+         Pisa.Cms.update cms ~key:!key ~delta:1;
+         ignore (Pisa.Cms.query cms ~key:!key)))
+
+(* Table 3 kernel: the resource-model composition. *)
+let bench_resmodel =
+  Test.make ~name:"table3/resource-model"
+    (Staged.stage (fun () -> ignore (Resmodel.Resource_model.table3 ())))
+
+(* Figure 3 kernel: aggregated shared-register event_add + drain. *)
+let bench_shared_register =
+  let sched = Eventsim.Scheduler.create () in
+  let pipeline = Pisa.Pipeline.create ~sched () in
+  let alloc = Pisa.Register_alloc.create () in
+  let reg =
+    Devents.Shared_register.create ~alloc ~pipeline ~mode:Devents.Shared_register.Aggregated
+      ~name:"bench" ~entries:1024 ~width:32 ()
+  in
+  let i = ref 0 in
+  Test.make ~name:"fig3/shared-register-agg"
+    (Staged.stage (fun () ->
+         incr i;
+         let slot = !i land 1023 in
+         Devents.Shared_register.event_add reg Devents.Shared_register.Enq_side slot 100;
+         ignore (Devents.Shared_register.read reg slot)))
+
+(* Figure 4 kernel: a full packet traversal (inject -> pipeline ->
+   TM -> transmit) including enqueue/dequeue events. *)
+let bench_packet_path =
+  let sched = Eventsim.Scheduler.create () in
+  let config = Evcore.Event_switch.default_config Evcore.Arch.event_pisa_full in
+  let spec, _ =
+    Apps.Microburst.program ~threshold_bytes:1_000_000 ~out_port:(fun _ -> 1) ()
+  in
+  let sw = Evcore.Event_switch.create ~sched ~config ~program:spec () in
+  Evcore.Event_switch.set_port_tx sw ~port:1 (fun _ -> ());
+  Test.make ~name:"fig4/packet-traversal"
+    (Staged.stage (fun () ->
+         Evcore.Event_switch.inject sw ~port:0 (mk_pkt ());
+         Eventsim.Scheduler.run sched))
+
+(* Substrate + application-experiment kernels. *)
+let bench_scheduler =
+  let sched = Eventsim.Scheduler.create () in
+  Test.make ~name:"substrate/scheduler-event"
+    (Staged.stage (fun () ->
+         ignore (Eventsim.Scheduler.schedule_after sched ~delay:10 (fun () -> ()));
+         ignore (Eventsim.Scheduler.step sched)))
+
+let bench_pifo =
+  let pifo = Tmgr.Pifo.create () in
+  let rng = Stats.Rng.create ~seed:7 in
+  Test.make ~name:"substrate/pifo-push-pop"
+    (Staged.stage (fun () ->
+         ignore (Tmgr.Pifo.push pifo ~rank:(Stats.Rng.int rng 1000) ());
+         ignore (Tmgr.Pifo.pop pifo)))
+
+let bench_lpm =
+  let table = Pisa.Match_table.lpm ~name:"bench" ~key_bits:32 in
+  let () =
+    for i = 0 to 255 do
+      Pisa.Match_table.add_lpm table ~prefix:(i lsl 24) ~len:(8 + (i mod 17)) i
+    done
+  in
+  let key = ref 0 in
+  Test.make ~name:"substrate/lpm-lookup"
+    (Staged.stage (fun () ->
+         key := (!key + 0x01020304) land 0xffffffff;
+         ignore (Pisa.Match_table.lookup table !key)))
+
+let bench_frame =
+  let pkt = mk_pkt () in
+  Test.make ~name:"substrate/frame-serialize-parse"
+    (Staged.stage (fun () -> ignore (Netcore.Frame.of_bytes (Netcore.Frame.to_bytes pkt))))
+
+let bench_meter =
+  let meter = Pisa.Meter.create ~cir_bytes_per_sec:1e9 ~cbs:64_000 ~ebs:64_000 in
+  let now = ref 0 in
+  Test.make ~name:"e13/meter-mark"
+    (Staged.stage (fun () ->
+         now := !now + 800_000;
+         ignore (Pisa.Meter.mark meter ~now_ps:!now ~bytes:1000)))
+
+let benchmarks =
+  Test.make_grouped ~name:"evpp"
+    [
+      bench_event_dispatch;
+      bench_cms;
+      bench_resmodel;
+      bench_shared_register;
+      bench_packet_path;
+      bench_scheduler;
+      bench_pifo;
+      bench_lpm;
+      bench_frame;
+      bench_meter;
+    ]
+
+let run_microbenches () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ instance ] benchmarks in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "\nMicrobenchmarks (ns per run, OLS estimate)\n";
+  Printf.printf "==========================================\n";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | Some _ | None -> ())
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-40s %12.1f ns/run\n" name est)
+    (List.sort compare !rows)
+
+let () =
+  let seed =
+    match Sys.getenv_opt "EVPP_SEED" with Some s -> int_of_string s | None -> 42
+  in
+  Printf.printf "Event-Driven Packet Processing — paper reproduction harness (seed %d)\n" seed;
+  List.iter
+    (fun (e : Experiments.Registry.entry) -> e.Experiments.Registry.run_and_print ~seed)
+    Experiments.Registry.all;
+  run_microbenches ();
+  print_newline ()

@@ -1,0 +1,117 @@
+(* evsim: run the paper-reproduction experiments from the command line. *)
+
+let list_cmd () =
+  Experiments.Registry.(
+    List.iter
+      (fun e ->
+        Printf.printf "%-18s %-4s %s\n" e.name e.experiment_id e.paper_artifact)
+      all)
+
+let run_cmd name seed =
+  match name with
+  | None ->
+      List.iter
+        (fun (e : Experiments.Registry.entry) -> e.Experiments.Registry.run_and_print ~seed)
+        Experiments.Registry.all;
+      `Ok ()
+  | Some n -> (
+      match Experiments.Registry.find n with
+      | Some e ->
+          e.Experiments.Registry.run_and_print ~seed;
+          `Ok ()
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown experiment %S; try: %s" n
+                (String.concat ", " (Experiments.Registry.names ())) ))
+
+let p4_cmd file duration_us =
+  let source =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match P4dsl.Loader.load ~name:file source with
+  | exception P4dsl.Parser.Parse_error (msg, pos) ->
+      `Error (false, Printf.sprintf "%s:%d:%d: %s" file pos.P4dsl.Ast.line pos.P4dsl.Ast.col msg)
+  | exception P4dsl.Lexer.Lex_error (msg, pos) ->
+      `Error (false, Printf.sprintf "%s:%d:%d: %s" file pos.P4dsl.Ast.line pos.P4dsl.Ast.col msg)
+  | exception P4dsl.Loader.Load_error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+  | spec ->
+      let module Scheduler = Eventsim.Scheduler in
+      let module Sim_time = Eventsim.Sim_time in
+      let module Event_switch = Evcore.Event_switch in
+      let sched = Scheduler.create () in
+      let config = Event_switch.default_config Evcore.Arch.event_pisa_full in
+      let sw = Event_switch.create ~sched ~config ~program:spec () in
+      for p = 0 to 3 do
+        Event_switch.set_port_tx sw ~port:p (fun _ -> ())
+      done;
+      Event_switch.on_notification sw (fun ~time msg ->
+          Printf.printf "[%.3fus] notify <- %s
+" (Sim_time.to_us time) msg);
+      (* A generic exercise workload: 3 CBR flows across the input
+         ports. *)
+      for i = 0 to 2 do
+        ignore
+          (Workloads.Traffic.cbr ~sched
+             ~flow:
+               (Netcore.Flow.make
+                  ~src:(Netcore.Ipv4_addr.host ~subnet:1 i)
+                  ~dst:(Netcore.Ipv4_addr.host ~subnet:2 i)
+                  ~src_port:(1000 + i) ~dst_port:80 ())
+             ~pkt_bytes:500 ~rate_gbps:1.
+             ~stop:(Sim_time.us duration_us)
+             ~send:(fun pkt -> Event_switch.inject sw ~port:i pkt)
+             ())
+      done;
+      Scheduler.run ~until:(Sim_time.us duration_us + Sim_time.us 100) sched;
+      Printf.printf "program:        %s
+" (Event_switch.program_name sw);
+      List.iter
+        (fun cls ->
+          let n = Event_switch.handled sw cls in
+          if n > 0 then Printf.printf "%-24s %d handled
+" (Devents.Event.cls_name cls) n)
+        Devents.Event.all_classes;
+      Printf.printf "state:          %d bits
+"
+        (Pisa.Register_alloc.total_bits (Event_switch.alloc sw));
+      `Ok ()
+
+open Cmdliner
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let name_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc:"Experiment name.")
+
+let run_term = Term.(ret (const run_cmd $ name_arg $ seed))
+
+let run_info =
+  Cmd.info "run" ~doc:"Run one experiment (or all when no name is given)."
+
+let list_term = Term.(const list_cmd $ const ())
+let list_info = Cmd.info "list" ~doc:"List available experiments."
+
+let p4_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"P4 source file.")
+
+let p4_duration =
+  Arg.(value & opt int 1000 & info [ "duration-us" ] ~doc:"Traffic duration in microseconds.")
+
+let p4_term = Term.(ret (const p4_cmd $ p4_file $ p4_duration))
+
+let p4_info =
+  Cmd.info "p4" ~doc:"Load an event-driven P4 program and run it under generic traffic."
+
+let default = Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info = Cmd.info "evsim" ~version:"1.0" ~doc:"Event-driven packet processing experiments." in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ Cmd.v run_info run_term; Cmd.v list_info list_term; Cmd.v p4_info p4_term ]))

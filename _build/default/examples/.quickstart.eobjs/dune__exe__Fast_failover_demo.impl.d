@@ -1,0 +1,1 @@
+examples/fast_failover_demo.ml: Apps Evcore Eventsim Format Netcore Tmgr Workloads

@@ -1,0 +1,1 @@
+examples/hula_demo.ml: Apps Array Evcore Eventsim Format Netcore Tmgr Workloads

@@ -1,0 +1,1 @@
+examples/hula_demo.mli:

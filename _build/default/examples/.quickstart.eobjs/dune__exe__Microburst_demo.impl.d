@@ -1,0 +1,1 @@
+examples/microburst_demo.ml: Apps Evcore Eventsim Format List Netcore Workloads

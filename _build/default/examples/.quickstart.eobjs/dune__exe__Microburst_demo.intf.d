@@ -1,0 +1,1 @@
+examples/microburst_demo.mli:

@@ -1,0 +1,1 @@
+examples/netcache_demo.ml: Apps Evcore Eventsim Format List Netcore Stats String

@@ -1,0 +1,1 @@
+examples/netcache_demo.mli:

@@ -1,0 +1,1 @@
+examples/p4_demo.ml: Array Devents Evcore Eventsim Format List Netcore P4dsl Pisa String Sys Workloads

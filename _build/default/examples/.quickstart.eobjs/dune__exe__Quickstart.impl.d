@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Devents Evcore Eventsim Format Netcore Pisa Printf Workloads

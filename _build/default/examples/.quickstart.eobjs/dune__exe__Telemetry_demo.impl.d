@@ -1,0 +1,1 @@
+examples/telemetry_demo.ml: Apps Evcore Eventsim Format List Netcore Stats Tmgr Workloads

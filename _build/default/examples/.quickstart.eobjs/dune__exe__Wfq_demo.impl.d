@@ -1,0 +1,1 @@
+examples/wfq_demo.ml: Apps Evcore Eventsim Format Hashtbl List Netcore Option Tmgr Workloads

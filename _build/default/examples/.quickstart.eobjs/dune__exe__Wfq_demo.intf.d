@@ -1,0 +1,1 @@
+examples/wfq_demo.mli:

@@ -1,0 +1,1 @@
+lib/apps/aqm.ml: Array Devents Evcore Eventsim Float Netcore Stats

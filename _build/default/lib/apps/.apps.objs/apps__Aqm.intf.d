@@ -1,0 +1,1 @@
+lib/apps/aqm.mli: Evcore Eventsim Netcore

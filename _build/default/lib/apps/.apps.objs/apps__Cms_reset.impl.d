@@ -1,0 +1,1 @@
+lib/apps/cms_reset.ml: Devents Evcore Eventsim Hashtbl List Netcore Pisa Stats

@@ -1,0 +1,1 @@
+lib/apps/cms_reset.mli: Evcore Eventsim Netcore Stats

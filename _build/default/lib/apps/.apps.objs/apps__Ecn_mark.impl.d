@@ -1,0 +1,1 @@
+lib/apps/ecn_mark.ml: Array Devents Evcore Netcore Printf

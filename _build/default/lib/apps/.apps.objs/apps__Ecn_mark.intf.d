@@ -1,0 +1,1 @@
+lib/apps/ecn_mark.mli: Evcore Netcore

@@ -1,0 +1,1 @@
+lib/apps/fast_reroute.ml: Devents Evcore Eventsim Netcore Pisa

@@ -1,0 +1,1 @@
+lib/apps/fast_reroute.mli: Evcore Eventsim

@@ -1,0 +1,1 @@
+lib/apps/flow_rate.ml: Array Devents Evcore Eventsim List Netcore Pisa Stats

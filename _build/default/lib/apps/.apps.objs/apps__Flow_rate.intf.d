@@ -1,0 +1,1 @@
+lib/apps/flow_rate.mli: Evcore Eventsim Netcore

@@ -1,0 +1,1 @@
+lib/apps/hula.ml: Array Devents Evcore Eventsim Float Fun Hashtbl List Netcore Pisa Printf Stats Workloads

@@ -1,0 +1,1 @@
+lib/apps/hula.mli: Evcore Eventsim Netcore Workloads

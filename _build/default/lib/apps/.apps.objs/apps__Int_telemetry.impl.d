@@ -1,0 +1,1 @@
+lib/apps/int_telemetry.ml: Array Devents Evcore Eventsim List Netcore Pisa Printf

@@ -1,0 +1,1 @@
+lib/apps/int_telemetry.mli: Evcore Eventsim Netcore

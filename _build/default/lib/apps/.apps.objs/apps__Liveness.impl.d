@@ -1,0 +1,1 @@
+lib/apps/liveness.ml: Devents Evcore Eventsim Netcore Pisa Printf

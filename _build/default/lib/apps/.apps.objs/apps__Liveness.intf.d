@@ -1,0 +1,1 @@
+lib/apps/liveness.mli: Evcore Eventsim Netcore

@@ -1,0 +1,1 @@
+lib/apps/microburst.ml: Array Devents Evcore List Netcore

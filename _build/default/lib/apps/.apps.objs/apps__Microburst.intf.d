@@ -1,0 +1,1 @@
+lib/apps/microburst.mli: Evcore Netcore

@@ -1,0 +1,1 @@
+lib/apps/netcache.ml: Devents Evcore Eventsim Hashtbl Int List Netcore Pisa

@@ -1,0 +1,1 @@
+lib/apps/netcache.mli: Evcore Eventsim Netcore

@@ -1,0 +1,1 @@
+lib/apps/policer.ml: Array Devents Evcore Eventsim Netcore Pisa

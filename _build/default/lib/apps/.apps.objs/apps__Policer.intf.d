@@ -1,0 +1,1 @@
+lib/apps/policer.mli: Evcore Eventsim Netcore

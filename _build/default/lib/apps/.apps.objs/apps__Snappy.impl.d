@@ -1,0 +1,1 @@
+lib/apps/snappy.ml: Array Evcore List Netcore Pisa Printf

@@ -1,0 +1,1 @@
+lib/apps/state_migration.ml: Devents Evcore Eventsim Netcore Pisa

@@ -1,0 +1,1 @@
+lib/apps/state_migration.mli: Evcore Eventsim Netcore

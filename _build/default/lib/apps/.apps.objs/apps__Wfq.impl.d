@@ -1,0 +1,1 @@
+lib/apps/wfq.ml: Array Devents Evcore Netcore Pisa

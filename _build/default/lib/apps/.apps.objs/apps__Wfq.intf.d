@@ -1,0 +1,1 @@
+lib/apps/wfq.mli: Evcore Netcore

@@ -1,0 +1,43 @@
+module Packet = Netcore.Packet
+module Event = Devents.Event
+module Program = Evcore.Program
+module Shared_register = Devents.Shared_register
+
+type t = {
+  mutable marks_applied : int;
+  mutable reg : Shared_register.t option;
+}
+
+let marks_applied t = t.marks_applied
+
+let occupancy_bytes t =
+  match t.reg with None -> 0 | Some r -> Shared_register.read r 0
+
+let quantise ~buffer_bytes ~levels occ =
+  if occ <= 0 then 0 else min (levels - 1) (occ * levels / max 1 buffer_bytes)
+
+let program ~levels ~buffer_bytes ~out_port () =
+  if levels < 2 then invalid_arg "Ecn_mark.program: need at least 2 levels";
+  let t = { marks_applied = 0; reg = None } in
+  let spec ctx =
+    let occ = Program.shared_register ctx ~name:"ecn_occ" ~entries:1 ~width:32 in
+    t.reg <- Some occ;
+    let ingress _ctx pkt =
+      pkt.Packet.meta.Packet.enq_meta.(1) <- Packet.len pkt;
+      pkt.Packet.meta.Packet.deq_meta.(1) <- Packet.len pkt;
+      let level = quantise ~buffer_bytes ~levels (Shared_register.read occ 0) in
+      if level > pkt.Packet.meta.Packet.mark then begin
+        pkt.Packet.meta.Packet.mark <- level;
+        t.marks_applied <- t.marks_applied + 1
+      end;
+      Program.Forward (out_port pkt)
+    in
+    let enqueue _ctx (ev : Event.buffer_event) =
+      Shared_register.event_add occ Shared_register.Enq_side 0 ev.Event.meta.(1)
+    in
+    let dequeue _ctx (ev : Event.buffer_event) =
+      Shared_register.event_add occ Shared_register.Deq_side 0 (-ev.Event.meta.(1))
+    in
+    Program.make ~name:(Printf.sprintf "ecn-%d-level" levels) ~ingress ~enqueue ~dequeue ()
+  in
+  (spec, t)

@@ -1,0 +1,28 @@
+(** Multi-bit ECN marking (§3 Congestion Aware Forwarding: "variants
+    of ECN marking, with packets carrying multiple bits rather than
+    just one, to communicate queue occupancy along the path, or just
+    the maximum queue occupancy at the bottleneck").
+
+    Each switch on the path maintains its exact buffer occupancy from
+    enqueue/dequeue events and stamps every transit packet with
+    [max(pkt.mark, quantised local occupancy)] — so the receiver reads
+    the bottleneck's occupancy in [levels] steps. A single-bit marker
+    ([levels = 2]) degenerates to classic ECN for comparison. *)
+
+type t
+
+val marks_applied : t -> int
+(** Packets whose mark this switch raised. *)
+
+val occupancy_bytes : t -> int
+(** Current (event-maintained) total occupancy of this switch. *)
+
+val quantise : buffer_bytes:int -> levels:int -> int -> int
+(** The marking function: occupancy -> level in [\[0, levels)]. *)
+
+val program :
+  levels:int ->
+  buffer_bytes:int ->
+  out_port:(Netcore.Packet.t -> int) ->
+  unit ->
+  Evcore.Program.spec * t

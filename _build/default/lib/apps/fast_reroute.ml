@@ -1,0 +1,75 @@
+module Packet = Netcore.Packet
+module Program = Evcore.Program
+module Event = Devents.Event
+
+type mode =
+  | Event_driven
+  | Cp_polling of { cp : Evcore.Control_plane.t; poll_period : Eventsim.Sim_time.t }
+
+type t = {
+  mutable failover_time : int option;
+  mutable failback_time : int option;
+  mutable using_backup : bool;
+  mutable switched_packets : int;
+}
+
+let failover_time t = t.failover_time
+let failback_time t = t.failback_time
+let using_backup t = t.using_backup
+let switched_packets t = t.switched_packets
+
+let program ~mode ~primary ~backup () =
+  let t =
+    { failover_time = None; failback_time = None; using_backup = false; switched_packets = 0 }
+  in
+  let spec ctx =
+    (* active-path register: 0 = primary, 1 = backup. *)
+    let active =
+      Pisa.Register_alloc.array ctx.Program.alloc ~name:"frr_active" ~entries:1 ~width:1
+    in
+    let switch_to now backup_on =
+      Pisa.Register_array.write active 0 (if backup_on then 1 else 0);
+      t.using_backup <- backup_on;
+      if backup_on then begin
+        if t.failover_time = None then t.failover_time <- Some now
+      end
+      else if t.failover_time <> None && t.failback_time = None then t.failback_time <- Some now
+    in
+    (match mode with
+    | Event_driven -> ()
+    | Cp_polling { cp; poll_period } ->
+        (* CPU-side poll loop: read the PHY status (one channel
+           crossing); on a change, issue a table update (a second
+           crossing). *)
+        ignore
+          (Evcore.Control_plane.periodic cp ~period:poll_period (fun () ->
+               let up = ctx.Program.link_is_up primary in
+               if (not up) && not t.using_backup then
+                 Evcore.Control_plane.submit cp (fun () ->
+                     switch_to (ctx.Program.now ()) true)
+               else if up && t.using_backup then
+                 Evcore.Control_plane.submit cp (fun () ->
+                     switch_to (ctx.Program.now ()) false))));
+    let ingress _ctx pkt =
+      let ingress_port = pkt.Packet.meta.Packet.ingress_port in
+      if ingress_port = primary || ingress_port = backup then Program.Forward 0
+      else begin
+        let use_backup = Pisa.Register_array.read active 0 = 1 in
+        if use_backup then begin
+          t.switched_packets <- t.switched_packets + 1;
+          Program.Forward backup
+        end
+        else Program.Forward primary
+      end
+    in
+    let link_change =
+      match mode with
+      | Event_driven ->
+          Some
+            (fun ctx (ev : Event.link_event) ->
+              if ev.Event.port = primary then switch_to (ctx.Program.now ()) (not ev.Event.up))
+      | Cp_polling _ -> None
+    in
+    Program.make ~name:"fast-reroute" ~ingress ?link_change ()
+  in
+  (spec, t)

@@ -1,0 +1,32 @@
+(** Fast re-route (§3 Network Management, §5 "Fast Re-Route").
+
+    The program forwards all transit traffic over a primary port with a
+    preconfigured backup. Failover:
+
+    - [Event_driven]: the Link Status Change event flips the active
+      path inside the pipeline, one PHY detection delay after the
+      failure — no control-plane round trip.
+    - [Cp_polling]: a baseline switch has no link events; the control
+      plane polls the PHY's status register every [poll_period] and,
+      on seeing the port down, pays another channel crossing to update
+      the forwarding state. Packets arriving in the window keep going
+      to the dead link (E12 counts them). *)
+
+type mode =
+  | Event_driven
+  | Cp_polling of { cp : Evcore.Control_plane.t; poll_period : Eventsim.Sim_time.t }
+
+type t
+
+val failover_time : t -> int option
+(** When the active path flipped to backup (None = never). *)
+
+val failback_time : t -> int option
+val using_backup : t -> bool
+val switched_packets : t -> int
+(** Packets forwarded via the backup path. *)
+
+val program :
+  mode:mode -> primary:int -> backup:int -> unit -> Evcore.Program.spec * t
+(** Traffic arriving on [primary] or [backup] is delivered to port 0
+    (the host side); everything else transits over the active path. *)

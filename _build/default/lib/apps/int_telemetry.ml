@@ -1,0 +1,87 @@
+module Packet = Netcore.Packet
+module Program = Evcore.Program
+module Event = Devents.Event
+
+type strategy =
+  | Per_packet
+  | Aggregated of {
+      report_period : Eventsim.Sim_time.t;
+      occupancy_threshold : int;
+      heartbeat_every : int;
+    }
+
+type report = {
+  time : int;
+  max_occupancy : int;
+  losses : int;
+  packets_seen : int;
+  anomalous : bool;
+}
+
+type t = {
+  mutable reports : report list;
+  mutable report_count : int;
+  mutable anomalies : int;
+  mutable forwarded : int;
+}
+
+let reports t = List.rev t.reports
+let report_count t = t.report_count
+let anomalies_reported t = t.anomalies
+let packets_forwarded t = t.forwarded
+
+let program ~strategy ~out_port () =
+  let t = { reports = []; report_count = 0; anomalies = 0; forwarded = 0 } in
+  let spec ctx =
+    let emit_report ~max_occupancy ~losses ~packets_seen ~anomalous =
+      t.report_count <- t.report_count + 1;
+      if anomalous then t.anomalies <- t.anomalies + 1;
+      t.reports <-
+        { time = ctx.Program.now (); max_occupancy; losses; packets_seen; anomalous }
+        :: t.reports;
+      ctx.Program.notify_monitor
+        (Printf.sprintf "int-report occ=%d loss=%d pkts=%d%s" max_occupancy losses packets_seen
+           (if anomalous then " ANOMALY" else ""))
+    in
+    match strategy with
+    | Per_packet ->
+        let ingress ctx pkt =
+          t.forwarded <- t.forwarded + 1;
+          let occ = ctx.Program.port_occupancy_bytes (out_port pkt) in
+          emit_report ~max_occupancy:occ ~losses:0 ~packets_seen:1 ~anomalous:false;
+          Program.Forward (out_port pkt)
+        in
+        Program.make ~name:"int-per-packet" ~ingress ()
+    | Aggregated { report_period; occupancy_threshold; heartbeat_every } ->
+        (* Window state: max occupancy, loss count, packet count. *)
+        let stats =
+          Pisa.Register_alloc.array ctx.Program.alloc ~name:"int_window" ~entries:3 ~width:32
+        in
+        let windows_since_report = ref 0 in
+        ignore (ctx.Program.add_timer ~period:report_period);
+        let ingress _ctx pkt =
+          t.forwarded <- t.forwarded + 1;
+          pkt.Packet.meta.Packet.enq_meta.(1) <- Packet.len pkt;
+          ignore (Pisa.Register_array.add stats 2 1);
+          Program.Forward (out_port pkt)
+        in
+        let enqueue _ctx (ev : Event.buffer_event) =
+          if ev.Event.occupancy_bytes > Pisa.Register_array.read stats 0 then
+            Pisa.Register_array.write stats 0 ev.Event.occupancy_bytes
+        in
+        let overflow _ctx (_ev : Event.buffer_event) = ignore (Pisa.Register_array.add stats 1 1) in
+        let timer _ctx (_ev : Event.timer_event) =
+          let max_occupancy = Pisa.Register_array.read stats 0 in
+          let losses = Pisa.Register_array.read stats 1 in
+          let packets_seen = Pisa.Register_array.read stats 2 in
+          let anomalous = max_occupancy > occupancy_threshold || losses > 0 in
+          incr windows_since_report;
+          if anomalous || !windows_since_report >= heartbeat_every then begin
+            emit_report ~max_occupancy ~losses ~packets_seen ~anomalous;
+            windows_since_report := 0
+          end;
+          Pisa.Register_array.reset stats
+        in
+        Program.make ~name:"int-aggregated" ~ingress ~enqueue ~overflow ~timer ()
+  in
+  (spec, t)

@@ -1,0 +1,42 @@
+(** In-band telemetry report reduction (§3 Network Monitoring).
+
+    INT produces "a potentially huge volume of measurement data, which
+    might overwhelm a software-based logging and analysis system". Two
+    reporting strategies over the same congestion signals:
+
+    - [Per_packet]: classic INT sink behaviour — every forwarded
+      packet emits a report to the monitor.
+    - [Aggregated]: enqueue/dequeue/overflow events fold the signals
+      (max queue occupancy, loss count, active flow estimate) into
+      registers; a timer flushes one report per [report_period], and
+      only when the window was anomalous (occupancy over threshold or
+      any loss) or when the heartbeat counter expires.
+
+    E4/E2 use the report-volume ratio; both strategies must still
+    catch an injected congestion episode. *)
+
+type strategy =
+  | Per_packet
+  | Aggregated of {
+      report_period : Eventsim.Sim_time.t;
+      occupancy_threshold : int;  (** bytes *)
+      heartbeat_every : int;  (** force a report every N windows *)
+    }
+
+type report = {
+  time : int;
+  max_occupancy : int;
+  losses : int;
+  packets_seen : int;
+  anomalous : bool;
+}
+
+type t
+
+val reports : t -> report list
+val report_count : t -> int
+val anomalies_reported : t -> int
+val packets_forwarded : t -> int
+
+val program :
+  strategy:strategy -> out_port:(Netcore.Packet.t -> int) -> unit -> Evcore.Program.spec * t

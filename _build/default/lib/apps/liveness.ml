@@ -1,0 +1,115 @@
+module Packet = Netcore.Packet
+module Program = Evcore.Program
+module Event = Devents.Event
+module Ethernet = Netcore.Ethernet
+module Mac_addr = Netcore.Mac_addr
+
+type Packet.payload +=
+  | Echo_request of { origin : int; seq : int }
+  | Echo_reply of { origin : int; seq : int }
+
+type mode =
+  | Event_driven of { probe_period : Eventsim.Sim_time.t; check_period : Eventsim.Sim_time.t }
+  | Cp_driven of {
+      cp : Evcore.Control_plane.t;
+      probe_period : Eventsim.Sim_time.t;
+      check_period : Eventsim.Sim_time.t;
+      inject : (Packet.t -> unit) ref;
+    }
+
+type t = {
+  mutable declared_dead_at : int option;
+  mutable declared_alive_at : int option;
+  mutable probes_sent : int;
+  mutable replies_heard : int;
+}
+
+let declared_dead_at t = t.declared_dead_at
+let declared_alive_at t = t.declared_alive_at
+let probes_sent t = t.probes_sent
+let replies_heard t = t.replies_heard
+
+let probe_packet ~origin ~seq =
+  let eth =
+    Ethernet.make ~dst:Mac_addr.broadcast
+      ~src:(Mac_addr.switch_port ~switch:origin ~port:0)
+      ~ethertype:Ethernet.ethertype_event
+  in
+  Packet.create ~eth ~payload:(Echo_request { origin; seq }) ~payload_len:16 ()
+
+let program ~mode ~timeout ~neighbor_port ~out_port () =
+  let t =
+    { declared_dead_at = None; declared_alive_at = None; probes_sent = 0; replies_heard = 0 }
+  in
+  let spec ctx =
+    let me = ctx.Program.switch_id in
+    (* last time we heard the neighbor, and whether we currently deem
+       it alive. *)
+    let last_heard =
+      Pisa.Register_alloc.array ctx.Program.alloc ~name:"live_last_heard" ~entries:1 ~width:62
+    in
+    let alive =
+      Pisa.Register_alloc.array ctx.Program.alloc ~name:"live_alive" ~entries:1 ~width:1
+    in
+    Pisa.Register_array.write alive 0 1;
+    let check () =
+      let now = ctx.Program.now () in
+      let heard = Pisa.Register_array.read last_heard 0 in
+      if Pisa.Register_array.read alive 0 = 1 then begin
+        if now - heard > timeout then begin
+          Pisa.Register_array.write alive 0 0;
+          if t.declared_dead_at = None then t.declared_dead_at <- Some now;
+          ctx.Program.notify_monitor (Printf.sprintf "neighbor-down switch=%d" me)
+        end
+      end
+      else if now - heard <= timeout then begin
+        Pisa.Register_array.write alive 0 1;
+        if t.declared_alive_at = None && t.declared_dead_at <> None then
+          t.declared_alive_at <- Some now;
+        ctx.Program.notify_monitor (Printf.sprintf "neighbor-up switch=%d" me)
+      end
+    in
+    (match mode with
+    | Event_driven { probe_period; check_period } ->
+        ctx.Program.configure_pktgen ~period:probe_period
+          ~template:(fun seq ->
+            t.probes_sent <- t.probes_sent + 1;
+            probe_packet ~origin:me ~seq)
+          ();
+        ignore (ctx.Program.add_timer ~period:check_period)
+    | Cp_driven { cp; probe_period; check_period; inject } ->
+        let seq = ref 0 in
+        ignore
+          (Evcore.Control_plane.periodic cp ~period:probe_period (fun () ->
+               t.probes_sent <- t.probes_sent + 1;
+               incr seq;
+               !inject (probe_packet ~origin:me ~seq:!seq)));
+        ignore (Evcore.Control_plane.periodic cp ~period:check_period check));
+    let ingress _ctx pkt =
+      match pkt.Packet.payload with
+      | Echo_request { origin; seq } ->
+          if origin = me then
+            (* Our own probe entering the pipeline: send it out. *)
+            Program.Forward neighbor_port
+          else begin
+            (* Neighbor's probe: answer it. *)
+            pkt.Packet.payload <- Echo_reply { origin; seq };
+            Program.Forward pkt.Packet.meta.Packet.ingress_port
+          end
+      | Echo_reply { origin; seq = _ } ->
+          if origin = me then begin
+            t.replies_heard <- t.replies_heard + 1;
+            Pisa.Register_array.write last_heard 0 (ctx.Program.now ());
+            Program.Drop
+          end
+          else Program.Drop
+      | _ -> Program.Forward (out_port pkt)
+    in
+    let timer =
+      match mode with
+      | Event_driven _ -> Some (fun _ctx (_ev : Event.timer_event) -> check ())
+      | Cp_driven _ -> None
+    in
+    Program.make ~name:"liveness" ~ingress ?timer ()
+  in
+  (spec, t)

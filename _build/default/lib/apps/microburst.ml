@@ -1,0 +1,70 @@
+module Packet = Netcore.Packet
+module Flow = Netcore.Flow
+module Event = Devents.Event
+module Program = Evcore.Program
+module Shared_register = Devents.Shared_register
+
+type detection = { flow_id : int; occupancy_bytes : int; time : int }
+
+type t = {
+  mutable detections : detection list;
+  mutable count : int;
+  mutable reg : Shared_register.t option;
+  over : bool array;
+  slots : int;
+}
+
+let detections t = List.rev t.detections
+let detection_count t = t.count
+
+let state_bits t =
+  match t.reg with None -> 0 | Some r -> Shared_register.total_bits r
+
+let occupancy t ~flow_slot =
+  match t.reg with None -> 0 | Some r -> Shared_register.read r flow_slot
+
+let program ?(slots = 1024) ~threshold_bytes ~out_port () =
+  let t = { detections = []; count = 0; reg = None; over = Array.make slots false; slots } in
+  let spec ctx =
+    (* shared_register<bit<32>>(NUM_REGS) bufSize_reg; *)
+    let buf_size_reg =
+      Program.shared_register ctx ~name:"flowBufSize" ~entries:slots ~width:32
+    in
+    t.reg <- Some buf_size_reg;
+    let ingress ctx pkt =
+      (* hash(hdr.ip.src ++ hdr.ip.dst, flowID) *)
+      let flow_id =
+        match Packet.flow pkt with
+        | Some flow -> Netcore.Hashes.fold_range (Flow.hash_addresses flow) t.slots
+        | None -> 0
+      in
+      pkt.Packet.meta.Packet.flow_id <- flow_id;
+      (* initialize enq & deq metadata for this pkt *)
+      pkt.Packet.meta.Packet.enq_meta.(0) <- flow_id;
+      pkt.Packet.meta.Packet.enq_meta.(1) <- Packet.len pkt;
+      pkt.Packet.meta.Packet.deq_meta.(0) <- flow_id;
+      pkt.Packet.meta.Packet.deq_meta.(1) <- Packet.len pkt;
+      (* read buffer occupancy of this flow; detect microburst *)
+      let occ = Shared_register.read buf_size_reg flow_id in
+      if occ > threshold_bytes then begin
+        if not t.over.(flow_id) then begin
+          t.over.(flow_id) <- true;
+          t.count <- t.count + 1;
+          t.detections <-
+            { flow_id; occupancy_bytes = occ; time = ctx.Program.now () } :: t.detections
+        end
+      end
+      else t.over.(flow_id) <- false;
+      Program.Forward (out_port pkt)
+    in
+    let enqueue _ctx (ev : Event.buffer_event) =
+      Shared_register.event_add buf_size_reg Shared_register.Enq_side ev.Event.meta.(0)
+        ev.Event.meta.(1)
+    in
+    let dequeue _ctx (ev : Event.buffer_event) =
+      Shared_register.event_add buf_size_reg Shared_register.Deq_side ev.Event.meta.(0)
+        (-ev.Event.meta.(1))
+    in
+    Program.make ~name:"microburst" ~ingress ~enqueue ~dequeue ()
+  in
+  (spec, t)

@@ -1,0 +1,38 @@
+(** Microburst-culprit detection — the paper's §2 worked example
+    ([microburst.p4]).
+
+    The ingress logic hashes the packet's IP pair into a flow id, reads
+    that flow's buffer occupancy from a [shared_register], and flags
+    the flow as a culprit if the occupancy exceeds a threshold — before
+    the packet is even enqueued. Enqueue and dequeue event handlers
+    keep the occupancy exact. State: one register array (three in
+    aggregated mode, per Figure 3). *)
+
+type detection = {
+  flow_id : int;
+  occupancy_bytes : int;
+  time : int;  (** detection instant (at ingress, pre-enqueue) *)
+}
+
+type t
+
+val detections : t -> detection list
+(** In detection order. Consecutive detections of the same flow are
+    deduplicated while the flow stays over threshold. *)
+
+val detection_count : t -> int
+val state_bits : t -> int
+(** Total register bits the detector allocated. *)
+
+val occupancy : t -> flow_slot:int -> int
+(** Current (possibly stale) occupancy of a flow slot. *)
+
+val program :
+  ?slots:int ->
+  threshold_bytes:int ->
+  out_port:(Netcore.Packet.t -> int) ->
+  unit ->
+  Evcore.Program.spec * t
+(** [slots] is the flow-id hash-table size (default 1024); [out_port]
+    is the routing function. Returns the program spec plus the
+    detector's result handle. *)

@@ -1,0 +1,1 @@
+lib/core/event_switch.ml: Arch Array Devents Eventsim List Netcore Option Pisa Program Queue Stats Tmgr

@@ -1,0 +1,1 @@
+lib/core/event_switch.mli: Arch Devents Eventsim Netcore Pisa Program Tmgr

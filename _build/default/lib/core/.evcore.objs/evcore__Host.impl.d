@@ -1,0 +1,1 @@
+lib/core/host.ml: Eventsim Netcore Printf

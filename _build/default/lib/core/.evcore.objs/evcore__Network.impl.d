@@ -1,0 +1,1 @@
+lib/core/network.ml: Event_switch Eventsim Host List Tmgr

@@ -1,0 +1,1 @@
+lib/core/network.mli: Event_switch Eventsim Host Tmgr

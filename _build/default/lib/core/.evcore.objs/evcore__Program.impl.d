@@ -1,0 +1,1 @@
+lib/core/program.ml: Devents Eventsim List Netcore Pisa Stats

@@ -1,0 +1,48 @@
+module Scheduler = Eventsim.Scheduler
+module Sim_time = Eventsim.Sim_time
+
+type t = {
+  sched : Scheduler.t;
+  latency : int;
+  min_gap : int; (* picoseconds between op executions *)
+  jitter : int;
+  rng : Stats.Rng.t;
+  mutable next_free : int;
+  mutable ops : int;
+  mutable notifications : int;
+}
+
+let create ~sched ?(latency = Sim_time.us 200) ?(op_rate_per_sec = 100_000.)
+    ?(jitter = Sim_time.us 50) ~rng () =
+  if op_rate_per_sec <= 0. then invalid_arg "Control_plane.create: op rate must be positive";
+  {
+    sched;
+    latency;
+    min_gap = int_of_float (1e12 /. op_rate_per_sec);
+    jitter;
+    rng;
+    next_free = 0;
+    ops = 0;
+    notifications = 0;
+  }
+
+let submit t f =
+  let now = Scheduler.now t.sched in
+  let j = if t.jitter > 0 then Stats.Rng.int t.rng t.jitter else 0 in
+  let exec_at = max (now + t.latency + j) t.next_free in
+  t.next_free <- exec_at + t.min_gap;
+  ignore
+    (Scheduler.schedule t.sched ~at:exec_at (fun () ->
+         t.ops <- t.ops + 1;
+         f ()))
+
+let periodic t ~period f = Scheduler.every t.sched ~period (fun () -> submit t f)
+
+let notify t f =
+  t.notifications <- t.notifications + 1;
+  ignore (Scheduler.schedule_after t.sched ~delay:t.latency f)
+
+let ops t = t.ops
+let notifications t = t.notifications
+let ops_per_sec_limit t = 1e12 /. float_of_int t.min_gap
+let latency t = t.latency

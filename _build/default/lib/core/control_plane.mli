@@ -1,0 +1,40 @@
+(** Modeled control plane.
+
+    Baseline architectures must delegate periodic work (sketch resets,
+    probe generation, failure handling) to a CPU-side agent. The agent
+    is not free: every operation pays the control-channel latency, a
+    per-operation jitter (OS scheduling noise), and queues behind other
+    operations under a bounded operation rate. The experiments compare
+    these costs against native data-plane events.
+
+    Defaults: 200 us one-way latency, 100k ops/s, 50 us jitter. *)
+
+type t
+
+val create :
+  sched:Eventsim.Scheduler.t ->
+  ?latency:Eventsim.Sim_time.t ->
+  ?op_rate_per_sec:float ->
+  ?jitter:Eventsim.Sim_time.t ->
+  rng:Stats.Rng.t ->
+  unit ->
+  t
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue an operation: it executes on the device after channel
+    latency + jitter + any queueing delay imposed by the op rate. *)
+
+val periodic : t -> period:Eventsim.Sim_time.t -> (unit -> unit) -> Eventsim.Scheduler.handle
+(** A CPU-side periodic task whose every firing is a submitted op (so
+    each firing pays latency, jitter and rate limiting). *)
+
+val notify : t -> (unit -> unit) -> unit
+(** Device-to-CPU notification: runs the callback CPU-side after the
+    channel latency (no rate limit — the device pushes). *)
+
+val ops : t -> int
+(** Operations executed on the device so far. *)
+
+val notifications : t -> int
+val ops_per_sec_limit : t -> float
+val latency : t -> Eventsim.Sim_time.t

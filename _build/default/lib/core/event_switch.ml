@@ -1,0 +1,366 @@
+module Scheduler = Eventsim.Scheduler
+module Sim_time = Eventsim.Sim_time
+module Packet = Netcore.Packet
+module Event = Devents.Event
+module Event_merger = Devents.Event_merger
+module Timer_unit = Devents.Timer_unit
+module Packet_gen = Devents.Packet_gen
+module Traffic_manager = Tmgr.Traffic_manager
+
+type config = {
+  arch : Arch.t;
+  num_ports : int;
+  state_mode : Devents.Shared_register.mode;
+  clock_period : Eventsim.Sim_time.t;
+  pipeline_depth : int;
+  merger_config : Devents.Event_merger.config;
+  tm_config : Tmgr.Traffic_manager.config;
+  timer_resolution : Eventsim.Sim_time.t;
+  seed : int;
+}
+
+let default_config arch =
+  {
+    arch;
+    num_ports = 4;
+    state_mode = Devents.Shared_register.Aggregated;
+    clock_period = Pisa.Pipeline.default_clock_period;
+    pipeline_depth = Pisa.Pipeline.default_depth;
+    merger_config = Event_merger.default_config;
+    tm_config = Traffic_manager.default_config;
+    timer_resolution = Sim_time.ns 100;
+    seed = 42;
+  }
+
+type t = {
+  sched : Scheduler.t;
+  id : int;
+  config : config;
+  pipeline : Pisa.Pipeline.t;
+  alloc : Pisa.Register_alloc.t;
+  mutable merger : Event_merger.t option; (* set during wiring *)
+  mutable tm : Traffic_manager.t option;
+  mutable timer_unit : Timer_unit.t option;
+  mutable pktgen : Packet_gen.t;
+  mutable program : Program.t option;
+  mutable prog_ctx : Program.ctx option;
+  mutable subscriptions : bool array; (* by cls index: supported && handler present *)
+  port_tx : (Packet.t -> unit) option array;
+  link_up : bool array;
+  fired : int array;
+  handled : int array;
+  mutable program_drops : int;
+  mutable unsupported_actions : int;
+  mutable unrouted : int;
+  mutable recirculations : int;
+  mutable cp_injections : int;
+  notifications : (int * string) Queue.t;
+  mutable notification_count : int;
+  mutable notify_cb : (time:int -> string -> unit) option;
+}
+
+let get_merger t = match t.merger with Some m -> m | None -> assert false
+let get_tm t = match t.tm with Some m -> m | None -> assert false
+let get_program t = match t.program with Some p -> p | None -> assert false
+let get_ctx t = match t.prog_ctx with Some c -> c | None -> assert false
+
+let count_fired t cls = t.fired.(Event.cls_index cls) <- t.fired.(Event.cls_index cls) + 1
+let count_handled t cls = t.handled.(Event.cls_index cls) <- t.handled.(Event.cls_index cls) + 1
+
+(* Offer a metadata event to the merger if the architecture exposes the
+   class and the program subscribed to it. *)
+let fire t ev =
+  let cls = Event.cls_of ev in
+  count_fired t cls;
+  if t.subscriptions.(Event.cls_index cls) then ignore (Event_merger.offer_event (get_merger t) ev)
+
+let handle_event t ev =
+  let ctx = get_ctx t in
+  let program = get_program t in
+  let ran =
+    match ev with
+    | Event.Enqueue b -> (
+        match program.Program.enqueue with
+        | Some f ->
+            f ctx b;
+            true
+        | None -> false)
+    | Event.Dequeue b -> (
+        match program.Program.dequeue with
+        | Some f ->
+            f ctx b;
+            true
+        | None -> false)
+    | Event.Overflow b -> (
+        match program.Program.overflow with
+        | Some f ->
+            f ctx b;
+            true
+        | None -> false)
+    | Event.Underflow u -> (
+        match program.Program.underflow with
+        | Some f ->
+            f ctx u;
+            true
+        | None -> false)
+    | Event.Transmitted x -> (
+        match program.Program.transmitted with
+        | Some f ->
+            f ctx x;
+            true
+        | None -> false)
+    | Event.Timer x -> (
+        match program.Program.timer with
+        | Some f ->
+            f ctx x;
+            true
+        | None -> false)
+    | Event.Link_change l -> (
+        match program.Program.link_change with
+        | Some f ->
+            f ctx l;
+            true
+        | None -> false)
+    | Event.Control c -> (
+        match program.Program.control with
+        | Some f ->
+            f ctx c;
+            true
+        | None -> false)
+    | Event.User u -> (
+        match program.Program.user with
+        | Some f ->
+            f ctx u;
+            true
+        | None -> false)
+  in
+  if ran then count_handled t (Event.cls_of ev)
+
+let transmit t ~port pkt =
+  match t.port_tx.(port) with
+  | Some tx -> tx pkt
+  | None -> t.unrouted <- t.unrouted + 1
+
+let apply_decision t pkt decision =
+  match decision with
+  | Program.Drop -> t.program_drops <- t.program_drops + 1
+  | Program.Forward port ->
+      if port < 0 || port >= t.config.num_ports then t.unrouted <- t.unrouted + 1
+      else ignore (Traffic_manager.enqueue (get_tm t) ~port pkt)
+  | Program.Multicast ports ->
+      List.iter
+        (fun port ->
+          if port < 0 || port >= t.config.num_ports then t.unrouted <- t.unrouted + 1
+          else
+            let copy = Packet.clone_for_forward pkt in
+            copy.Packet.meta.Packet.qid <- pkt.Packet.meta.Packet.qid;
+            ignore (Traffic_manager.enqueue (get_tm t) ~port copy))
+        ports
+  | Program.Recirculate ->
+      if t.config.arch.Arch.has_recirculation then begin
+        t.recirculations <- t.recirculations + 1;
+        count_fired t Event.Recirculated_packet;
+        ignore (Event_merger.offer_packet (get_merger t) Event_merger.Recirculated pkt)
+      end
+      else begin
+        t.unsupported_actions <- t.unsupported_actions + 1;
+        t.program_drops <- t.program_drops + 1
+      end
+
+let process_carrier t (carrier : Event_merger.carrier) ~exit_time =
+  (match carrier.Event_merger.pkt with
+  | None -> ()
+  | Some (kind, pkt) ->
+      let program = get_program t in
+      let handler, cls =
+        match kind with
+        | Event_merger.Ingress -> (program.Program.ingress, Event.Ingress_packet)
+        | Event_merger.Recirculated ->
+            ( Option.value program.Program.recirculated ~default:program.Program.ingress,
+              Event.Recirculated_packet )
+        | Event_merger.Generated ->
+            ( Option.value program.Program.generated ~default:program.Program.ingress,
+              Event.Generated_packet )
+      in
+      count_handled t cls;
+      let decision = handler (get_ctx t) pkt in
+      (* The decision takes effect when the carrier exits the
+         pipeline. *)
+      ignore (Scheduler.schedule t.sched ~at:exit_time (fun () -> apply_decision t pkt decision)));
+  List.iter (handle_event t) carrier.Event_merger.events
+
+let create ~sched ?(id = 0) ~config ~program () =
+  if config.num_ports <= 0 then invalid_arg "Event_switch.create: num_ports";
+  let pipeline =
+    Pisa.Pipeline.create ~sched ~clock_period:config.clock_period ~depth:config.pipeline_depth ()
+  in
+  let alloc = Pisa.Register_alloc.create ~clock:(Pisa.Pipeline.clock pipeline) () in
+  let t =
+    {
+      sched;
+      id;
+      config;
+      pipeline;
+      alloc;
+      merger = None;
+      tm = None;
+      timer_unit = None;
+      pktgen = Packet_gen.create ~sched ~sink:(fun _ -> ()) ();
+      program = None;
+      prog_ctx = None;
+      subscriptions = Array.make Event.num_classes false;
+      port_tx = Array.make config.num_ports None;
+      link_up = Array.make config.num_ports true;
+      fired = Array.make Event.num_classes 0;
+      handled = Array.make Event.num_classes 0;
+      program_drops = 0;
+      unsupported_actions = 0;
+      unrouted = 0;
+      recirculations = 0;
+      cp_injections = 0;
+      notifications = Queue.create ();
+      notification_count = 0;
+      notify_cb = None;
+    }
+  in
+  let merger =
+    Event_merger.create ~sched ~pipeline ~config:config.merger_config
+      ~process:(fun carrier ~exit_time -> process_carrier t carrier ~exit_time)
+      ()
+  in
+  t.merger <- Some merger;
+  let timer_unit =
+    Timer_unit.create ~sched ~resolution:config.timer_resolution ~sink:(fun ev -> fire t ev) ()
+  in
+  t.timer_unit <- Some timer_unit;
+  (* Packet generator feeds the generated-packet input of the merger. *)
+  let pktgen =
+    Packet_gen.create ~sched
+      ~sink:(fun pkt ->
+        count_fired t Event.Generated_packet;
+        ignore (Event_merger.offer_packet merger Event_merger.Generated pkt))
+      ()
+  in
+  t.pktgen <- pktgen;
+  let ctx =
+    {
+      Program.switch_id = id;
+      num_ports = config.num_ports;
+      sched;
+      alloc;
+      pipeline;
+      state_mode = config.state_mode;
+      rng = Stats.Rng.create ~seed:config.seed;
+      add_timer =
+        (fun ~period ->
+          if not config.arch.Arch.has_timers then
+            raise (Program.Unsupported (config.arch.Arch.name ^ " has no timers"));
+          Timer_unit.add_periodic timer_unit ~period);
+      cancel_timer = (fun tid -> Timer_unit.cancel timer_unit tid);
+      configure_pktgen =
+        (fun ~period ?count ~template () ->
+          if not config.arch.Arch.has_packet_generator then
+            raise (Program.Unsupported (config.arch.Arch.name ^ " has no packet generator"));
+          Packet_gen.configure pktgen ~period ?count ~template ());
+      stop_pktgen = (fun () -> Packet_gen.stop pktgen);
+      emit_user_event =
+        (fun ~tag ~data ->
+          fire t (Event.User { tag; data; time = Scheduler.now sched }));
+      mirror_to_ingress =
+        (fun pkt ->
+          if not config.arch.Arch.has_recirculation then
+            raise (Program.Unsupported (config.arch.Arch.name ^ " has no recirculation"));
+          t.recirculations <- t.recirculations + 1;
+          count_fired t Event.Recirculated_packet;
+          ignore
+            (Event_merger.offer_packet merger Event_merger.Recirculated
+               (Packet.clone_for_forward pkt)));
+      notify_monitor =
+        (fun msg ->
+          let time = Scheduler.now sched in
+          t.notification_count <- t.notification_count + 1;
+          Queue.push (time, msg) t.notifications;
+          if Queue.length t.notifications > 10_000 then ignore (Queue.pop t.notifications);
+          match t.notify_cb with Some cb -> cb ~time msg | None -> ());
+      port_occupancy_bytes = (fun port -> Traffic_manager.occupancy_bytes (get_tm t) ~port);
+      link_is_up = (fun port -> t.link_up.(port));
+      now = (fun () -> Scheduler.now sched);
+    }
+  in
+  let prog = program ctx in
+  t.program <- Some prog;
+  t.prog_ctx <- Some ctx;
+  (* Subscription mask = architecture support AND handler present. *)
+  List.iter
+    (fun cls ->
+      if Arch.supports config.arch cls then
+        t.subscriptions.(Event.cls_index cls) <- true)
+    (Program.subscriptions prog);
+  (* Traffic manager, firing buffer events back into the merger. *)
+  let egress =
+    match (prog.Program.egress, Arch.supports config.arch Event.Egress_packet) with
+    | Some f, true ->
+        Some
+          (fun ~port pkt ->
+            count_fired t Event.Egress_packet;
+            count_handled t Event.Egress_packet;
+            f ctx ~port pkt)
+    | Some _, false | None, _ -> None
+  in
+  let tm_config =
+    { config.tm_config with Traffic_manager.num_ports = config.num_ports }
+  in
+  let tm =
+    Traffic_manager.create ~sched ~config:tm_config
+      ~emit:(fun ~port pkt -> transmit t ~port pkt)
+      ~events:(fun ev -> fire t ev)
+      ?egress ()
+  in
+  t.tm <- Some tm;
+  t
+
+let inject t ~port pkt =
+  if port < 0 || port >= t.config.num_ports then invalid_arg "Event_switch.inject: bad port";
+  pkt.Packet.meta.Packet.ingress_port <- port;
+  count_fired t Event.Ingress_packet;
+  ignore (Event_merger.offer_packet (get_merger t) Event_merger.Ingress pkt)
+
+let inject_from_control_plane t pkt =
+  pkt.Packet.meta.Packet.ingress_port <- -2;
+  t.cp_injections <- t.cp_injections + 1;
+  count_fired t Event.Ingress_packet;
+  ignore (Event_merger.offer_packet (get_merger t) Event_merger.Ingress pkt)
+
+let set_port_tx t ~port f =
+  if port < 0 || port >= t.config.num_ports then invalid_arg "Event_switch.set_port_tx: bad port";
+  t.port_tx.(port) <- Some f
+
+let link_status t ~port ~up =
+  if port < 0 || port >= t.config.num_ports then invalid_arg "Event_switch.link_status: bad port";
+  if t.link_up.(port) <> up then begin
+    t.link_up.(port) <- up;
+    fire t (Event.Link_change { port; up; time = Scheduler.now t.sched })
+  end
+
+let control_event t ~opcode ~arg =
+  fire t (Event.Control { opcode; arg; time = Scheduler.now t.sched })
+
+let on_notification t cb = t.notify_cb <- Some cb
+let id t = t.id
+let arch t = t.config.arch
+let program_name t = (get_program t).Program.name
+let ctx t = get_ctx t
+let alloc t = t.alloc
+let pipeline t = t.pipeline
+let tm t = get_tm t
+let merger t = get_merger t
+let num_ports t = t.config.num_ports
+let fired t cls = t.fired.(Event.cls_index cls)
+let handled t cls = t.handled.(Event.cls_index cls)
+let program_drops t = t.program_drops
+let unsupported_actions t = t.unsupported_actions
+let unrouted t = t.unrouted
+let recirculations t = t.recirculations
+let cp_injections t = t.cp_injections
+let notification_count t = t.notification_count
+let notifications t = List.of_seq (Queue.to_seq t.notifications)

@@ -1,0 +1,38 @@
+module Link = Tmgr.Link
+
+type t = { sched : Eventsim.Scheduler.t; mutable links : Link.t list }
+
+let create ~sched = { sched; links = [] }
+
+let switch_endpoint sw port =
+  {
+    Link.deliver = (fun pkt -> Event_switch.inject sw ~port pkt);
+    notify_status = (fun ~up -> Event_switch.link_status sw ~port ~up);
+  }
+
+let host_endpoint host =
+  { Link.deliver = (fun pkt -> Host.deliver host pkt); notify_status = (fun ~up:_ -> ()) }
+
+let register t link =
+  t.links <- link :: t.links;
+  link
+
+let connect_switches t ~a:(sw_a, port_a) ~b:(sw_b, port_b) ?delay ?detection_delay () =
+  let link =
+    Link.create ~sched:t.sched ?delay ?detection_delay ~a:(switch_endpoint sw_a port_a)
+      ~b:(switch_endpoint sw_b port_b) ()
+  in
+  Event_switch.set_port_tx sw_a ~port:port_a (fun pkt -> Link.send link ~from_a:true pkt);
+  Event_switch.set_port_tx sw_b ~port:port_b (fun pkt -> Link.send link ~from_a:false pkt);
+  register t link
+
+let connect_host t ~host ~switch:(sw, port) ?delay ?detection_delay () =
+  let link =
+    Link.create ~sched:t.sched ?delay ?detection_delay ~a:(host_endpoint host)
+      ~b:(switch_endpoint sw port) ()
+  in
+  Host.set_tx host (fun pkt -> Link.send link ~from_a:true pkt);
+  Event_switch.set_port_tx sw ~port (fun pkt -> Link.send link ~from_a:false pkt);
+  register t link
+
+let links t = List.rev t.links

@@ -1,0 +1,30 @@
+(** Topology wiring: connects switch ports, hosts and links, routing
+    link deliveries into [Event_switch.inject] / [Host.deliver] and
+    link status changes into [Event_switch.link_status]. *)
+
+type t
+
+val create : sched:Eventsim.Scheduler.t -> t
+
+val connect_switches :
+  t ->
+  a:Event_switch.t * int ->
+  b:Event_switch.t * int ->
+  ?delay:Eventsim.Sim_time.t ->
+  ?detection_delay:Eventsim.Sim_time.t ->
+  unit ->
+  Tmgr.Link.t
+(** Connect port [snd a] of switch [fst a] to port [snd b] of switch
+    [fst b]. Returns the link for failure injection. *)
+
+val connect_host :
+  t ->
+  host:Host.t ->
+  switch:Event_switch.t * int ->
+  ?delay:Eventsim.Sim_time.t ->
+  ?detection_delay:Eventsim.Sim_time.t ->
+  unit ->
+  Tmgr.Link.t
+
+val links : t -> Tmgr.Link.t list
+(** In creation order. *)

@@ -1,0 +1,1 @@
+lib/devents/consistency.mli:

@@ -1,0 +1,1 @@
+lib/devents/event_merger.ml: Array Event Event_queue Eventsim List Netcore Pisa

@@ -1,0 +1,1 @@
+lib/devents/event_merger.mli: Event Eventsim Netcore Pisa

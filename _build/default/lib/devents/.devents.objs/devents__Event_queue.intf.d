@@ -1,0 +1,1 @@
+lib/devents/event_queue.mli:

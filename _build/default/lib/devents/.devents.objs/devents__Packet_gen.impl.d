@@ -1,0 +1,1 @@
+lib/devents/packet_gen.ml: Eventsim Netcore

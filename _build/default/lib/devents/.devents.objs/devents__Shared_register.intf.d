@@ -1,0 +1,1 @@
+lib/devents/shared_register.mli: Pisa Stats

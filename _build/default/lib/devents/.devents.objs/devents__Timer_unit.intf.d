@@ -1,0 +1,1 @@
+lib/devents/timer_unit.mli: Event Eventsim

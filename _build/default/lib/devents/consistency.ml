@@ -1,0 +1,118 @@
+type event =
+  | Update of { issue : int; delta : int }
+  | Read of { time : int; value : int }
+
+type violation = { read_time : int; observed : int; valid_values : int list }
+
+let split history =
+  let updates, reads =
+    List.fold_left
+      (fun (ups, rds) ev ->
+        match ev with
+        | Update { issue; delta } -> ((issue, delta) :: ups, rds)
+        | Read { time; value } -> (ups, (time, value) :: rds))
+      ([], []) history
+  in
+  let by_time (a, _) (b, _) = Int.compare a b in
+  (Array.of_list (List.sort by_time updates), List.sort by_time reads)
+
+(* Prefix sums: sums.(k) = sum of the first k updates in issue order. *)
+let prefix_sums updates =
+  let n = Array.length updates in
+  let sums = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    sums.(i + 1) <- sums.(i) + snd updates.(i)
+  done;
+  sums
+
+(* A cut k is valid for a read at time T with bound B iff every update
+   issued strictly before T - B is included (k covers them) and no
+   included update was issued after T. *)
+let valid_cuts ~bound updates ~read_time =
+  let n = Array.length updates in
+  let lo =
+    (* smallest k that includes all updates with issue < read_time - bound *)
+    let rec go k =
+      if k >= n then n
+      else if fst updates.(k) < read_time - bound then go (k + 1)
+      else k
+    in
+    go 0
+  in
+  let hi =
+    (* largest k whose last included update has issue <= read_time *)
+    let rec go k = if k < n && fst updates.(k) <= read_time then go (k + 1) else k in
+    go 0
+  in
+  (lo, hi)
+
+let check ~bound history =
+  if bound < 0 then invalid_arg "Consistency.check: bound must be non-negative";
+  let updates, reads = split history in
+  let sums = prefix_sums updates in
+  let rec go = function
+    | [] -> Ok ()
+    | (read_time, observed) :: rest ->
+        let lo, hi = valid_cuts ~bound updates ~read_time in
+        if lo > hi then
+          Error { read_time; observed; valid_values = [] }
+        else begin
+          let ok = ref false in
+          for k = lo to hi do
+            if sums.(k) = observed then ok := true
+          done;
+          if !ok then go rest
+          else
+            Error
+              {
+                read_time;
+                observed;
+                valid_values = List.init (hi - lo + 1) (fun i -> sums.(lo + i));
+              }
+        end
+  in
+  go reads
+
+let check_interval ~bound history =
+  if bound < 0 then invalid_arg "Consistency.check_interval: bound must be non-negative";
+  let updates, reads = split history in
+  let sums = prefix_sums updates in
+  let n = Array.length updates in
+  let rec go = function
+    | [] -> Ok ()
+    | (read_time, observed) :: rest ->
+        let lo, hi = valid_cuts ~bound updates ~read_time in
+        let mandatory = sums.(lo) in
+        (* Window ops are the updates with indexes lo .. hi-1. *)
+        let neg = ref 0 and pos = ref 0 in
+        for k = lo to min hi n - 1 do
+          let d = snd updates.(k) in
+          if d < 0 then neg := !neg + d else pos := !pos + d
+        done;
+        if observed >= mandatory + !neg && observed <= mandatory + !pos then go rest
+        else
+          Error
+            {
+              read_time;
+              observed;
+              valid_values = [ mandatory + !neg; mandatory + !pos ];
+            }
+  in
+  go reads
+
+let eventually_consistent history = check ~bound:max_int history = Ok ()
+
+type recorder = { mutable events : event list; mutable count : int }
+
+let recorder () = { events = []; count = 0 }
+
+let record_update r ~issue ~delta =
+  r.events <- Update { issue; delta } :: r.events;
+  r.count <- r.count + 1
+
+let record_read r ~time ~value =
+  r.events <- Read { time; value } :: r.events;
+  r.count <- r.count + 1
+
+let history r = List.rev r.events
+let length r = r.count

@@ -1,0 +1,131 @@
+type cls =
+  | Ingress_packet
+  | Egress_packet
+  | Recirculated_packet
+  | Generated_packet
+  | Packet_transmitted
+  | Buffer_enqueue
+  | Buffer_dequeue
+  | Buffer_overflow
+  | Buffer_underflow
+  | Timer_expiration
+  | Control_plane
+  | Link_status_change
+  | User_event
+
+let all_classes =
+  [
+    Ingress_packet;
+    Egress_packet;
+    Recirculated_packet;
+    Generated_packet;
+    Packet_transmitted;
+    Buffer_enqueue;
+    Buffer_dequeue;
+    Buffer_overflow;
+    Buffer_underflow;
+    Timer_expiration;
+    Control_plane;
+    Link_status_change;
+    User_event;
+  ]
+
+let cls_name = function
+  | Ingress_packet -> "ingress-packet"
+  | Egress_packet -> "egress-packet"
+  | Recirculated_packet -> "recirculated-packet"
+  | Generated_packet -> "generated-packet"
+  | Packet_transmitted -> "packet-transmitted"
+  | Buffer_enqueue -> "buffer-enqueue"
+  | Buffer_dequeue -> "buffer-dequeue"
+  | Buffer_overflow -> "buffer-overflow"
+  | Buffer_underflow -> "buffer-underflow"
+  | Timer_expiration -> "timer-expiration"
+  | Control_plane -> "control-plane-triggered"
+  | Link_status_change -> "link-status-change"
+  | User_event -> "user-event"
+
+let cls_index = function
+  | Ingress_packet -> 0
+  | Egress_packet -> 1
+  | Recirculated_packet -> 2
+  | Generated_packet -> 3
+  | Packet_transmitted -> 4
+  | Buffer_enqueue -> 5
+  | Buffer_dequeue -> 6
+  | Buffer_overflow -> 7
+  | Buffer_underflow -> 8
+  | Timer_expiration -> 9
+  | Control_plane -> 10
+  | Link_status_change -> 11
+  | User_event -> 12
+
+let num_classes = 13
+let cls_equal a b = cls_index a = cls_index b
+
+type buffer_event = {
+  port : int;
+  qid : int;
+  pkt_len : int;
+  flow_id : int;
+  meta : int array;
+  occupancy_pkts : int;
+  occupancy_bytes : int;
+  time : int;
+}
+
+type underflow_event = { port : int; qid : int; time : int }
+type transmit_event = { port : int; pkt_len : int; flow_id : int; time : int }
+type timer_event = { id : int; period : int; scheduled : int; fired : int; count : int }
+type link_event = { port : int; up : bool; time : int }
+type control_event = { opcode : int; arg : int; time : int }
+type user_event = { tag : int; data : int; time : int }
+
+type t =
+  | Enqueue of buffer_event
+  | Dequeue of buffer_event
+  | Overflow of buffer_event
+  | Underflow of underflow_event
+  | Transmitted of transmit_event
+  | Timer of timer_event
+  | Link_change of link_event
+  | Control of control_event
+  | User of user_event
+
+let cls_of = function
+  | Enqueue _ -> Buffer_enqueue
+  | Dequeue _ -> Buffer_dequeue
+  | Overflow _ -> Buffer_overflow
+  | Underflow _ -> Buffer_underflow
+  | Transmitted _ -> Packet_transmitted
+  | Timer _ -> Timer_expiration
+  | Link_change _ -> Link_status_change
+  | Control _ -> Control_plane
+  | User _ -> User_event
+
+let time_of = function
+  | Enqueue b | Dequeue b | Overflow b -> b.time
+  | Underflow u -> u.time
+  | Transmitted t -> t.time
+  | Timer t -> t.fired
+  | Link_change l -> l.time
+  | Control c -> c.time
+  | User u -> u.time
+
+let pp_cls ppf c = Format.pp_print_string ppf (cls_name c)
+
+let pp ppf t =
+  match t with
+  | Enqueue b ->
+      Format.fprintf ppf "enqueue port=%d qid=%d len=%d occ=%dB" b.port b.qid b.pkt_len
+        b.occupancy_bytes
+  | Dequeue b ->
+      Format.fprintf ppf "dequeue port=%d qid=%d len=%d occ=%dB" b.port b.qid b.pkt_len
+        b.occupancy_bytes
+  | Overflow b -> Format.fprintf ppf "overflow port=%d qid=%d len=%d" b.port b.qid b.pkt_len
+  | Underflow u -> Format.fprintf ppf "underflow port=%d qid=%d" u.port u.qid
+  | Transmitted x -> Format.fprintf ppf "transmitted port=%d len=%d" x.port x.pkt_len
+  | Timer x -> Format.fprintf ppf "timer id=%d count=%d" x.id x.count
+  | Link_change l -> Format.fprintf ppf "link port=%d %s" l.port (if l.up then "up" else "down")
+  | Control c -> Format.fprintf ppf "control op=%d arg=%d" c.opcode c.arg
+  | User u -> Format.fprintf ppf "user tag=%d data=%d" u.tag u.data

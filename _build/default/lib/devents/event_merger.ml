@@ -1,0 +1,146 @@
+module Scheduler = Eventsim.Scheduler
+module Pipeline = Pisa.Pipeline
+
+type packet_kind = Ingress | Recirculated | Generated
+
+type carrier = {
+  pkt : (packet_kind * Netcore.Packet.t) option;
+  events : Event.t list;
+}
+
+type config = {
+  event_queue_capacity : int;
+  packet_queue_capacity : int;
+  max_events_per_carrier : int;
+  priority : Event.cls list;
+}
+
+let default_config =
+  {
+    event_queue_capacity = 64;
+    packet_queue_capacity = 256;
+    max_events_per_carrier = 4;
+    priority =
+      [
+        Event.Link_status_change;
+        Event.Timer_expiration;
+        Event.Control_plane;
+        Event.Buffer_overflow;
+        Event.Buffer_underflow;
+        Event.Buffer_dequeue;
+        Event.Buffer_enqueue;
+        Event.Packet_transmitted;
+        Event.User_event;
+      ];
+  }
+
+type t = {
+  sched : Scheduler.t;
+  pipeline : Pipeline.t;
+  config : config;
+  process : carrier -> exit_time:Eventsim.Sim_time.t -> unit;
+  (* Packet input queues by kind priority: ingress, recirculated,
+     generated. *)
+  pkt_queues : Netcore.Packet.t Event_queue.t array;
+  event_queues : Event.t Event_queue.t array; (* indexed by Event.cls_index *)
+  mutable admission_armed : bool;
+  mutable empty_carriers : int;
+  mutable piggybacked : int;
+}
+
+let kind_index = function Ingress -> 0 | Recirculated -> 1 | Generated -> 2
+let kind_of_index = function 0 -> Ingress | 1 -> Recirculated | _ -> Generated
+
+let create ~sched ~pipeline ?(config = default_config) ~process () =
+  if config.max_events_per_carrier <= 0 then
+    invalid_arg "Event_merger: max_events_per_carrier must be positive";
+  {
+    sched;
+    pipeline;
+    config;
+    process;
+    pkt_queues =
+      Array.init 3 (fun _ -> Event_queue.create ~capacity:config.packet_queue_capacity);
+    event_queues =
+      Array.init Event.num_classes (fun _ ->
+          Event_queue.create ~capacity:config.event_queue_capacity);
+    admission_armed = false;
+    empty_carriers = 0;
+    piggybacked = 0;
+  }
+
+let packets_waiting t = Array.fold_left (fun acc q -> acc + Event_queue.length q) 0 t.pkt_queues
+
+let events_waiting t =
+  Array.fold_left (fun acc q -> acc + Event_queue.length q) 0 t.event_queues
+
+let has_work t = packets_waiting t > 0 || events_waiting t > 0
+
+let next_packet t =
+  let rec go k =
+    if k >= Array.length t.pkt_queues then None
+    else
+      match Event_queue.pop t.pkt_queues.(k) with
+      | Some pkt -> Some (kind_of_index k, pkt)
+      | None -> go (k + 1)
+  in
+  go 0
+
+(* Collect up to the metadata-bus limit of events, one per class, in
+   priority order. *)
+let collect_events t =
+  let rec go classes taken acc =
+    match classes with
+    | [] -> List.rev acc
+    | _ when taken >= t.config.max_events_per_carrier -> List.rev acc
+    | cls :: rest -> (
+        match Event_queue.pop t.event_queues.(Event.cls_index cls) with
+        | Some ev -> go rest (taken + 1) (ev :: acc)
+        | None -> go rest taken acc)
+  in
+  go t.config.priority 0 []
+
+let rec arm t =
+  if (not t.admission_armed) && has_work t then begin
+    t.admission_armed <- true;
+    let at = Pipeline.earliest_admission t.pipeline in
+    ignore (Scheduler.schedule t.sched ~at (fun () -> admit t))
+  end
+
+and admit t =
+  t.admission_armed <- false;
+  if has_work t then begin
+    let pkt = next_packet t in
+    let events = collect_events t in
+    (match pkt with
+    | Some _ -> t.piggybacked <- t.piggybacked + List.length events
+    | None -> if events <> [] then t.empty_carriers <- t.empty_carriers + 1);
+    if pkt <> None || events <> [] then begin
+      let exit_time = Pipeline.admit t.pipeline ~has_packet:(pkt <> None) in
+      t.process { pkt; events } ~exit_time
+    end;
+    arm t
+  end
+
+let offer_packet t kind pkt =
+  let ok = Event_queue.push t.pkt_queues.(kind_index kind) pkt in
+  if ok then arm t;
+  ok
+
+let offer_event t ev =
+  let ok = Event_queue.push t.event_queues.(Event.cls_index (Event.cls_of ev)) ev in
+  if ok then arm t;
+  ok
+
+let empty_carriers t = t.empty_carriers
+let piggybacked_events t = t.piggybacked
+
+let event_drops t =
+  List.filter_map
+    (fun cls ->
+      let d = Event_queue.dropped t.event_queues.(Event.cls_index cls) in
+      if d > 0 then Some (cls, d) else None)
+    Event.all_classes
+
+let packet_drops t = Array.fold_left (fun acc q -> acc + Event_queue.dropped q) 0 t.pkt_queues
+let queue_high_watermark t cls = Event_queue.high_watermark t.event_queues.(Event.cls_index cls)

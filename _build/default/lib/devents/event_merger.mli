@@ -1,0 +1,61 @@
+(** The Event Merger (Figure 4): gathers pending data-plane events and
+    merges them into the pipeline.
+
+    Each admission slot (one per pipeline cycle) carries at most one
+    packet — an ingress arrival, a recirculated packet, or a generated
+    packet, in that priority order — plus event metadata piggybacked
+    onto it: at most one event per class per carrier, as each class has
+    a fixed metadata field in the bus. If events are pending but no
+    packet is available, the merger emits an {e empty carrier} (the
+    paper's "empty packet"), which consumes a pipeline slot; E4
+    measures when that starts to eat into line rate.
+
+    Event classes drain highest-priority-first; the default order puts
+    rare control-ish events (link change, timer, control) first and
+    high-volume buffer events after, matching the prototype. *)
+
+type packet_kind = Ingress | Recirculated | Generated
+
+type carrier = {
+  pkt : (packet_kind * Netcore.Packet.t) option;
+  events : Event.t list;  (** in priority order *)
+}
+
+type config = {
+  event_queue_capacity : int;  (** per class (default 64) *)
+  packet_queue_capacity : int;  (** per packet kind (default 256) *)
+  max_events_per_carrier : int;  (** metadata bus width (default 4) *)
+  priority : Event.cls list;  (** drain order for metadata events *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  sched:Eventsim.Scheduler.t ->
+  pipeline:Pisa.Pipeline.t ->
+  ?config:config ->
+  process:(carrier -> exit_time:Eventsim.Sim_time.t -> unit) ->
+  unit ->
+  t
+(** [process] is called at admission time with the carrier; [exit_time]
+    is when the carrier leaves the pipeline (admission + depth). *)
+
+val offer_packet : t -> packet_kind -> Netcore.Packet.t -> bool
+(** [false] when the input queue for that kind overflowed (packet lost,
+    counted). *)
+
+val offer_event : t -> Event.t -> bool
+(** [false] when that class's event queue overflowed (event lost,
+    counted). *)
+
+val packets_waiting : t -> int
+val events_waiting : t -> int
+val empty_carriers : t -> int
+val piggybacked_events : t -> int
+val event_drops : t -> (Event.cls * int) list
+(** Classes with at least one lost event. *)
+
+val packet_drops : t -> int
+val queue_high_watermark : t -> Event.cls -> int

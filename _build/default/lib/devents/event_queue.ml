@@ -1,0 +1,32 @@
+type 'a t = {
+  q : 'a Queue.t;
+  capacity : int;
+  mutable pushed : int;
+  mutable dropped : int;
+  mutable high_watermark : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Event_queue.create: capacity must be positive";
+  { q = Queue.create (); capacity; pushed = 0; dropped = 0; high_watermark = 0 }
+
+let push t x =
+  if Queue.length t.q >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    Queue.push x t.q;
+    t.pushed <- t.pushed + 1;
+    if Queue.length t.q > t.high_watermark then t.high_watermark <- Queue.length t.q;
+    true
+  end
+
+let pop t = Queue.take_opt t.q
+let peek t = Queue.peek_opt t.q
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let capacity t = t.capacity
+let pushed t = t.pushed
+let dropped t = t.dropped
+let high_watermark t = t.high_watermark

@@ -1,0 +1,22 @@
+(** Bounded FIFO used by the event merger for each event class.
+
+    Hardware event queues are small fixed FIFOs; when one fills, new
+    events of that class are lost (and counted) — a measurable pressure
+    signal for experiments E4/E15. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+val push : 'a t -> 'a -> bool
+(** [false] if the queue was full (the element is dropped). *)
+
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val capacity : 'a t -> int
+val pushed : 'a t -> int
+(** Accepted element count. *)
+
+val dropped : 'a t -> int
+val high_watermark : 'a t -> int

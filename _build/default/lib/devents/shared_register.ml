@@ -1,0 +1,180 @@
+module Register_array = Pisa.Register_array
+module Pipeline = Pisa.Pipeline
+
+type mode = Multiport | Aggregated
+type side = Enq_side | Deq_side
+type drain_policy = Round_robin | Enq_first | Deq_first
+
+type agg_side = {
+  deltas : int array;
+  dirty : bool array;
+  queue : (int * int) Queue.t; (* (index, issue_cycle) in issue order *)
+  side_staleness : Stats.Histogram.t;
+}
+
+type t = {
+  mode : mode;
+  drain_policy : drain_policy;
+  pipeline : Pipeline.t;
+  main : Register_array.t;
+  agg : agg_side array; (* [| enq; deq |], empty in Multiport mode *)
+  mutable drain_mark : Pipeline.mark;
+  mutable next_side : int; (* round-robin pointer between sides *)
+  staleness : Stats.Histogram.t;
+  mutable applied : int;
+  agg_bits : int;
+}
+
+let make_side n =
+  {
+    deltas = Array.make n 0;
+    dirty = Array.make n false;
+    queue = Queue.create ();
+    side_staleness = Stats.Histogram.log2 ~max_exponent:30;
+  }
+
+let create ~alloc ~pipeline ~mode ?(drain_policy = Round_robin) ~name ~entries ~width () =
+  let main =
+    Pisa.Register_alloc.array alloc ~name:(name ^ "_main") ~entries ~width
+  in
+  let agg, agg_bits =
+    match mode with
+    | Multiport -> ([||], 0)
+    | Aggregated ->
+        (* The two aggregation arrays are real state: charge them. *)
+        let enq = Pisa.Register_alloc.array alloc ~name:(name ^ "_enq_agg") ~entries ~width in
+        let deq = Pisa.Register_alloc.array alloc ~name:(name ^ "_deq_agg") ~entries ~width in
+        (* The allocator meters them; the live delta state lives in
+           plain arrays for signed arithmetic, so keep the register
+           arrays as footprint-only placeholders. *)
+        ( [| make_side entries; make_side entries |],
+          Register_array.bits enq + Register_array.bits deq )
+  in
+  {
+    mode;
+    drain_policy;
+    pipeline;
+    main;
+    agg;
+    drain_mark = Pipeline.mark pipeline;
+    next_side = 0;
+    staleness = Stats.Histogram.log2 ~max_exponent:30;
+    applied = 0;
+    agg_bits;
+  }
+
+let mode t = t.mode
+let entries t = Register_array.entries t.main
+
+let apply_one t side ~apply_cycle =
+  match Queue.take_opt side.queue with
+  | None -> false
+  | Some (index, issue_cycle) ->
+      side.dirty.(index) <- false;
+      let delta = side.deltas.(index) in
+      side.deltas.(index) <- 0;
+      ignore (Register_array.add t.main index delta);
+      t.applied <- t.applied + 1;
+      let stale = float_of_int (max 0 (apply_cycle - issue_cycle)) in
+      Stats.Histogram.add t.staleness stale;
+      Stats.Histogram.add side.side_staleness stale;
+      true
+
+(* Fold pending deltas into the main array, spending at most the
+   idle-cycle budget accumulated since the last drain. Sides alternate
+   so neither starves. The k-th op drained in this call is deemed to
+   have been applied k idle cycles after the mark, never before the
+   cycle after it was issued. *)
+let drain t =
+  match t.mode with
+  | Multiport -> ()
+  | Aggregated ->
+      let budget, mark' = Pipeline.idle_cycles_since t.pipeline t.drain_mark in
+      t.drain_mark <- mark';
+      let current = Pipeline.current_cycle t.pipeline in
+      let remaining = ref budget in
+      let exhausted = ref false in
+      while (not !exhausted) && !remaining > 0 do
+        let apply_cycle = max 0 (current - !remaining + 1) in
+        let first =
+          match t.drain_policy with
+          | Round_robin ->
+              let f = t.next_side in
+              t.next_side <- 1 - t.next_side;
+              f
+          | Enq_first -> 0
+          | Deq_first -> 1
+        in
+        let a = t.agg.(first) and b = t.agg.(1 - first) in
+        if apply_one t a ~apply_cycle then decr remaining
+        else if apply_one t b ~apply_cycle then decr remaining
+        else exhausted := true
+      done
+
+let read t i =
+  drain t;
+  Register_array.read t.main i
+
+let write t i v =
+  drain t;
+  Register_array.write t.main i v
+
+let add t i delta =
+  drain t;
+  Register_array.add t.main i delta
+
+let side_index = function Enq_side -> 0 | Deq_side -> 1
+
+let event_add t side i delta =
+  match t.mode with
+  | Multiport -> ignore (Register_array.add t.main i delta)
+  | Aggregated ->
+      drain t;
+      let s = t.agg.(side_index side) in
+      if i < 0 || i >= Array.length s.deltas then
+        invalid_arg "Shared_register.event_add: index out of range";
+      s.deltas.(i) <- s.deltas.(i) + delta;
+      if not s.dirty.(i) then begin
+        s.dirty.(i) <- true;
+        Queue.push (i, Pipeline.current_cycle t.pipeline) s.queue
+      end
+
+let event_read t i = read t i
+
+let true_value t i =
+  let base = Register_array.read t.main i in
+  match t.mode with
+  | Multiport -> base
+  | Aggregated -> base + t.agg.(0).deltas.(i) + t.agg.(1).deltas.(i)
+
+let pending_ops t =
+  match t.mode with
+  | Multiport -> 0
+  | Aggregated -> Queue.length t.agg.(0).queue + Queue.length t.agg.(1).queue
+
+let sync t =
+  match t.mode with
+  | Multiport -> ()
+  | Aggregated ->
+      Array.iter
+        (fun s ->
+          Queue.iter
+            (fun (i, _) ->
+              if s.dirty.(i) then begin
+                s.dirty.(i) <- false;
+                ignore (Register_array.add t.main i s.deltas.(i));
+                s.deltas.(i) <- 0
+              end)
+            s.queue;
+          Queue.clear s.queue)
+        t.agg
+
+let staleness t = t.staleness
+
+let side_staleness t side =
+  match t.mode with
+  | Multiport -> Stats.Histogram.log2 ~max_exponent:1
+  | Aggregated -> t.agg.(side_index side).side_staleness
+let max_staleness_cycles t = Stats.Histogram.max_seen t.staleness
+let applied_ops t = t.applied
+let total_bits t = Register_array.bits t.main + t.agg_bits

@@ -1,0 +1,25 @@
+(** Hardware timer unit.
+
+    Fires {!Event.Timer} events at a configured period per timer id.
+    Hardware timers tick at a coarse resolution, so actual firing
+    instants are quantised up to the next tick boundary — the resulting
+    (bounded) jitter is visible in the Timer event's [scheduled] vs
+    [fired] fields. Compare with control-plane-generated "timers",
+    whose jitter is the control-channel latency (experiment E8). *)
+
+type t
+type timer_id = int
+
+val create : sched:Eventsim.Scheduler.t -> ?resolution:Eventsim.Sim_time.t ->
+  sink:(Event.t -> unit) -> unit -> t
+(** [resolution] is the tick quantum (default 100 ns, a typical FPGA
+    timer tick). *)
+
+val add_periodic : t -> period:Eventsim.Sim_time.t -> timer_id
+(** Register a periodic timer; first firing one period from now. *)
+
+val add_oneshot : t -> delay:Eventsim.Sim_time.t -> timer_id
+val cancel : t -> timer_id -> unit
+val active : t -> int
+val fired : t -> int
+(** Total Timer events emitted. *)

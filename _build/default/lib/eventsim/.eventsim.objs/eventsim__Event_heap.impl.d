@@ -1,0 +1,1 @@
+lib/eventsim/event_heap.ml: Array

@@ -1,0 +1,1 @@
+lib/eventsim/scheduler.ml: Event_heap Printf Sim_time

@@ -1,0 +1,1 @@
+lib/eventsim/scheduler.mli: Sim_time

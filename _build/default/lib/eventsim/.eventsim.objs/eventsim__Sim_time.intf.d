@@ -1,0 +1,1 @@
+lib/eventsim/sim_time.mli: Format

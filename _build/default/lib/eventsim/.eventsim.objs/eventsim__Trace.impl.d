@@ -1,0 +1,1 @@
+lib/eventsim/trace.ml: List Queue Sim_time String

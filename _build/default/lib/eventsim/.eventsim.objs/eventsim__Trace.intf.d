@@ -1,0 +1,1 @@
+lib/eventsim/trace.mli: Sim_time

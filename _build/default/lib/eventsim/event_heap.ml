@@ -1,0 +1,73 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.data in
+  let cap' = if cap = 0 then 16 else cap * 2 in
+  let data = Array.make cap' entry in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = Array.length t.data then grow t entry;
+  (* Sift up. *)
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  t.data.(!i) <- entry;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before entry t.data.(parent) then begin
+      t.data.(!i) <- t.data.(parent);
+      t.data.(parent) <- entry;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek_time t = if t.len = 0 then None else Some t.data.(0).time
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      let last = t.data.(t.len) in
+      t.data.(0) <- last;
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && before t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.len && before t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.data.(!i) in
+          t.data.(!i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let clear t =
+  t.len <- 0;
+  t.data <- [||]

@@ -1,0 +1,20 @@
+(** Binary min-heap keyed by (time, sequence number).
+
+    The sequence number makes the ordering total and FIFO among events
+    scheduled for the same instant, which keeps simulations deterministic
+    regardless of heap internals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Sequence numbers are assigned internally in [push] order. *)
+
+val peek_time : 'a t -> int option
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest element with its time. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,66 @@
+type cell = { mutable cancelled : bool; mutable callback : unit -> unit }
+type handle = cell
+
+type t = {
+  heap : cell Event_heap.t;
+  mutable clock : Sim_time.t;
+  mutable executed : int;
+}
+
+let create () = { heap = Event_heap.create (); clock = 0; executed = 0 }
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Scheduler.schedule: at=%d is before now=%d" at t.clock);
+  let cell = { cancelled = false; callback = f } in
+  Event_heap.push t.heap ~time:at cell;
+  cell
+
+let schedule_after t ~delay f =
+  if delay < 0 then invalid_arg "Scheduler.schedule_after: negative delay";
+  schedule t ~at:(t.clock + delay) f
+
+let cancel cell = cell.cancelled <- true
+
+let every t ?start ~period f =
+  if period <= 0 then invalid_arg "Scheduler.every: period must be positive";
+  let first = match start with Some s -> s | None -> t.clock + period in
+  let cell = { cancelled = false; callback = (fun () -> ()) } in
+  let rec fire () =
+    if not cell.cancelled then begin
+      f ();
+      if not cell.cancelled then begin
+        cell.callback <- fire;
+        Event_heap.push t.heap ~time:(t.clock + period) cell
+      end
+    end
+  in
+  cell.callback <- fire;
+  Event_heap.push t.heap ~time:first cell;
+  cell
+
+let step t =
+  match Event_heap.pop t.heap with
+  | None -> false
+  | Some (time, cell) ->
+      t.clock <- max t.clock time;
+      if not cell.cancelled then begin
+        t.executed <- t.executed + 1;
+        cell.callback ()
+      end;
+      true
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match (Event_heap.peek_time t.heap, until) with
+    | None, _ -> continue := false
+    | Some time, Some limit when time > limit -> continue := false
+    | Some _, _ -> ignore (step t)
+  done;
+  match until with Some limit when limit > t.clock -> t.clock <- limit | Some _ | None -> ()
+
+let pending t = Event_heap.length t.heap
+let executed t = t.executed

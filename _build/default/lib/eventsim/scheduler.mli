@@ -1,0 +1,36 @@
+(** Discrete-event simulation driver.
+
+    Callbacks are executed in non-decreasing time order; ties run in
+    schedule order. A callback may schedule further work, including at
+    the current instant. *)
+
+type t
+type handle
+
+val create : unit -> t
+val now : t -> Sim_time.t
+
+val schedule : t -> at:Sim_time.t -> (unit -> unit) -> handle
+(** Scheduling in the past raises [Invalid_argument]. *)
+
+val schedule_after : t -> delay:Sim_time.t -> (unit -> unit) -> handle
+val cancel : handle -> unit
+(** Cancelling an already-run or cancelled handle is a no-op. For a
+    periodic handle, cancellation stops all future firings. *)
+
+val every : t -> ?start:Sim_time.t -> period:Sim_time.t -> (unit -> unit) -> handle
+(** Fire at [start] (default: now + period) and then every [period]
+    until cancelled. *)
+
+val run : ?until:Sim_time.t -> t -> unit
+(** Execute events until the queue is empty or the next event is after
+    [until]; with [until], the clock is left at [until]. *)
+
+val step : t -> bool
+(** Run the single earliest event; [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of queued (possibly cancelled) events — a debugging aid. *)
+
+val executed : t -> int
+(** Total callbacks executed so far. *)

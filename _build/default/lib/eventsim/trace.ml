@@ -1,0 +1,39 @@
+type t = {
+  limit : int;
+  q : (Sim_time.t * string) Queue.t;
+  mutable enabled : bool;
+  mutable count : int;
+}
+
+let create ?(limit = 10_000) () = { limit; q = Queue.create (); enabled = false; count = 0 }
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+
+let record t ~time msg =
+  if t.enabled then begin
+    t.count <- t.count + 1;
+    Queue.push (time, msg) t.q;
+    if Queue.length t.q > t.limit then ignore (Queue.pop t.q)
+  end
+
+let records t = List.of_seq (Queue.to_seq t.q)
+let count t = t.count
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec go i = if i + nn > nh then false else String.sub hay i nn = needle || go (i + 1) in
+    go 0
+
+let find t ~pattern =
+  Queue.fold
+    (fun acc (time, msg) ->
+      match acc with
+      | Some _ -> acc
+      | None -> if contains_substring msg pattern then Some (time, msg) else None)
+    None t.q
+
+let clear t =
+  Queue.clear t.q;
+  t.count <- 0

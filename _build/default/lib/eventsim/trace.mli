@@ -1,0 +1,24 @@
+(** Lightweight bounded trace recorder for debugging and tests.
+
+    Components log one-line records; tests assert on their order and
+    content; experiments usually leave tracing disabled. *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** Keep at most [limit] most recent records (default 10_000). *)
+
+val enable : t -> unit
+val disable : t -> unit
+val record : t -> time:Sim_time.t -> string -> unit
+val records : t -> (Sim_time.t * string) list
+(** Oldest first. *)
+
+val count : t -> int
+(** Number of records ever offered while enabled (including any that
+    were dropped by the bound). *)
+
+val find : t -> pattern:string -> (Sim_time.t * string) option
+(** First record whose message contains [pattern] as a substring. *)
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/e01_table1.ml: Devents Evcore Eventsim List Netcore Printf Report Tmgr

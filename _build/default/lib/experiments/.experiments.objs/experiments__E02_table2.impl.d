@@ -1,0 +1,1 @@
+lib/experiments/e02_table2.ml: Apps Array Devents Evcore Eventsim List Netcore Report Stats String Tmgr Workloads

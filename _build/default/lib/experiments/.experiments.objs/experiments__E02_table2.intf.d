@@ -1,0 +1,1 @@
+lib/experiments/e02_table2.mli: Devents

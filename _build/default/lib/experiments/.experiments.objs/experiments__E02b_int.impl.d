@@ -1,0 +1,1 @@
+lib/experiments/e02b_int.ml: Apps Evcore Eventsim List Netcore Printf Report Stats Tmgr Workloads

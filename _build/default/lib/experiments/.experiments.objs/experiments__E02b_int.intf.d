@@ -1,0 +1,1 @@
+lib/experiments/e02b_int.mli:

@@ -1,0 +1,1 @@
+lib/experiments/e03_table3.ml: Format List Printf Report Resmodel

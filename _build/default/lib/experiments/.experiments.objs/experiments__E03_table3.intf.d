@@ -1,0 +1,1 @@
+lib/experiments/e03_table3.mli: Resmodel

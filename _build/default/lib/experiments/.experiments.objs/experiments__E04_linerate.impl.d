@@ -1,0 +1,1 @@
+lib/experiments/e04_linerate.ml: Apps Devents Evcore Eventsim Float List Netcore Pisa Printf Report Stats Tmgr Workloads

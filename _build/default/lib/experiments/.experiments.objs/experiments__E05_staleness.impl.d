@@ -1,0 +1,1 @@
+lib/experiments/e05_staleness.ml: Array Devents Evcore Eventsim Float List Netcore Option Pisa Report Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e05_staleness.mli:

@@ -1,0 +1,1 @@
+lib/experiments/e06_microburst.ml: Apps Array Devents Evcore Eventsim Int List Netcore Printf Report Stats String Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e07_cms_reset.ml: Apps Array Evcore Eventsim Hashtbl List Netcore Option Printf Report Stats

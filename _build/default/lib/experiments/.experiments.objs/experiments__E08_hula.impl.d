@@ -1,0 +1,1 @@
+lib/experiments/e08_hula.ml: Apps Array Evcore Eventsim Float Hashtbl List Netcore Option Printf Report Stats Tmgr Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e09_liveness.ml: Apps Evcore Eventsim Option Report Stats Tmgr

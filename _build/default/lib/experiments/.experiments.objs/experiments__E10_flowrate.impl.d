@@ -1,0 +1,1 @@
+lib/experiments/e10_flowrate.ml: Apps Array Evcore Eventsim Float List Netcore Printf Report Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e11_aqm.ml: Apps Array Evcore Eventsim List Netcore Report Stats Tmgr Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e12_frr.ml: Apps Evcore Eventsim Netcore Option Printf Report Stats Tmgr Workloads

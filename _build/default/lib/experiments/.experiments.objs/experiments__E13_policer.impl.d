@@ -1,0 +1,1 @@
+lib/experiments/e13_policer.ml: Apps Evcore Eventsim Float List Netcore Report Stats Workloads

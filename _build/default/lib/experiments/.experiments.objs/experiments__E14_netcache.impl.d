@@ -1,0 +1,1 @@
+lib/experiments/e14_netcache.ml: Apps Evcore Eventsim Float List Netcore Printf Report Stats

@@ -1,0 +1,1 @@
+lib/experiments/e15_tofino.ml: Array Devents Evcore Eventsim List Netcore Option Pisa Printf Report Stats Tmgr Workloads

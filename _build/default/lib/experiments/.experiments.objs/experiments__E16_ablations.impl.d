@@ -1,0 +1,1 @@
+lib/experiments/e16_ablations.ml: Apps Array Devents Evcore Eventsim Float List Netcore Option Pisa Report Stats Workloads

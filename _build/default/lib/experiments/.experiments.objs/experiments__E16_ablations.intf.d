@@ -1,0 +1,1 @@
+lib/experiments/e16_ablations.mli:

@@ -1,0 +1,1 @@
+lib/experiments/e17_migration.ml: Apps Array Evcore Eventsim Hashtbl List Netcore Option Printf Report Stats Tmgr Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e18_p4_equivalence.ml: Apps Devents Evcore Eventsim Int List Netcore P4dsl Pisa Printf Report Stats String Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e18_p4_equivalence.mli:

@@ -1,0 +1,1 @@
+lib/experiments/e19_wfq.ml: Apps Evcore Eventsim Float Hashtbl List Netcore Option Report Stats Tmgr Workloads

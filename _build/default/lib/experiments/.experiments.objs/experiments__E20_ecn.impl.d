@@ -1,0 +1,1 @@
+lib/experiments/e20_ecn.ml: Apps Array Evcore Eventsim List Netcore Report Stats Tmgr Workloads

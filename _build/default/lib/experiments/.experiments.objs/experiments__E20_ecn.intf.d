@@ -1,0 +1,1 @@
+lib/experiments/e20_ecn.mli:

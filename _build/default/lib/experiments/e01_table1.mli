@@ -1,0 +1,14 @@
+(** E1 — reproduces Table 1: which data-plane event classes each
+    architecture delivers to an omni-subscribed program. *)
+
+type arch_result = {
+  arch_name : string;
+  fired : (Devents.Event.cls * int) list;
+  handled : (Devents.Event.cls * int) list;
+}
+
+type result = { arches : arch_result list }
+
+val run : unit -> result
+val print : result -> unit
+val name : string

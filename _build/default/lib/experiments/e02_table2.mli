@@ -1,0 +1,15 @@
+(** E2 — reproduces Table 2: application classes and the event classes
+    their programs actually consume, measured by instrumentation. *)
+
+type class_row = {
+  class_name : string;
+  examples : string;
+  paper_events : string;
+  measured : Devents.Event.cls list;
+}
+
+type result = { rows : class_row list }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

@@ -1,0 +1,16 @@
+(** E2b — §3 Network Monitoring: INT report-volume reduction through
+    event-driven aggregation. *)
+
+type variant_result = {
+  variant : string;
+  reports : int;
+  anomalies : int;
+  packets : int;
+  caught_burst : bool;
+}
+
+type result = { per_packet : variant_result; aggregated : variant_result }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

@@ -1,0 +1,57 @@
+(* E3 — Table 3: FPGA resource cost of event support.
+
+   Composes the resource model's baseline switch and event-support
+   components on the Virtex-7 690T and reports the event logic's cost
+   as a percentage of the device, next to the paper's numbers
+   (LUT +0.5%, FF +0.4%, BRAM +2.0%). *)
+
+module Rm = Resmodel.Resource_model
+
+type result = {
+  device : Rm.device;
+  baseline : Rm.cost;
+  event_extra : Rm.cost;
+  increases : (string * float) list;
+}
+
+let paper = [ ("Lookup Tables", 0.5); ("Flip Flops", 0.4); ("Block RAM", 2.0) ]
+
+let run () =
+  {
+    device = Rm.virtex7_690t;
+    baseline = Rm.sum Rm.baseline_components;
+    event_extra = Rm.sum Rm.event_components;
+    increases = Rm.table3 ();
+  }
+
+let print r =
+  Report.section "E3 / Table 3 — resource cost of event support (Virtex-7 690T)";
+  let bl, bf, bb = Rm.utilisation r.device r.baseline in
+  Report.kv "baseline switch utilisation"
+    (Printf.sprintf "LUT %.1f%%  FF %.1f%%  BRAM %.1f%%" (100. *. bl) (100. *. bf) (100. *. bb));
+  Report.kv "event logic absolute cost"
+    (Format.asprintf "%a" Rm.pp_cost r.event_extra);
+  Report.blank ();
+  Report.table
+    ~headers:[ "FPGA Resource"; "% increase (model)"; "% increase (paper)" ]
+    ~rows:
+      (List.map
+         (fun (name, model_pct) ->
+           let paper_pct = List.assoc name paper in
+           [ name; Report.f1 model_pct; Report.f1 paper_pct ])
+         r.increases);
+  Report.blank ();
+  Report.table
+    ~headers:[ "Event component"; "LUT"; "FF"; "BRAM" ]
+    ~rows:
+      (List.map
+         (fun (c : Rm.component) ->
+           [
+             c.Rm.name;
+             string_of_int c.Rm.cost.Rm.luts;
+             string_of_int c.Rm.cost.Rm.ffs;
+             string_of_int c.Rm.cost.Rm.brams;
+           ])
+         Rm.event_components)
+
+let name = "table3"

@@ -1,0 +1,19 @@
+(** E4 — Figure 4 / §1: line-rate packet processing is preserved while
+    event handling rides spare pipeline capacity. *)
+
+type point = {
+  load : float;
+  offered_pkts : int;
+  delivered_pkts : int;
+  busy_fraction : float;
+  empty_carriers : int;
+  piggybacked : int;
+  events_handled : int;
+  events_dropped : int;
+}
+
+type result = { pkt_bytes : int; duration : Eventsim.Sim_time.t; points : point list }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

@@ -1,0 +1,20 @@
+(** E5 — Figure 3 / §4: aggregated shared registers; staleness versus
+    the idle-cycle supply (load, packet size, overspeed). *)
+
+type point = {
+  label : string;
+  clock_ns : float;
+  busy_fraction : float;
+  staleness_p50 : float;
+  staleness_p99 : float;
+  staleness_max : float;
+  read_error_mean : float;
+  read_error_max : float;
+  applied_ops : int;
+}
+
+type result = { points : point list }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

@@ -1,0 +1,21 @@
+(** E6 — the paper's §2 worked example: microburst culprit detection,
+    event-driven vs the Snappy-like baseline (state, latency,
+    accuracy). *)
+
+type variant_result = {
+  variant : string;
+  state_bits : int;
+  detected_slots : int list;
+  latencies_ns : float list;
+}
+
+type result = {
+  culprit_slots : int list;
+  event_driven : variant_result;
+  event_driven_aggregated_bits : int;
+  snappy : variant_result;
+}
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

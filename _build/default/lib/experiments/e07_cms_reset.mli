@@ -1,0 +1,17 @@
+(** E7 — §1/§3: periodic count-min-sketch reset via timer events vs the
+    control plane (reset lag, channel ops, heavy-hitter F1). *)
+
+type variant_result = {
+  variant : string;
+  mean_f1 : float;
+  resets : int;
+  reset_lag_mean_ns : float;
+  reset_lag_max_ns : float;
+  cp_ops : int;
+}
+
+type result = { timer : variant_result; control_plane : variant_result }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

@@ -1,0 +1,26 @@
+(** E8 — §3 Congestion Aware Forwarding: HULA on a leaf-spine fabric
+    with a degraded spine; probe-generation mechanisms and flowlet
+    switching compared. *)
+
+type variant_result = {
+  variant : string;
+  goodput_gbps : float;
+  offered_gbps : float;
+  probe_gap_mean_us : float;
+  probe_gap_std_us : float;
+  probes_delivered : int;
+  hop_changes : int;
+  degraded_spine_drops : int;
+  reordered : int;
+}
+
+type result = {
+  ecmp : variant_result;
+  event_driven : variant_result;
+  flowlet : variant_result;
+  cp_probes : variant_result;
+}
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

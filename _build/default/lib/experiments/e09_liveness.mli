@@ -1,0 +1,16 @@
+(** E9 — §5: neighbor liveness monitoring; failure detection latency of
+    data-plane echo+timeout vs control-plane probing. *)
+
+type variant_result = {
+  variant : string;
+  detection_latency_ns : float option;
+  probes_sent : int;
+  replies_heard : int;
+  notifications : int;
+}
+
+type result = { event_driven : variant_result; cp_driven : variant_result }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

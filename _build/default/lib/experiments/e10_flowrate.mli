@@ -1,0 +1,16 @@
+(** E10 — §5: time-windowed flow-rate measurement accuracy across
+    window configurations. *)
+
+type point = {
+  slice_us : float;
+  window_slices : int;
+  per_flow : (string * float * float) list;
+  nrmse : float;
+  rotations : int;
+}
+
+type result = { points : point list }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

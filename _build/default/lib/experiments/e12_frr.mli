@@ -1,0 +1,17 @@
+(** E12 — §3/§5: fast re-route; packets lost across a link failure with
+    link-status events vs control-plane polling. *)
+
+type variant_result = {
+  variant : string;
+  failover_latency_ns : float option;
+  sent : int;
+  received : int;
+  lost : int;
+  via_backup : int;
+}
+
+type result = { event_driven : variant_result; cp_polling : variant_result }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

@@ -1,0 +1,16 @@
+(** E13 — §3: token-bucket policing from timer events vs the
+    fixed-function srTCM extern; conformance error vs refill
+    granularity. *)
+
+type point = {
+  label : string;
+  accepted_rate_gbps : float;
+  error_vs_cir : float;
+  state_bits : int;
+}
+
+type result = { points : point list }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

@@ -1,0 +1,18 @@
+(** E14 — §3 In-Network Computing: NetCache-style caching with
+    timer-driven statistics decay across a workload shift. *)
+
+type variant_result = {
+  variant : string;
+  phase1_hit_ratio : float;
+  phase2_hit_ratio : float;
+  server_requests_phase1 : int;
+  server_requests_phase2 : int;
+  promotions : int;
+  evictions : int;
+}
+
+type result = { with_timers : variant_result; static : variant_result }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

@@ -1,0 +1,17 @@
+(** E15 — §6: native enqueue/dequeue events vs emulating them with
+    egress-to-ingress recirculation on a Tofino-like baseline. *)
+
+type variant_result = {
+  variant : string;
+  delivered : int;
+  admissions : int;
+  slots_per_packet : float;
+  signal_drops : int;
+  end_state_error_bytes : int;
+}
+
+type result = { native : variant_result; emulated : variant_result }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

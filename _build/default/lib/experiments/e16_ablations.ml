@@ -1,0 +1,248 @@
+(* E16 — ablations of the architecture's design choices.
+
+   Three knobs the paper leaves open (§4 "we plan to address these
+   questions in future work", and the prototype's fixed constants):
+
+   1. Aggregation drain scheduling: which side's pending updates get
+      each idle cycle. Strict priority keeps one signal fresh and
+      starves the other; round-robin balances — measured as per-side
+      staleness.
+   2. Carrier metadata width: how many events can piggyback on one
+      carrier. Narrow buses force more empty carriers (more pipeline
+      slots spent on events) and can drop events under load.
+   3. Event queue capacity in the merger: under saturation, small
+      queues shed events; larger ones trade memory for delivery. *)
+
+module Scheduler = Eventsim.Scheduler
+module Sim_time = Eventsim.Sim_time
+module Packet = Netcore.Packet
+module Event = Devents.Event
+module Arch = Evcore.Arch
+module Program = Evcore.Program
+module Event_switch = Evcore.Event_switch
+module Event_merger = Devents.Event_merger
+module Shared_register = Devents.Shared_register
+module Traffic = Workloads.Traffic
+
+(* --- part 1: drain policy --- *)
+
+type drain_row = {
+  policy_label : string;
+  enq_p99 : float;
+  deq_p99 : float;
+  total_applied : int;
+}
+
+let drive_line_rate ~seed ~pkt_bytes ~stop sw sched =
+  let rng = Stats.Rng.create ~seed in
+  for p = 0 to 3 do
+    Event_switch.set_port_tx sw ~port:p (fun _ -> ())
+  done;
+  ignore
+    (List.init 4 (fun port ->
+         Traffic.poisson ~sched ~rng:(Stats.Rng.split rng)
+           ~flow:
+             (Netcore.Flow.make
+                ~src:(Netcore.Ipv4_addr.host ~subnet:port 1)
+                ~dst:(Netcore.Ipv4_addr.host ~subnet:((port + 1) mod 4) 1)
+                ~src_port:port ~dst_port:80 ())
+           ~pkt_bytes
+           ~rate_pps:(10e9 /. (8. *. float_of_int pkt_bytes))
+           ~stop
+           ~send:(fun pkt -> Event_switch.inject sw ~port pkt)
+           ()))
+
+let run_drain_policy ~seed policy policy_label =
+  let sched = Scheduler.create () in
+  let config = Event_switch.default_config Arch.event_pisa_full in
+  let reg = ref None in
+  let program ctx =
+    let r =
+      Shared_register.create ~alloc:ctx.Program.alloc ~pipeline:ctx.Program.pipeline
+        ~mode:Shared_register.Aggregated ~drain_policy:policy ~name:"occ" ~entries:64
+        ~width:32 ()
+    in
+    reg := Some r;
+    Program.make ~name:"drain-ablation"
+      ~ingress:(fun _ctx pkt ->
+        let fid = pkt.Packet.uid land 63 in
+        pkt.Packet.meta.Packet.enq_meta.(0) <- fid;
+        pkt.Packet.meta.Packet.enq_meta.(1) <- Packet.len pkt;
+        pkt.Packet.meta.Packet.deq_meta.(0) <- fid;
+        pkt.Packet.meta.Packet.deq_meta.(1) <- Packet.len pkt;
+        Program.Forward ((pkt.Packet.meta.Packet.ingress_port + 1) mod 4))
+      ~enqueue:(fun _ctx ev ->
+        Shared_register.event_add r Shared_register.Enq_side ev.Event.meta.(0) ev.Event.meta.(1))
+      ~dequeue:(fun _ctx ev ->
+        Shared_register.event_add r Shared_register.Deq_side ev.Event.meta.(0)
+          (-ev.Event.meta.(1)))
+      ()
+  in
+  let sw = Event_switch.create ~sched ~config ~program () in
+  drive_line_rate ~seed ~pkt_bytes:64 ~stop:(Sim_time.us 100) sw sched;
+  Scheduler.run ~until:(Sim_time.us 120) sched;
+  let r = Option.get !reg in
+  let p99 side =
+    let h = Shared_register.side_staleness r side in
+    if Stats.Histogram.count h = 0 then 0. else Stats.Histogram.percentile h 0.99
+  in
+  {
+    policy_label;
+    enq_p99 = p99 Shared_register.Enq_side;
+    deq_p99 = p99 Shared_register.Deq_side;
+    total_applied = Shared_register.applied_ops r;
+  }
+
+(* --- part 2: carrier width --- *)
+
+type width_row = {
+  width : int;
+  piggybacked : int;
+  empty_carriers : int;
+  event_drops : int;
+  busy : float;
+}
+
+let run_carrier_width ~seed width =
+  let sched = Scheduler.create () in
+  let base = Event_switch.default_config Arch.event_pisa_full in
+  let config =
+    {
+      base with
+      Event_switch.merger_config =
+        { base.Event_switch.merger_config with Event_merger.max_events_per_carrier = width };
+    }
+  in
+  let spec, _ =
+    Apps.Microburst.program ~threshold_bytes:1_000_000
+      ~out_port:(fun pkt -> (pkt.Packet.meta.Packet.ingress_port + 1) mod 4)
+      ()
+  in
+  let sw = Event_switch.create ~sched ~config ~program:spec () in
+  drive_line_rate ~seed ~pkt_bytes:64 ~stop:(Sim_time.us 100) sw sched;
+  Scheduler.run ~until:(Sim_time.us 150) sched;
+  let merger = Event_switch.merger sw in
+  {
+    width;
+    piggybacked = Event_merger.piggybacked_events merger;
+    empty_carriers = Event_merger.empty_carriers merger;
+    event_drops =
+      List.fold_left (fun acc (_, n) -> acc + n) 0 (Event_merger.event_drops merger);
+    busy = Pisa.Pipeline.busy_fraction (Event_switch.pipeline sw);
+  }
+
+(* --- part 3: event queue capacity under saturation --- *)
+
+type capacity_row = { capacity : int; delivered_events : int; dropped_events : int }
+
+let run_queue_capacity ~seed capacity =
+  let sched = Scheduler.create () in
+  let base = Event_switch.default_config Arch.event_pisa_full in
+  let config =
+    {
+      base with
+      (* No overspeed: 16ns cycle against a 16.8ns min-packet arrival
+         gap leaves almost no slots for event carriers. *)
+      Event_switch.clock_period = Sim_time.ns 16;
+      merger_config =
+        { base.Event_switch.merger_config with Event_merger.event_queue_capacity = capacity };
+    }
+  in
+  let spec, _ =
+    Apps.Microburst.program ~threshold_bytes:1_000_000
+      ~out_port:(fun pkt -> (pkt.Packet.meta.Packet.ingress_port + 1) mod 4)
+      ()
+  in
+  let sw = Event_switch.create ~sched ~config ~program:spec () in
+  drive_line_rate ~seed ~pkt_bytes:64 ~stop:(Sim_time.us 100) sw sched;
+  Scheduler.run ~until:(Sim_time.us 150) sched;
+  let merger = Event_switch.merger sw in
+  {
+    capacity;
+    delivered_events =
+      Event_switch.handled sw Event.Buffer_enqueue + Event_switch.handled sw Event.Buffer_dequeue;
+    dropped_events =
+      List.fold_left (fun acc (_, n) -> acc + n) 0 (Event_merger.event_drops merger);
+  }
+
+type result = {
+  drains : drain_row list;
+  widths : width_row list;
+  capacities : capacity_row list;
+}
+
+let run ?(seed = 42) () =
+  {
+    drains =
+      [
+        run_drain_policy ~seed Shared_register.Round_robin "round-robin";
+        run_drain_policy ~seed Shared_register.Enq_first "enqueue-first";
+        run_drain_policy ~seed Shared_register.Deq_first "dequeue-first";
+      ];
+    widths = List.map (run_carrier_width ~seed) [ 1; 2; 4; 8 ];
+    capacities = List.map (run_queue_capacity ~seed) [ 8; 64; 512 ];
+  }
+
+let print r =
+  Report.section "E16 — ablations: drain scheduling, carrier width, event queues";
+  Report.note "1) Which side gets each idle cycle (per-side staleness p99, cycles):";
+  Report.table
+    ~headers:[ "drain policy"; "enq-side p99"; "deq-side p99"; "ops applied" ]
+    ~rows:
+      (List.map
+         (fun d ->
+           [ d.policy_label; Report.f1 d.enq_p99; Report.f1 d.deq_p99; string_of_int d.total_applied ])
+         r.drains);
+  Report.blank ();
+  Report.note "2) Events per carrier (metadata bus width), 4x10G 64B line rate:";
+  Report.table
+    ~headers:[ "width"; "piggybacked"; "empty carriers"; "event drops"; "pipe busy" ]
+    ~rows:
+      (List.map
+         (fun w ->
+           [
+             string_of_int w.width;
+             string_of_int w.piggybacked;
+             string_of_int w.empty_carriers;
+             string_of_int w.event_drops;
+             Report.pct (100. *. w.busy);
+           ])
+         r.widths);
+  Report.blank ();
+  Report.note "3) Merger event-queue capacity under pipeline saturation:";
+  Report.table
+    ~headers:[ "capacity"; "events delivered"; "events dropped" ]
+    ~rows:
+      (List.map
+         (fun c ->
+           [ string_of_int c.capacity; string_of_int c.delivered_events; string_of_int c.dropped_events ])
+         r.capacities);
+  Report.blank ();
+  (match r.drains with
+  | [ rr; enq_first; deq_first ] ->
+      Report.kv "strict priority starves the other side"
+        (if
+           enq_first.deq_p99 > 2. *. Float.max 1. enq_first.enq_p99
+           && deq_first.enq_p99 > 2. *. Float.max 1. deq_first.deq_p99
+         then "PASS"
+         else "FAIL");
+      Report.kv "round-robin balances the sides"
+        (if
+           Float.abs (rr.enq_p99 -. rr.deq_p99)
+           <= 0.5 *. Float.max 8. (Float.max rr.enq_p99 rr.deq_p99)
+         then "PASS"
+         else "FAIL")
+  | _ -> ());
+  (match (List.hd r.widths, List.nth r.widths (List.length r.widths - 1)) with
+  | narrow, wide ->
+      Report.kv "narrow metadata bus costs pipeline slots"
+        (if narrow.empty_carriers > wide.empty_carriers && narrow.busy > wide.busy then "PASS"
+         else "FAIL"));
+  match r.capacities with
+  | small :: _ ->
+      let large = List.nth r.capacities (List.length r.capacities - 1) in
+      Report.kv "bigger event queues shed less under saturation"
+        (if large.dropped_events < small.dropped_events then "PASS" else "FAIL")
+  | [] -> ()
+
+let name = "ablations"

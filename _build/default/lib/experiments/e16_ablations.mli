@@ -1,0 +1,30 @@
+(** E16 — ablations of design choices the paper leaves open:
+    aggregation drain scheduling, carrier metadata width, and merger
+    event-queue capacity. *)
+
+type drain_row = {
+  policy_label : string;
+  enq_p99 : float;
+  deq_p99 : float;
+  total_applied : int;
+}
+
+type width_row = {
+  width : int;
+  piggybacked : int;
+  empty_carriers : int;
+  event_drops : int;
+  busy : float;
+}
+
+type capacity_row = { capacity : int; delivered_events : int; dropped_events : int }
+
+type result = {
+  drains : drain_row list;
+  widths : width_row list;
+  capacities : capacity_row list;
+}
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

@@ -1,0 +1,17 @@
+(** E17 — Table 2 Network Management: swing-state-style data-plane
+    state migration triggered by a link event, vs control-plane
+    read/write migration. *)
+
+type variant_result = {
+  variant : string;
+  migration_time_ns : float option;
+  chunks : int;
+  state_error_pkts : int;
+  cp_ops : int;
+}
+
+type result = { event_driven : variant_result; cp_driven : variant_result }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

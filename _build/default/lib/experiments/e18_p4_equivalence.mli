@@ -1,0 +1,26 @@
+(** E18 — programming-model fidelity: the paper's [microburst.p4]
+    loaded through the P4-subset DSL must behave identically to the
+    hand-written OCaml implementation under a byte-identical recorded
+    workload (same flagged flows, same event counts, same state
+    footprint). *)
+
+type variant_result = {
+  variant : string;
+  culprit_slots : int list;
+  first_detection_time : int option;
+  enq_handled : int;
+  deq_handled : int;
+  state_bits : int;
+}
+
+type result = {
+  native : variant_result;
+  dsl : variant_result;
+  workload_packets : int;
+  native_flagged_flows : int list;
+  dsl_flagged_flows : int list;
+}
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

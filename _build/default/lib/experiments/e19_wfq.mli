@@ -1,0 +1,16 @@
+(** E19 — §3 Traffic Management: STFQ-over-PIFO programmable
+    scheduling from events; goodput ratios track configured weights,
+    FIFO ignores them. *)
+
+type point = {
+  label : string;
+  weight_ratio : float;
+  measured_ratio : float;
+  goodput_total_gbps : float;
+}
+
+type result = { points : point list }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

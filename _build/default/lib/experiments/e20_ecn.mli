@@ -1,0 +1,17 @@
+(** E20 — §3: multi-bit ECN marking; the receiver reads the
+    bottleneck's occupancy from event-maintained state stamped along
+    the path, vs classic 1-bit ECN. *)
+
+type variant_result = {
+  variant : string;
+  samples : (float * float) list;
+  marks_before_congestion : int;
+  correlation : float;
+  distinct_levels : int;
+}
+
+type result = { multibit : variant_result; single_bit : variant_result }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit
+val name : string

@@ -1,0 +1,13 @@
+(** The experiment registry: every reproduced table/figure experiment
+    by name, so the bench harness and the CLI share one list. *)
+
+type entry = {
+  name : string;  (** CLI name, e.g. "table3" *)
+  experiment_id : string;  (** e.g. "E3" *)
+  paper_artifact : string;  (** e.g. "Table 3" *)
+  run_and_print : seed:int -> unit;
+}
+
+val all : entry list
+val find : string -> entry option
+val names : unit -> string list

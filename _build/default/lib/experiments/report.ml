@@ -1,0 +1,36 @@
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let kv key value = Printf.printf "  %-36s %s\n" (key ^ ":") value
+
+let table ~headers ~rows =
+  let all = headers :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let print_row row =
+    print_string "  ";
+    List.iteri (fun i cell -> Printf.printf "%-*s  " widths.(i) cell) row;
+    print_newline ()
+  in
+  print_row headers;
+  print_string "  ";
+  Array.iter (fun w -> print_string (String.make w '-' ^ "  ")) widths;
+  print_newline ();
+  List.iter print_row rows
+
+let note s = Printf.printf "  %s\n" s
+let blank () = print_newline ()
+let pct x = Printf.sprintf "%.1f%%" x
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+
+let ns x =
+  if Float.abs x >= 1e6 then Printf.sprintf "%.2fms" (x /. 1e6)
+  else if Float.abs x >= 1e3 then Printf.sprintf "%.2fus" (x /. 1e3)
+  else Printf.sprintf "%.0fns" x
+
+let time_ps t = ns (float_of_int t /. 1e3)

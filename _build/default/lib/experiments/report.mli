@@ -1,0 +1,23 @@
+(** Plain-text table rendering for experiment output, shared by the
+    bench harness and the CLI. *)
+
+val section : string -> unit
+(** Underlined heading. *)
+
+val kv : string -> string -> unit
+(** Aligned "key: value" line. *)
+
+val table : headers:string list -> rows:string list list -> unit
+(** Column-aligned table with a header rule. *)
+
+val note : string -> unit
+val blank : unit -> unit
+val pct : float -> string
+val f2 : float -> string
+(** Two-decimal float. *)
+
+val f1 : float -> string
+val ns : float -> string
+(** Nanoseconds with adaptive unit. *)
+
+val time_ps : int -> string

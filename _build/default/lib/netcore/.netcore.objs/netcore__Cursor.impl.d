@@ -1,0 +1,1 @@
+lib/netcore/cursor.ml: Bytes Int32

@@ -1,0 +1,1 @@
+lib/netcore/ethernet.ml: Cursor Format Mac_addr

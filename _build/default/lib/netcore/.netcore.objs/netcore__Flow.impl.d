@@ -1,0 +1,1 @@
+lib/netcore/flow.ml: Format Hashes Hashtbl Ipv4_addr Stdlib

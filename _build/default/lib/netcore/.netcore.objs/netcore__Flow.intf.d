@@ -1,0 +1,1 @@
+lib/netcore/flow.mli: Format Hashtbl Ipv4_addr

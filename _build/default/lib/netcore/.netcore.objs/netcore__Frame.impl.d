@@ -1,0 +1,1 @@
+lib/netcore/frame.ml: Cursor Ethernet Ipv4 Packet Tcp Udp

@@ -1,0 +1,1 @@
+lib/netcore/frame.mli: Packet

@@ -1,0 +1,1 @@
+lib/netcore/hashes.ml: Array Bytes Int64 Lazy

@@ -1,0 +1,1 @@
+lib/netcore/ipv4.ml: Bytes Cursor Format Ipv4_addr

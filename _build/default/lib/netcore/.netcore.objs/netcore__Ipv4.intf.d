@@ -1,0 +1,1 @@
+lib/netcore/ipv4.mli: Cursor Format Ipv4_addr

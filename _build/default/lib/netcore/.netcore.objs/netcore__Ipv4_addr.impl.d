@@ -1,0 +1,1 @@
+lib/netcore/ipv4_addr.ml: Format Int Printf String

@@ -1,0 +1,1 @@
+lib/netcore/mac_addr.ml: Format Int List Printf String

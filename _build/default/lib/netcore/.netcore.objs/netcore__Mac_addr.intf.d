@@ -1,0 +1,1 @@
+lib/netcore/mac_addr.mli: Format

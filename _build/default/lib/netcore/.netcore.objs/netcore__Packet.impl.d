@@ -1,0 +1,1 @@
+lib/netcore/packet.ml: Array Ethernet Flow Format Ipv4 Ipv4_addr Mac_addr Tcp Udp

@@ -1,0 +1,1 @@
+lib/netcore/packet.mli: Ethernet Flow Format Ipv4 Ipv4_addr Tcp Udp

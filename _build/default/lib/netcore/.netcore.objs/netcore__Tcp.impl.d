@@ -1,0 +1,1 @@
+lib/netcore/tcp.ml: Cursor Format

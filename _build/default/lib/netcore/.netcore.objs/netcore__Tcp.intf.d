@@ -1,0 +1,1 @@
+lib/netcore/tcp.mli: Cursor Format

@@ -1,0 +1,1 @@
+lib/netcore/udp.mli: Cursor Format

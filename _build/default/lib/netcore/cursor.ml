@@ -1,0 +1,71 @@
+exception Truncated
+
+type writer = { buf : bytes; mutable wpos : int }
+type reader = { src : bytes; mutable rpos : int }
+
+let writer n = { buf = Bytes.make n '\000'; wpos = 0 }
+let contents w = w.buf
+let pos_w w = w.wpos
+
+let check_w w n = if w.wpos + n > Bytes.length w.buf then raise Truncated
+
+let u8 w v =
+  check_w w 1;
+  Bytes.set_uint8 w.buf w.wpos (v land 0xff);
+  w.wpos <- w.wpos + 1
+
+let u16 w v =
+  check_w w 2;
+  Bytes.set_uint16_be w.buf w.wpos (v land 0xffff);
+  w.wpos <- w.wpos + 2
+
+let u32 w v =
+  check_w w 4;
+  Bytes.set_int32_be w.buf w.wpos (Int32.of_int (v land 0xffffffff));
+  w.wpos <- w.wpos + 4
+
+let blit w src =
+  let n = Bytes.length src in
+  check_w w n;
+  Bytes.blit src 0 w.buf w.wpos n;
+  w.wpos <- w.wpos + n
+
+let skip_w w n =
+  check_w w n;
+  w.wpos <- w.wpos + n
+
+let reader src = { src; rpos = 0 }
+let reader_at src pos = { src; rpos = pos }
+let pos_r r = r.rpos
+let remaining r = Bytes.length r.src - r.rpos
+let check_r r n = if r.rpos + n > Bytes.length r.src then raise Truncated
+
+let read_u8 r =
+  check_r r 1;
+  let v = Bytes.get_uint8 r.src r.rpos in
+  r.rpos <- r.rpos + 1;
+  v
+
+let read_u16 r =
+  check_r r 2;
+  let v = Bytes.get_uint16_be r.src r.rpos in
+  r.rpos <- r.rpos + 2;
+  v
+
+let read_u32 r =
+  check_r r 4;
+  let v = Int32.to_int (Bytes.get_int32_be r.src r.rpos) land 0xffffffff in
+  r.rpos <- r.rpos + 4;
+  v
+
+let read_bytes r n =
+  check_r r n;
+  let b = Bytes.sub r.src r.rpos n in
+  r.rpos <- r.rpos + n;
+  b
+
+let skip_r r n =
+  check_r r n;
+  r.rpos <- r.rpos + n
+
+let buffer r = r.src

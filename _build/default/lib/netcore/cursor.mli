@@ -1,0 +1,32 @@
+(** Big-endian byte-level reader/writer used by header
+    serialization/parsing. Bounds errors raise [Truncated]. *)
+
+exception Truncated
+
+type writer
+type reader
+
+val writer : int -> writer
+(** A writer over a fresh zeroed buffer of the given size. *)
+
+val contents : writer -> bytes
+val pos_w : writer -> int
+val u8 : writer -> int -> unit
+val u16 : writer -> int -> unit
+val u32 : writer -> int -> unit
+val blit : writer -> bytes -> unit
+val skip_w : writer -> int -> unit
+(** Advance over already-zeroed space. *)
+
+val reader : bytes -> reader
+val reader_at : bytes -> int -> reader
+val pos_r : reader -> int
+val remaining : reader -> int
+val read_u8 : reader -> int
+val read_u16 : reader -> int
+val read_u32 : reader -> int
+val read_bytes : reader -> int -> bytes
+val skip_r : reader -> int -> unit
+
+val buffer : reader -> bytes
+(** The underlying buffer (for checksum verification over a span). *)

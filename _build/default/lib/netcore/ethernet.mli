@@ -1,0 +1,17 @@
+(** Ethernet II header. *)
+
+type t = { dst : Mac_addr.t; src : Mac_addr.t; ethertype : int }
+
+val size : int
+(** 14 bytes (no VLAN tag). *)
+
+val ethertype_ipv4 : int
+val ethertype_event : int
+(** Private ethertype used by the simulated architecture for internally
+    generated control/event packets (probes, echoes, reports). *)
+
+val make : dst:Mac_addr.t -> src:Mac_addr.t -> ethertype:int -> t
+val write : Cursor.writer -> t -> unit
+val read : Cursor.reader -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+let to_bytes (p : Packet.t) =
+  let w = Cursor.writer (Packet.len p) in
+  Ethernet.write w p.eth;
+  (match p.ip with Some ip -> Ipv4.write w ip | None -> ());
+  (match p.l4 with
+  | Packet.Udp u -> Udp.write w u
+  | Packet.Tcp t -> Tcp.write w t
+  | Packet.No_l4 -> ());
+  Cursor.skip_w w p.payload_len;
+  Cursor.contents w
+
+let of_bytes buf =
+  let r = Cursor.reader buf in
+  let eth = Ethernet.read r in
+  if eth.Ethernet.ethertype = Ethernet.ethertype_ipv4 then begin
+    let ip = Ipv4.read r in
+    let l4, l4_len =
+      if ip.Ipv4.proto = Ipv4.proto_udp then (Packet.Udp (Udp.read r), Udp.size)
+      else if ip.Ipv4.proto = Ipv4.proto_tcp then (Packet.Tcp (Tcp.read r), Tcp.size)
+      else (Packet.No_l4, 0)
+    in
+    let payload_len = ip.Ipv4.total_len - Ipv4.size - l4_len in
+    if payload_len < 0 then failwith "Frame.of_bytes: inconsistent lengths";
+    Packet.create ~ip ~l4 ~payload_len ~eth ()
+  end
+  else
+    let payload_len = Cursor.remaining r in
+    Packet.create ~payload_len ~eth ()
+
+let roundtrip_equal (a : Packet.t) (b : Packet.t) =
+  Ethernet.equal a.eth b.eth
+  && (match (a.ip, b.ip) with
+     | Some x, Some y -> Ipv4.equal x y
+     | None, None -> true
+     | Some _, None | None, Some _ -> false)
+  && (match (a.l4, b.l4) with
+     | Packet.Udp x, Packet.Udp y -> Udp.equal x y
+     | Packet.Tcp x, Packet.Tcp y -> Tcp.equal x y
+     | Packet.No_l4, Packet.No_l4 -> true
+     | (Packet.Udp _ | Packet.Tcp _ | Packet.No_l4), _ -> false)
+  && a.payload_len = b.payload_len

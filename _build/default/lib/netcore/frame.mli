@@ -1,0 +1,16 @@
+(** Byte-level serialization of packets.
+
+    [to_bytes] produces a full wire frame; application payloads
+    (extensible variants) serialize as zero bytes of [payload_len]
+    because the event architecture never needs their wire form — only
+    workload replay and tests do. [of_bytes] parses headers back and
+    returns the payload as [Packet.Opaque]. *)
+
+val to_bytes : Packet.t -> bytes
+val of_bytes : bytes -> Packet.t
+(** Raises [Failure] on malformed input (bad version, bad checksum) and
+    [Cursor.Truncated] on short input. *)
+
+val roundtrip_equal : Packet.t -> Packet.t -> bool
+(** Header-level equality ignoring uid/payload constructor — what a
+    serialize/parse cycle preserves. *)

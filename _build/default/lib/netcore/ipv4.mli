@@ -1,0 +1,38 @@
+(** IPv4 header (no options). *)
+
+type t = {
+  dscp : int; (* 6 bits *)
+  ecn : int; (* 2 bits *)
+  total_len : int; (* header + payload, bytes *)
+  ident : int;
+  ttl : int;
+  proto : int;
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+}
+
+val size : int
+(** 20 bytes. *)
+
+val proto_tcp : int
+val proto_udp : int
+
+val make :
+  ?dscp:int -> ?ecn:int -> ?ident:int -> ?ttl:int -> proto:int ->
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t -> payload_len:int -> unit -> t
+
+val checksum : bytes -> off:int -> len:int -> int
+(** Internet checksum over [len] bytes at [off]. *)
+
+val write : Cursor.writer -> t -> unit
+(** Writes the header including a correct checksum. *)
+
+val read : Cursor.reader -> t
+(** Raises [Failure] if the checksum does not verify. *)
+
+val decrement_ttl : t -> t option
+(** [None] when the TTL would reach zero (packet must be dropped). *)
+
+val with_ecn : t -> int -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+type l4 = Udp of Udp.t | Tcp of Tcp.t | No_l4
+type payload = ..
+type payload += Opaque
+
+type meta = {
+  mutable ingress_port : int;
+  mutable flow_id : int;
+  mutable priority : int;
+  mutable qid : int;
+  mutable mark : int;
+  enq_meta : int array;
+  deq_meta : int array;
+}
+
+type t = {
+  uid : int;
+  eth : Ethernet.t;
+  ip : Ipv4.t option;
+  l4 : l4;
+  mutable payload : payload;
+  payload_len : int;
+  created_at : int;
+  meta : meta;
+}
+
+let meta_slots = 4
+let next_uid = ref 0
+
+let fresh_meta () =
+  {
+    ingress_port = -1;
+    flow_id = 0;
+    priority = 0;
+    qid = 0;
+    mark = 0;
+    enq_meta = Array.make meta_slots 0;
+    deq_meta = Array.make meta_slots 0;
+  }
+
+let create ?ip ?(l4 = No_l4) ?(payload = Opaque) ?(payload_len = 0) ?(created_at = 0) ~eth () =
+  incr next_uid;
+  { uid = !next_uid; eth; ip; l4; payload; payload_len; created_at; meta = fresh_meta () }
+
+let udp_packet ?(created_at = 0) ?(payload = Opaque) ~src ~dst ~src_port ~dst_port ~payload_len () =
+  let udp = Udp.make ~src_port ~dst_port ~payload_len in
+  let ip =
+    Ipv4.make ~proto:Ipv4.proto_udp ~src ~dst ~payload_len:(Udp.size + payload_len) ()
+  in
+  let eth =
+    Ethernet.make
+      ~dst:(Mac_addr.host (Ipv4_addr.to_int dst land 0xffff))
+      ~src:(Mac_addr.host (Ipv4_addr.to_int src land 0xffff))
+      ~ethertype:Ethernet.ethertype_ipv4
+  in
+  create ~ip ~l4:(Udp udp) ~payload ~payload_len ~created_at ~eth ()
+
+let l4_size = function Udp _ -> Udp.size | Tcp _ -> Tcp.size | No_l4 -> 0
+
+let len t =
+  Ethernet.size + (match t.ip with Some _ -> Ipv4.size | None -> 0) + l4_size t.l4 + t.payload_len
+
+let flow t =
+  match t.ip with
+  | None -> None
+  | Some ip ->
+      let src_port, dst_port =
+        match t.l4 with
+        | Udp u -> (u.Udp.src_port, u.Udp.dst_port)
+        | Tcp tc -> (tc.Tcp.src_port, tc.Tcp.dst_port)
+        | No_l4 -> (0, 0)
+      in
+      Some (Flow.make ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst ~proto:ip.Ipv4.proto ~src_port ~dst_port ())
+
+let flow_exn t =
+  match flow t with Some f -> f | None -> invalid_arg "Packet.flow_exn: no IP header"
+
+let with_meta_of dst src =
+  dst.meta.ingress_port <- src.meta.ingress_port;
+  dst.meta.flow_id <- src.meta.flow_id;
+  dst.meta.priority <- src.meta.priority;
+  dst.meta.qid <- src.meta.qid;
+  dst.meta.mark <- src.meta.mark;
+  Array.blit src.meta.enq_meta 0 dst.meta.enq_meta 0 meta_slots;
+  Array.blit src.meta.deq_meta 0 dst.meta.deq_meta 0 meta_slots
+
+let clone_for_forward ?eth ?ip t =
+  incr next_uid;
+  let copy =
+    {
+      t with
+      uid = !next_uid;
+      eth = (match eth with Some e -> e | None -> t.eth);
+      ip = (match ip with Some i -> Some i | None -> t.ip);
+      meta = fresh_meta ();
+    }
+  in
+  with_meta_of copy t;
+  copy
+
+let pp ppf t =
+  match t.ip with
+  | Some ip -> Format.fprintf ppf "pkt#%d %a len=%d" t.uid Ipv4.pp ip (len t)
+  | None -> Format.fprintf ppf "pkt#%d %a len=%d" t.uid Ethernet.pp t.eth (len t)

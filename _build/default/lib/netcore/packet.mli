@@ -1,0 +1,72 @@
+(** The simulator's packet representation.
+
+    Headers are structured records (serializable byte-for-byte via
+    {!Frame}); application payloads are an extensible variant so that
+    each application can define its own in-network message types
+    (probes, echoes, cache requests) without [netcore] knowing about
+    them. [payload_len] is authoritative for wire length regardless of
+    the payload constructor. *)
+
+type l4 = Udp of Udp.t | Tcp of Tcp.t | No_l4
+
+type payload = ..
+type payload += Opaque
+(** Uninterpreted payload bytes (all zeros when serialized). *)
+
+(** Per-packet metadata bus. [enq_meta] and [deq_meta] are the slots the
+    paper's ingress logic fills so that enqueue/dequeue event handlers
+    receive per-packet context; 4 slots of 32 bits each, matching a
+    narrow hardware metadata bus. *)
+type meta = {
+  mutable ingress_port : int;
+  mutable flow_id : int;
+  mutable priority : int;  (** PIFO rank / scheduling priority. *)
+  mutable qid : int;  (** output queue id chosen by ingress *)
+  mutable mark : int;  (** application marking, e.g. multi-bit ECN *)
+  enq_meta : int array;
+  deq_meta : int array;
+}
+
+type t = {
+  uid : int;  (** unique per-process packet id *)
+  eth : Ethernet.t;
+  ip : Ipv4.t option;
+  l4 : l4;
+  mutable payload : payload;
+      (** mutable: data-plane programs rewrite payloads in flight
+          (turning an echo request into a reply, stamping telemetry),
+          as P4 programs rewrite headers *)
+  payload_len : int;
+  created_at : int;  (** creation timestamp, ps *)
+  meta : meta;
+}
+
+val meta_slots : int
+(** Number of 32-bit slots in [enq_meta]/[deq_meta] (4). *)
+
+val create :
+  ?ip:Ipv4.t -> ?l4:l4 -> ?payload:payload -> ?payload_len:int -> ?created_at:int ->
+  eth:Ethernet.t -> unit -> t
+
+val udp_packet :
+  ?created_at:int -> ?payload:payload -> src:Ipv4_addr.t -> dst:Ipv4_addr.t ->
+  src_port:int -> dst_port:int -> payload_len:int -> unit -> t
+(** Convenience constructor for the common workload packet, with MACs
+    derived from the addresses. *)
+
+val len : t -> int
+(** Wire length in bytes (headers + payload). *)
+
+val flow : t -> Flow.t option
+(** Five-tuple, when the packet has an IP header. *)
+
+val flow_exn : t -> Flow.t
+
+val with_meta_of : t -> t -> unit
+(** [with_meta_of dst src] copies the metadata bus of [src] into [dst]
+    (used when rewriting headers while forwarding). *)
+
+val clone_for_forward : ?eth:Ethernet.t -> ?ip:Ipv4.t -> t -> t
+(** A copy with a fresh uid sharing payload, for multicast fan-out. *)
+
+val pp : Format.formatter -> t -> unit

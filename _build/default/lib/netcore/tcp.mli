@@ -1,0 +1,26 @@
+(** TCP header (no options; the simulator does not run a TCP stack, but
+    workloads can mark flows as TCP so five-tuple handling and parsing
+    are exercised end to end). *)
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack : int;
+  flags : int; (* low 9 bits: NS CWR ECE URG ACK PSH RST SYN FIN *)
+  window : int;
+}
+
+val size : int
+val flag_syn : int
+val flag_ack : int
+val flag_fin : int
+val flag_rst : int
+
+val make :
+  src_port:int -> dst_port:int -> ?seq:int -> ?ack:int -> ?flags:int -> ?window:int -> unit -> t
+
+val write : Cursor.writer -> t -> unit
+val read : Cursor.reader -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

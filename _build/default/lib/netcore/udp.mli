@@ -1,0 +1,11 @@
+(** UDP header (checksum left zero: legal for IPv4 and what most
+    switch-centric simulations do). *)
+
+type t = { src_port : int; dst_port : int; length : int }
+
+val size : int
+val make : src_port:int -> dst_port:int -> payload_len:int -> t
+val write : Cursor.writer -> t -> unit
+val read : Cursor.reader -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

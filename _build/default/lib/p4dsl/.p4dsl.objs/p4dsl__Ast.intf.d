@@ -1,0 +1,1 @@
+lib/p4dsl/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/p4dsl/interp.ml: Ast Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/p4dsl/lexer.ml: Ast Buffer List Printf String

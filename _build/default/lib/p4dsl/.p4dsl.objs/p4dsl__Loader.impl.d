@@ -1,0 +1,1 @@
+lib/p4dsl/loader.ml: Array Ast Devents Evcore Eventsim Hashtbl Interp List Netcore Option Parser Pisa Printf String

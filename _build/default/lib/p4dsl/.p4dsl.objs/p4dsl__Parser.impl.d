@@ -1,0 +1,1 @@
+lib/p4dsl/parser.ml: Ast Hashtbl Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/p4dsl/printer.mli: Ast

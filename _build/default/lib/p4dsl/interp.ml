@@ -1,0 +1,117 @@
+open Ast
+
+exception Runtime_error of string * Ast.position option
+
+type env = {
+  consts : (string, int) Hashtbl.t;
+  locals : (string, local) Hashtbl.t;
+  get_field : string list -> Ast.position -> int;
+  set_field : string list -> int -> Ast.position -> unit;
+  reg_read : target:string -> index:int -> Ast.position -> int;
+  reg_write : target:string -> index:int -> value:int -> Ast.position -> unit;
+  reg_add : target:string -> index:int -> delta:int -> Ast.position -> unit;
+  builtin : name:string -> args:arg list -> Ast.position -> unit;
+  func : name:string -> args:int list -> Ast.position -> int;
+}
+
+and local = { mutable value : int; mask : int }
+and arg = Num of int | Str of string | Dest of Ast.lvalue
+
+let err ?pos msg = raise (Runtime_error (msg, pos))
+
+let mask_of_typ = function
+  | Bit n when n >= 62 -> max_int
+  | Bit n -> (1 lsl n) - 1
+  | Bool -> 1
+
+let bool_of_int v = v <> 0
+let int_of_bool b = if b then 1 else 0
+
+let rec eval_expr env expr =
+  match expr with
+  | Int n -> n
+  | Bool_lit b -> int_of_bool b
+  | String_lit _ -> err "a string is not a value in this context"
+  | Path [ x ] when Hashtbl.mem env.locals x -> (Hashtbl.find env.locals x).value
+  | Path [ x ] when Hashtbl.mem env.consts x -> Hashtbl.find env.consts x
+  | Path p -> env.get_field p { line = 0; col = 0 }
+  | Unop (Not, e) -> int_of_bool (not (bool_of_int (eval_expr env e)))
+  | Unop (BitNot, e) -> lnot (eval_expr env e) land max_int
+  | Unop (Neg, e) -> -eval_expr env e
+  | Binop (And, a, b) ->
+      int_of_bool (bool_of_int (eval_expr env a) && bool_of_int (eval_expr env b))
+  | Binop (Or, a, b) ->
+      int_of_bool (bool_of_int (eval_expr env a) || bool_of_int (eval_expr env b))
+  | Binop (op, a, b) -> (
+      let x = eval_expr env a and y = eval_expr env b in
+      match op with
+      | Add -> x + y
+      | Sub -> x - y
+      | Mul -> x * y
+      | Div -> if y = 0 then err "division by zero" else x / y
+      | Mod -> if y = 0 then err "modulo by zero" else x mod y
+      | BitAnd -> x land y
+      | BitOr -> x lor y
+      | BitXor -> x lxor y
+      | Shl -> (x lsl min 61 y) land max_int
+      | Shr -> x lsr min 61 y
+      | Concat -> ((x lsl 32) lor (y land 0xffffffff)) land max_int
+      | Eq -> int_of_bool (x = y)
+      | Neq -> int_of_bool (x <> y)
+      | Lt -> int_of_bool (x < y)
+      | Le -> int_of_bool (x <= y)
+      | Gt -> int_of_bool (x > y)
+      | Ge -> int_of_bool (x >= y)
+      | And | Or -> assert false)
+  | Call (name, args) ->
+      let vals = List.map (eval_expr env) args in
+      env.func ~name ~args:vals { line = 0; col = 0 }
+
+let assign env lvalue v pos =
+  match lvalue with
+  | [ x ] when Hashtbl.mem env.locals x ->
+      let l = Hashtbl.find env.locals x in
+      l.value <- v land l.mask
+  | [ x ] when Hashtbl.mem env.consts x ->
+      err ~pos (Printf.sprintf "cannot assign to constant %s" x)
+  | p -> env.set_field p v pos
+
+let rec exec_stmt env stmt =
+  match stmt with
+  | Declare { typ; name; init; pos } ->
+      if Hashtbl.mem env.locals name then
+        err ~pos (Printf.sprintf "duplicate local %s" name);
+      let mask = mask_of_typ typ in
+      let value = match init with None -> 0 | Some e -> eval_expr env e land mask in
+      Hashtbl.replace env.locals name { value; mask }
+  | Assign { lvalue; expr; pos } -> assign env lvalue (eval_expr env expr) pos
+  | If { cond; then_; else_; _ } ->
+      if bool_of_int (eval_expr env cond) then exec_block env then_ else exec_block env else_
+  | Method_call { target; meth; args; pos } -> (
+      match (meth, args) with
+      | "read", [ idx; Path dst ] ->
+          let v = env.reg_read ~target ~index:(eval_expr env idx) pos in
+          assign env dst v pos
+      | "read", _ -> err ~pos "read expects (index, destination)"
+      | "write", [ idx; v ] ->
+          env.reg_write ~target ~index:(eval_expr env idx) ~value:(eval_expr env v) pos
+      | "write", _ -> err ~pos "write expects (index, value)"
+      | "add", [ idx; d ] ->
+          env.reg_add ~target ~index:(eval_expr env idx) ~delta:(eval_expr env d) pos
+      | "add", _ -> err ~pos "add expects (index, delta)"
+      | m, _ -> err ~pos (Printf.sprintf "unknown register method %s" m))
+  | Builtin_call { name; args; pos } ->
+      let to_arg = function
+        | String_lit s -> Str s
+        | e -> Num (eval_expr env e)
+      in
+      (* For hash(data, dst) only the last argument is a destination. *)
+      let args =
+        match (name, args) with
+        | "hash", [ data; Path dst ] -> [ Num (eval_expr env data); Dest dst ]
+        | "hash", _ -> err ~pos "hash expects (data, destination)"
+        | _ -> List.map to_arg args
+      in
+      env.builtin ~name ~args pos
+
+and exec_block env stmts = List.iter (exec_stmt env) stmts

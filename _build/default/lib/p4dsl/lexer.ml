@@ -1,0 +1,242 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LANGLE
+  | RANGLE
+  | LE
+  | GE
+  | EQEQ
+  | NEQ
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | ANDAND
+  | OROR
+  | SHL
+  | SHR
+  | CONCAT
+  | DOT
+  | COMMA
+  | SEMI
+  | EOF
+
+type lexed = { token : token; pos : Ast.position }
+
+exception Lex_error of string * Ast.position
+
+type state = { src : string; mutable i : int; mutable line : int; mutable col : int }
+
+let peek st k = if st.i + k < String.length st.src then Some st.src.[st.i + k] else None
+
+let advance st =
+  (match peek st 0 with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.i <- st.i + 1
+
+let pos st = { Ast.line = st.line; col = st.col }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws st =
+  match peek st 0 with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '/' when peek st 1 = Some '/' ->
+      let rec to_eol () =
+        match peek st 0 with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws st
+  | Some '/' when peek st 1 = Some '*' ->
+      let start = pos st in
+      advance st;
+      advance st;
+      let rec to_close () =
+        match (peek st 0, peek st 1) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> raise (Lex_error ("unterminated block comment", start))
+        | Some _, _ ->
+            advance st;
+            to_close ()
+      in
+      to_close ();
+      skip_ws st
+  | Some _ | None -> ()
+
+let lex_ident st =
+  let start = st.i in
+  while (match peek st 0 with Some c -> is_ident c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.i - start)
+
+let lex_int st p =
+  let start = st.i in
+  if peek st 0 = Some '0' && (peek st 1 = Some 'x' || peek st 1 = Some 'X') then begin
+    advance st;
+    advance st;
+    while
+      match peek st 0 with
+      | Some c -> is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+      | None -> false
+    do
+      advance st
+    done
+  end
+  else
+    while
+      (* Underscores as digit separators, e.g. 512_000. *)
+      match peek st 0 with Some c -> is_digit c || c = '_' | None -> false
+    do
+      advance st
+    done;
+  let raw = String.sub st.src start (st.i - start) in
+  let cleaned = String.concat "" (String.split_on_char '_' raw) in
+  match int_of_string_opt cleaned with
+  | Some v -> v
+  | None -> raise (Lex_error (Printf.sprintf "bad integer literal %S" raw, p))
+
+let lex_string st p =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st 0 with
+    | Some '"' -> advance st
+    | None -> raise (Lex_error ("unterminated string", p))
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let tokenize src =
+  let st = { src; i = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let emit token p = out := { token; pos = p } :: !out in
+  let rec go () =
+    skip_ws st;
+    let p = pos st in
+    match peek st 0 with
+    | None -> emit EOF p
+    | Some c ->
+        (if is_ident_start c then
+           match lex_ident st with
+           | "true" -> emit (IDENT "true") p
+           | id -> emit (IDENT id) p
+         else if is_digit c then emit (INT (lex_int st p)) p
+         else if c = '"' then emit (STRING (lex_string st p)) p
+         else begin
+           let two a b tok =
+             if peek st 0 = Some a && peek st 1 = Some b then begin
+               advance st;
+               advance st;
+               emit tok p;
+               true
+             end
+             else false
+           in
+           if two '+' '+' CONCAT then ()
+           else if two '<' '<' SHL then ()
+           else if two '>' '>' SHR then ()
+           else if two '<' '=' LE then ()
+           else if two '>' '=' GE then ()
+           else if two '=' '=' EQEQ then ()
+           else if two '!' '=' NEQ then ()
+           else if two '&' '&' ANDAND then ()
+           else if two '|' '|' OROR then ()
+           else begin
+             advance st;
+             let tok =
+               match c with
+               | '(' -> LPAREN
+               | ')' -> RPAREN
+               | '{' -> LBRACE
+               | '}' -> RBRACE
+               | '<' -> LANGLE
+               | '>' -> RANGLE
+               | '=' -> ASSIGN
+               | '+' -> PLUS
+               | '-' -> MINUS
+               | '*' -> STAR
+               | '/' -> SLASH
+               | '%' -> PERCENT
+               | '&' -> AMP
+               | '|' -> PIPE
+               | '^' -> CARET
+               | '~' -> TILDE
+               | '!' -> BANG
+               | '.' -> DOT
+               | ',' -> COMMA
+               | ';' -> SEMI
+               | c -> raise (Lex_error (Printf.sprintf "illegal character %C" c, p))
+             in
+             emit tok p
+           end
+         end);
+        if (match !out with { token = EOF; _ } :: _ -> false | _ -> true) then go ()
+  in
+  go ();
+  List.rev !out
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | STRING s -> Printf.sprintf "string %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LANGLE -> "'<'"
+  | RANGLE -> "'>'"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | EQEQ -> "'=='"
+  | NEQ -> "'!='"
+  | ASSIGN -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | AMP -> "'&'"
+  | PIPE -> "'|'"
+  | CARET -> "'^'"
+  | TILDE -> "'~'"
+  | BANG -> "'!'"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | SHL -> "'<<'"
+  | SHR -> "'>>'"
+  | CONCAT -> "'++'"
+  | DOT -> "'.'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | EOF -> "end of input"

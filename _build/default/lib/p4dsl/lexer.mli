@@ -1,0 +1,46 @@
+(** Hand-written lexer for the P4 subset. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LANGLE  (** [<] — also the comparison operator; the parser decides *)
+  | RANGLE
+  | LE
+  | GE
+  | EQEQ
+  | NEQ
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | ANDAND
+  | OROR
+  | SHL
+  | SHR
+  | CONCAT  (** [++] *)
+  | DOT
+  | COMMA
+  | SEMI
+  | EOF
+
+type lexed = { token : token; pos : Ast.position }
+
+exception Lex_error of string * Ast.position
+
+val tokenize : string -> lexed list
+(** Lexes the whole source ([//] line and [/* */] block comments are
+    skipped); raises [Lex_error] on an illegal character. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,439 @@
+module Packet = Netcore.Packet
+module Event = Devents.Event
+module Program = Evcore.Program
+module Shared_register = Devents.Shared_register
+
+exception Load_error of string
+
+type reg_binding =
+  | Shared of Shared_register.t
+  | Plain of Pisa.Register_array.t
+
+type decision_cell = { mutable decision : Program.decision option; mutable egress_drop : bool }
+
+(* Which aggregation side an event control's writes land on. *)
+let side_of_control = function
+  | "Enqueue" -> Shared_register.Enq_side
+  | _ -> Shared_register.Deq_side
+
+let known_controls =
+  [
+    "Ingress"; "Recirculated"; "Generated"; "Egress"; "Enqueue"; "Dequeue"; "Overflow";
+    "Underflow"; "Transmitted"; "Timer"; "LinkChange"; "ControlPlane"; "UserEvent";
+  ]
+
+(* --- field environments --- *)
+
+let packet_fields (pkt : Packet.t) path =
+  let ip () =
+    match pkt.Packet.ip with
+    | Some ip -> ip
+    | None -> raise (Interp.Runtime_error ("packet has no IP header", None))
+  in
+  let l4_ports () =
+    match pkt.Packet.l4 with
+    | Packet.Udp u -> (u.Netcore.Udp.src_port, u.Netcore.Udp.dst_port)
+    | Packet.Tcp t -> (t.Netcore.Tcp.src_port, t.Netcore.Tcp.dst_port)
+    | Packet.No_l4 -> (0, 0)
+  in
+  match path with
+  | [ ("pkt" | "hdr"); "len" ] -> Some (Packet.len pkt)
+  | [ ("pkt" | "hdr"); "ingress_port" ] -> Some pkt.Packet.meta.Packet.ingress_port
+  | [ ("pkt" | "hdr"); "ip"; "src" ] -> Some (Netcore.Ipv4_addr.to_int (ip ()).Netcore.Ipv4.src)
+  | [ ("pkt" | "hdr"); "ip"; "dst" ] -> Some (Netcore.Ipv4_addr.to_int (ip ()).Netcore.Ipv4.dst)
+  | [ ("pkt" | "hdr"); "ip"; "proto" ] -> Some (ip ()).Netcore.Ipv4.proto
+  | [ ("pkt" | "hdr"); "udp"; "sport" ] -> Some (fst (l4_ports ()))
+  | [ ("pkt" | "hdr"); "udp"; "dport" ] -> Some (snd (l4_ports ()))
+  | _ -> None
+
+let meta_slot = function
+  | "flowID" -> Some 0
+  | "pkt_len" -> Some 1
+  | "slot2" -> Some 2
+  | "slot3" -> Some 3
+  | _ -> None
+
+let packet_set_field (pkt : Packet.t) path v =
+  match path with
+  | [ "enq_meta"; f ] -> (
+      match meta_slot f with
+      | Some i ->
+          pkt.Packet.meta.Packet.enq_meta.(i) <- v;
+          (* flowID doubles as the packet's flow id for event plumbing. *)
+          if i = 0 then pkt.Packet.meta.Packet.flow_id <- v;
+          true
+      | None -> false)
+  | [ "deq_meta"; f ] -> (
+      match meta_slot f with
+      | Some i ->
+          pkt.Packet.meta.Packet.deq_meta.(i) <- v;
+          true
+      | None -> false)
+  | [ ("pkt" | "hdr"); "priority" ] ->
+      pkt.Packet.meta.Packet.priority <- v;
+      true
+  | [ ("pkt" | "hdr"); "qid" ] ->
+      pkt.Packet.meta.Packet.qid <- v;
+      true
+  | _ -> false
+
+let packet_get_meta (pkt : Packet.t) path =
+  match path with
+  | [ "enq_meta"; f ] -> Option.map (fun i -> pkt.Packet.meta.Packet.enq_meta.(i)) (meta_slot f)
+  | [ "deq_meta"; f ] -> Option.map (fun i -> pkt.Packet.meta.Packet.deq_meta.(i)) (meta_slot f)
+  | _ -> None
+
+let buffer_fields (ev : Event.buffer_event) path =
+  match path with
+  | [ "meta"; f ] -> (
+      match meta_slot f with
+      | Some i -> Some ev.Event.meta.(i)
+      | None -> (
+          match f with
+          | "port" -> Some ev.Event.port
+          | "qid" -> Some ev.Event.qid
+          | "occ_bytes" -> Some ev.Event.occupancy_bytes
+          | "occ_pkts" -> Some ev.Event.occupancy_pkts
+          | "len" -> Some ev.Event.pkt_len
+          | _ -> None))
+  | _ -> None
+
+(* --- the loader --- *)
+
+let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
+  (* Static checks before install time. *)
+  let controls =
+    List.filter_map
+      (function Ast.Control_decl { name; body; pos } -> Some (name, body, pos) | _ -> None)
+      program
+  in
+  List.iter
+    (fun (cname, _, _) ->
+      if not (List.mem cname known_controls) then
+        raise
+          (Load_error
+             (Printf.sprintf "unknown control %S; expected one of: %s" cname
+                (String.concat ", " known_controls))))
+    controls;
+  let find_control cname =
+    List.find_opt (fun (n, _, _) -> n = cname) controls
+    |> Option.map (fun (_, body, _) -> body)
+  in
+  if find_control "Ingress" = None then raise (Load_error "program must define control Ingress");
+  let dup =
+    let sorted = List.sort compare (List.map (fun (n, _, _) -> n) controls) in
+    let rec go = function
+      | a :: b :: _ when a = b -> Some a
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go sorted
+  in
+  (match dup with
+  | Some d -> raise (Load_error (Printf.sprintf "duplicate control %S" d))
+  | None -> ());
+  fun ctx ->
+    (* Allocate state. *)
+    let regs : (string, reg_binding) Hashtbl.t = Hashtbl.create 8 in
+    let consts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (function
+        | Ast.Shared_register_decl { width; entries; name; _ } ->
+            if Hashtbl.mem regs name then
+              raise (Load_error (Printf.sprintf "duplicate register %S" name));
+            Hashtbl.replace regs name
+              (Shared (Program.shared_register ctx ~name ~entries ~width))
+        | Ast.Register_decl { width; entries; name; _ } ->
+            if Hashtbl.mem regs name then
+              raise (Load_error (Printf.sprintf "duplicate register %S" name));
+            Hashtbl.replace regs name
+              (Plain (Pisa.Register_alloc.array ctx.Program.alloc ~name ~entries ~width))
+        | Ast.Const_decl { name; value; _ } -> Hashtbl.replace consts name value
+        | Ast.Timer_decl { name; period_us; _ } ->
+            let id = ctx.Program.add_timer ~period:(Eventsim.Sim_time.us period_us) in
+            Hashtbl.replace consts name id
+        | Ast.Control_decl _ -> ())
+      program;
+    let reg target pos =
+      match Hashtbl.find_opt regs target with
+      | Some r -> r
+      | None ->
+          raise
+            (Interp.Runtime_error (Printf.sprintf "unknown register %S" target, Some pos))
+    in
+    (* Environment pieces shared by all handler kinds. *)
+    let funcs ~name ~args pos =
+      match (name, args) with
+      | "max", [ a; b ] -> max a b
+      | "min", [ a; b ] -> min a b
+      | "now_us", [] -> ctx.Program.now () / 1_000_000
+      | _ ->
+          raise
+            (Interp.Runtime_error
+               (Printf.sprintf "unknown function %S/%d" name (List.length args), Some pos))
+    in
+    let mk_env ~get_field ~set_field ~reg_read ~reg_write ~reg_add ~builtin =
+      {
+        Interp.consts;
+        locals = Hashtbl.create 8;
+        get_field;
+        set_field;
+        reg_read;
+        reg_write;
+        reg_add;
+        builtin;
+        func = funcs;
+      }
+    in
+    let no_field path pos =
+      raise
+        (Interp.Runtime_error
+           (Printf.sprintf "unknown field %s" (String.concat "." path), Some pos))
+    in
+    let no_set_field path _ pos =
+      raise
+        (Interp.Runtime_error
+           (Printf.sprintf "field %s is not writable here" (String.concat "." path), Some pos))
+    in
+    (* Packet-thread register port. *)
+    let pkt_reg_read ~target ~index pos =
+      match reg target pos with
+      | Shared r -> Shared_register.read r (index mod Shared_register.entries r)
+      | Plain r -> Pisa.Register_array.read r (index mod Pisa.Register_array.entries r)
+    in
+    let pkt_reg_write ~target ~index ~value pos =
+      match reg target pos with
+      | Shared r -> Shared_register.write r (index mod Shared_register.entries r) value
+      | Plain r -> Pisa.Register_array.write r (index mod Pisa.Register_array.entries r) value
+    in
+    let pkt_reg_add ~target ~index ~delta pos =
+      match reg target pos with
+      | Shared r -> ignore (Shared_register.add r (index mod Shared_register.entries r) delta)
+      | Plain r -> ignore (Pisa.Register_array.add r (index mod Pisa.Register_array.entries r) delta)
+    in
+    (* Event-thread register port: reads see the true value; writes
+       aggregate the difference (Sec 4's realisation of event-side
+       read-modify-write). *)
+    let ev_reg_read side ~target ~index pos =
+      ignore side;
+      match reg target pos with
+      | Shared r -> Shared_register.true_value r (index mod Shared_register.entries r)
+      | Plain r -> Pisa.Register_array.read r (index mod Pisa.Register_array.entries r)
+    in
+    let ev_reg_write side ~target ~index ~value pos =
+      match reg target pos with
+      | Shared r ->
+          let index = index mod Shared_register.entries r in
+          let current = Shared_register.true_value r index in
+          Shared_register.event_add r side index (value - current)
+      | Plain r -> Pisa.Register_array.write r (index mod Pisa.Register_array.entries r) value
+    in
+    let ev_reg_add side ~target ~index ~delta pos =
+      match reg target pos with
+      | Shared r -> Shared_register.event_add r side (index mod Shared_register.entries r) delta
+      | Plain r -> ignore (Pisa.Register_array.add r (index mod Pisa.Register_array.entries r) delta)
+    in
+    (* Builtins shared by every handler: notify / emit_user. *)
+    let common_builtin ~name ~args pos =
+      match (name, args) with
+      | "notify", [ Interp.Str s ] -> ctx.Program.notify_monitor s
+      | "notify", [ Interp.Num v ] -> ctx.Program.notify_monitor (string_of_int v)
+      | "emit_user", [ Interp.Num tag; Interp.Num data ] ->
+          ctx.Program.emit_user_event ~tag ~data
+      | _ ->
+          raise
+            (Interp.Runtime_error (Printf.sprintf "unknown builtin %S here" name, Some pos))
+    in
+    (* Run a packet-family control body; returns the decision. *)
+    let run_packet_control body pkt =
+      let cell = { decision = None; egress_drop = false } in
+      let builtin ~name ~args pos =
+        let num = function
+          | Interp.Num v -> v
+          | Interp.Str _ | Interp.Dest _ ->
+              raise (Interp.Runtime_error ("expected a numeric argument", Some pos))
+        in
+        match (name, args) with
+        | "forward", [ p ] -> cell.decision <- Some (Program.Forward (num p))
+        | "multicast", ports when ports <> [] ->
+            cell.decision <- Some (Program.Multicast (List.map num ports))
+        | "drop", [] ->
+            cell.decision <- Some Program.Drop;
+            cell.egress_drop <- true
+        | "recirculate", [] -> cell.decision <- Some Program.Recirculate
+        | "mark", [ v ] -> pkt.Packet.meta.Packet.mark <- num v
+        | "hash", [ data; Interp.Dest _dst ] ->
+            (* handled below: dest assignment needs the env *)
+            ignore data;
+            raise (Interp.Runtime_error ("internal: hash routed through builtin", Some pos))
+        | _ -> common_builtin ~name ~args pos
+      in
+      (* hash needs access to the env for the destination; build the
+         env with a forward reference. *)
+      let env_ref = ref None in
+      let builtin ~name ~args pos =
+        match (name, args) with
+        | "hash", [ Interp.Num data; Interp.Dest dst ] ->
+            let env = Option.get !env_ref in
+            Interp.assign env dst (Netcore.Hashes.mix64 data) pos
+        | _ -> builtin ~name ~args pos
+      in
+      let get_field path pos =
+        match packet_fields pkt path with
+        | Some v -> v
+        | None -> (
+            match packet_get_meta pkt path with
+            | Some v -> v
+            | None -> no_field path pos)
+      in
+      let set_field path v pos =
+        if not (packet_set_field pkt path v) then no_set_field path v pos
+      in
+      let env =
+        mk_env ~get_field ~set_field ~reg_read:pkt_reg_read ~reg_write:pkt_reg_write
+          ~reg_add:pkt_reg_add ~builtin
+      in
+      env_ref := Some env;
+      Interp.exec_block env body;
+      (cell.decision, cell.egress_drop)
+    in
+    (* Run a metadata-event control body with a field table. *)
+    let run_event_control ~side body get_field =
+      let builtin ~name ~args pos = common_builtin ~name ~args pos in
+      let env =
+        mk_env ~get_field
+          ~set_field:(fun path _ pos -> no_set_field path 0 pos)
+          ~reg_read:(ev_reg_read side) ~reg_write:(ev_reg_write side) ~reg_add:(ev_reg_add side)
+          ~builtin
+      in
+      Interp.exec_block env body
+    in
+    let simple_fields table path pos =
+      match List.assoc_opt (String.concat "." path) table with
+      | Some v -> v
+      | None -> no_field path pos
+    in
+    (* Build the Program handlers from the controls present. *)
+    let packet_handler body _ctx pkt =
+      match run_packet_control body pkt with
+      | Some d, _ -> d
+      | None, _ -> Program.Drop
+    in
+    let ingress_body = Option.get (find_control "Ingress") in
+    let handler_opt cname f = Option.map f (find_control cname) in
+    let buffer_handler cname =
+      handler_opt cname (fun body ->
+          fun _ctx (ev : Event.buffer_event) ->
+            run_event_control ~side:(side_of_control cname) body (fun path pos ->
+                match buffer_fields ev path with Some v -> v | None -> no_field path pos))
+    in
+    Program.make ~name
+      ~ingress:(packet_handler ingress_body)
+      ?recirculated:(handler_opt "Recirculated" packet_handler)
+      ?generated:(handler_opt "Generated" packet_handler)
+      ?egress:
+        (handler_opt "Egress" (fun body ->
+             fun _ctx ~port:_ pkt ->
+              match run_packet_control body pkt with
+              | _, true -> None
+              | _, false -> Some pkt))
+      ?enqueue:(buffer_handler "Enqueue")
+      ?dequeue:(buffer_handler "Dequeue")
+      ?overflow:(buffer_handler "Overflow")
+      ?underflow:
+        (handler_opt "Underflow" (fun body ->
+             fun _ctx (ev : Event.underflow_event) ->
+              run_event_control ~side:Shared_register.Deq_side body
+                (simple_fields
+                   [ ("meta.port", ev.Event.port); ("meta.qid", ev.Event.qid) ])))
+      ?transmitted:
+        (handler_opt "Transmitted" (fun body ->
+             fun _ctx (ev : Event.transmit_event) ->
+              run_event_control ~side:Shared_register.Deq_side body
+                (simple_fields
+                   [
+                     ("meta.port", ev.Event.port);
+                     ("meta.pkt_len", ev.Event.pkt_len);
+                     ("meta.flowID", ev.Event.flow_id);
+                   ])))
+      ?timer:
+        (handler_opt "Timer" (fun body ->
+             fun _ctx (ev : Event.timer_event) ->
+              run_event_control ~side:Shared_register.Deq_side body
+                (simple_fields
+                   [ ("timer.id", ev.Event.id); ("timer.count", ev.Event.count) ])))
+      ?link_change:
+        (handler_opt "LinkChange" (fun body ->
+             fun _ctx (ev : Event.link_event) ->
+              run_event_control ~side:Shared_register.Deq_side body
+                (simple_fields
+                   [ ("link.port", ev.Event.port); ("link.up", if ev.Event.up then 1 else 0) ])))
+      ?control:
+        (handler_opt "ControlPlane" (fun body ->
+             fun _ctx (ev : Event.control_event) ->
+              run_event_control ~side:Shared_register.Deq_side body
+                (simple_fields
+                   [ ("ctl.opcode", ev.Event.opcode); ("ctl.arg", ev.Event.arg) ])))
+      ?user:
+        (handler_opt "UserEvent" (fun body ->
+             fun _ctx (ev : Event.user_event) ->
+              run_event_control ~side:Shared_register.Deq_side body
+                (simple_fields [ ("user.tag", ev.Event.tag); ("user.data", ev.Event.data) ])))
+      ()
+
+let load ?name source = load_ast ?name (Parser.parse source)
+
+let microburst_p4 =
+  {|
+// microburst.p4 — the paper's Section 2 example.
+const NUM_REGS = 1024;
+const FLOW_THRESH = 20000;
+
+shared_register<bit<32>>(NUM_REGS) bufSize_reg;
+
+// Ingress Packet Event Logic
+control Ingress(pkt, enq_meta, deq_meta) {
+  bit<32> bufSize;
+  bit<32> flowID;
+  apply {
+    // compute flowID
+    hash(hdr.ip.src ++ hdr.ip.dst, flowID);
+    flowID = flowID % NUM_REGS;
+    // initialize enq & deq metadata for this pkt
+    enq_meta.flowID = flowID;
+    enq_meta.pkt_len = pkt.len;
+    deq_meta.flowID = flowID;
+    deq_meta.pkt_len = pkt.len;
+    // read buffer occupancy of this flow
+    bufSize_reg.read(flowID, bufSize);
+    // detect microburst
+    if (bufSize > FLOW_THRESH) {
+      /* microburst culprit! */
+      mark(1);
+      notify("microburst-culprit");
+    }
+    forward(3);
+  }
+}
+
+// Enqueue Event Logic
+control Enqueue(enq_data_t meta) {
+  bit<32> bufSize;
+  apply {
+    // increment buffer occupancy of this flow
+    bufSize_reg.read(meta.flowID, bufSize);
+    bufSize = bufSize + meta.pkt_len;
+    bufSize_reg.write(meta.flowID, bufSize);
+  }
+}
+
+// Dequeue Event Logic
+control Dequeue(deq_data_t meta) {
+  bit<32> bufSize;
+  apply {
+    bufSize_reg.read(meta.flowID, bufSize);
+    bufSize = bufSize - meta.pkt_len;
+    bufSize_reg.write(meta.flowID, bufSize);
+  }
+}
+|}

@@ -1,0 +1,366 @@
+open Ast
+
+exception Parse_error of string * Ast.position
+
+type state = { mutable toks : Lexer.lexed list; consts : (string, int) Hashtbl.t }
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> { Lexer.token = Lexer.EOF; pos = { line = 0; col = 0 } }
+
+let next st =
+  let t = peek st in
+  (match st.toks with [] -> () | _ :: rest -> st.toks <- rest);
+  t
+
+let fail st msg =
+  let t = peek st in
+  raise (Parse_error (Printf.sprintf "%s (found %s)" msg (Lexer.token_to_string t.Lexer.token), t.Lexer.pos))
+
+let expect st tok msg =
+  let t = next st in
+  if t.Lexer.token <> tok then
+    raise
+      (Parse_error
+         ( Printf.sprintf "expected %s %s, found %s" (Lexer.token_to_string tok) msg
+             (Lexer.token_to_string t.Lexer.token),
+           t.Lexer.pos ))
+
+let expect_ident st msg =
+  match next st with
+  | { Lexer.token = Lexer.IDENT s; _ } -> s
+  | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected %s, found %s" msg (Lexer.token_to_string t.Lexer.token), t.Lexer.pos))
+
+(* '>>' may close two nested angle brackets (shared_register<bit<32>>):
+   accept SHR where '>' is expected by splitting it. *)
+let expect_rangle st msg =
+  match peek st with
+  | { Lexer.token = Lexer.RANGLE; _ } -> ignore (next st)
+  | { Lexer.token = Lexer.SHR; pos } ->
+      ignore (next st);
+      st.toks <- { Lexer.token = Lexer.RANGLE; pos } :: st.toks
+  | t ->
+      raise
+        (Parse_error
+           ( Printf.sprintf "expected '>' %s, found %s" msg (Lexer.token_to_string t.Lexer.token),
+             t.Lexer.pos ))
+
+let expect_int st msg =
+  match next st with
+  | { Lexer.token = Lexer.INT n; _ } -> n
+  | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected %s, found %s" msg (Lexer.token_to_string t.Lexer.token), t.Lexer.pos))
+
+(* An integer literal or a previously declared constant's name —
+   register sizes and timer periods may use consts (NUM_REGS). *)
+let expect_const_int st msg =
+  match next st with
+  | { Lexer.token = Lexer.INT n; _ } -> n
+  | { Lexer.token = Lexer.IDENT name; pos } -> (
+      match Hashtbl.find_opt st.consts name with
+      | Some v -> v
+      | None ->
+          raise
+            (Parse_error
+               (Printf.sprintf "expected %s; %S is not a declared constant" msg name, pos)))
+  | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected %s, found %s" msg (Lexer.token_to_string t.Lexer.token), t.Lexer.pos))
+
+(* --- types --- *)
+
+(* bit<32> or bool *)
+let parse_typ st =
+  match next st with
+  | { Lexer.token = Lexer.IDENT "bool"; _ } -> Bool
+  | { Lexer.token = Lexer.IDENT "bit"; _ } ->
+      expect st Lexer.LANGLE "after 'bit'";
+      let n = expect_int st "bit width" in
+      expect_rangle st "after bit width";
+      if n <= 0 || n > 62 then fail st "bit width must be in 1..62";
+      Bit n
+  | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected a type, found %s" (Lexer.token_to_string t.Lexer.token), t.Lexer.pos))
+
+(* --- expressions (precedence climbing) --- *)
+
+let rec parse_primary st =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.INT n -> Int n
+  | Lexer.STRING s -> String_lit s
+  | Lexer.IDENT "true" -> Bool_lit true
+  | Lexer.IDENT "false" -> Bool_lit false
+  | Lexer.IDENT id -> (
+      (* Either a path (x.y.z) or a call f(...). *)
+      match (peek st).Lexer.token with
+      | Lexer.LPAREN ->
+          ignore (next st);
+          let args = parse_args st in
+          Call (id, args)
+      | Lexer.DOT ->
+          let rec fields acc =
+            match (peek st).Lexer.token with
+            | Lexer.DOT ->
+                ignore (next st);
+                let f = expect_ident st "a field name" in
+                fields (f :: acc)
+            | _ -> List.rev acc
+          in
+          Path (id :: fields [])
+      | _ -> Path [ id ])
+  | Lexer.LPAREN ->
+      let e = parse_expr_prec st 0 in
+      expect st Lexer.RPAREN "to close the parenthesised expression";
+      e
+  | Lexer.BANG -> Unop (Not, parse_primary st)
+  | Lexer.TILDE -> Unop (BitNot, parse_primary st)
+  | Lexer.MINUS -> Unop (Neg, parse_primary st)
+  | tok ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected an expression, found %s" (Lexer.token_to_string tok), t.Lexer.pos))
+
+and parse_args st =
+  match (peek st).Lexer.token with
+  | Lexer.RPAREN ->
+      ignore (next st);
+      []
+  | _ ->
+      let rec go acc =
+        let e = parse_expr_prec st 0 in
+        match (next st).Lexer.token with
+        | Lexer.COMMA -> go (e :: acc)
+        | Lexer.RPAREN -> List.rev (e :: acc)
+        | _ -> fail st "expected ',' or ')' in argument list"
+      in
+      go []
+
+and binop_of_token = function
+  | Lexer.OROR -> Some (Or, 1)
+  | Lexer.ANDAND -> Some (And, 2)
+  | Lexer.EQEQ -> Some (Eq, 3)
+  | Lexer.NEQ -> Some (Neq, 3)
+  | Lexer.LANGLE -> Some (Lt, 4)
+  | Lexer.RANGLE -> Some (Gt, 4)
+  | Lexer.LE -> Some (Le, 4)
+  | Lexer.GE -> Some (Ge, 4)
+  | Lexer.PIPE -> Some (BitOr, 5)
+  | Lexer.CARET -> Some (BitXor, 6)
+  | Lexer.AMP -> Some (BitAnd, 7)
+  | Lexer.SHL -> Some (Shl, 8)
+  | Lexer.SHR -> Some (Shr, 8)
+  | Lexer.CONCAT -> Some (Concat, 8)
+  | Lexer.PLUS -> Some (Add, 9)
+  | Lexer.MINUS -> Some (Sub, 9)
+  | Lexer.STAR -> Some (Mul, 10)
+  | Lexer.SLASH -> Some (Div, 10)
+  | Lexer.PERCENT -> Some (Mod, 10)
+  | _ -> None
+
+and parse_expr_prec st min_prec =
+  let lhs = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (peek st).Lexer.token with
+    | Some (op, prec) when prec >= min_prec ->
+        ignore (next st);
+        let rhs = parse_expr_prec st (prec + 1) in
+        lhs := Binop (op, !lhs, rhs)
+    | Some _ | None -> continue := false
+  done;
+  !lhs
+
+(* --- statements --- *)
+
+let rec parse_stmt st =
+  let t = peek st in
+  let pos = t.Lexer.pos in
+  match t.Lexer.token with
+  | Lexer.IDENT ("bit" | "bool") ->
+      let typ = parse_typ st in
+      let name = expect_ident st "a variable name" in
+      let init =
+        match (peek st).Lexer.token with
+        | Lexer.ASSIGN ->
+            ignore (next st);
+            Some (parse_expr_prec st 0)
+        | _ -> None
+      in
+      expect st Lexer.SEMI "after the declaration";
+      Declare { typ; name; init; pos }
+  | Lexer.IDENT "if" ->
+      ignore (next st);
+      expect st Lexer.LPAREN "after 'if'";
+      let cond = parse_expr_prec st 0 in
+      expect st Lexer.RPAREN "to close the if condition";
+      let then_ = parse_block st in
+      let else_ =
+        match (peek st).Lexer.token with
+        | Lexer.IDENT "else" ->
+            ignore (next st);
+            (match (peek st).Lexer.token with
+            | Lexer.IDENT "if" -> [ parse_stmt st ]
+            | _ -> parse_block st)
+        | _ -> []
+      in
+      If { cond; then_; else_; pos }
+  | Lexer.IDENT id -> (
+      ignore (next st);
+      match (peek st).Lexer.token with
+      | Lexer.LPAREN ->
+          (* builtin call: forward(1); *)
+          ignore (next st);
+          let args = parse_args st in
+          expect st Lexer.SEMI "after the call";
+          Builtin_call { name = id; args; pos }
+      | Lexer.DOT -> (
+          (* Either a method call reg.read(...) or an assignment to a
+             dotted lvalue meta.x = e. Collect the dotted path first. *)
+          let rec fields acc =
+            match (peek st).Lexer.token with
+            | Lexer.DOT ->
+                ignore (next st);
+                let f = expect_ident st "a field or method name" in
+                fields (f :: acc)
+            | _ -> List.rev acc
+          in
+          let path = id :: fields [] in
+          match (peek st).Lexer.token with
+          | Lexer.LPAREN ->
+              ignore (next st);
+              let args = parse_args st in
+              expect st Lexer.SEMI "after the method call";
+              (match List.rev path with
+              | meth :: rev_target when rev_target <> [] ->
+                  Method_call
+                    { target = String.concat "." (List.rev rev_target); meth; args; pos }
+              | _ -> fail st "method call needs a target")
+          | Lexer.ASSIGN ->
+              ignore (next st);
+              let expr = parse_expr_prec st 0 in
+              expect st Lexer.SEMI "after the assignment";
+              Assign { lvalue = path; expr; pos }
+          | _ -> fail st "expected '(' or '=' after the dotted name")
+      | Lexer.ASSIGN ->
+          ignore (next st);
+          let expr = parse_expr_prec st 0 in
+          expect st Lexer.SEMI "after the assignment";
+          Assign { lvalue = [ id ]; expr; pos }
+      | _ -> fail st "expected a statement")
+  | _ -> fail st "expected a statement"
+
+and parse_block st =
+  expect st Lexer.LBRACE "to open a block";
+  let rec go acc =
+    match (peek st).Lexer.token with
+    | Lexer.RBRACE ->
+        ignore (next st);
+        List.rev acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+(* --- declarations --- *)
+
+(* shared_register<bit<32>>(1024) name; *)
+let parse_register_decl st ~shared pos =
+  expect st Lexer.LANGLE "after the register keyword";
+  let typ = parse_typ st in
+  let width = match typ with Bit n -> n | Bool -> 1 in
+  expect_rangle st "after the register cell type";
+  expect st Lexer.LPAREN "before the entry count";
+  let entries = expect_const_int st "the entry count" in
+  expect st Lexer.RPAREN "after the entry count";
+  let name = expect_ident st "the register name" in
+  expect st Lexer.SEMI "after the register declaration";
+  if shared then Shared_register_decl { width; entries; name; pos }
+  else Register_decl { width; entries; name; pos }
+
+let parse_decl st =
+  let t = peek st in
+  let pos = t.Lexer.pos in
+  match t.Lexer.token with
+  | Lexer.IDENT "shared_register" ->
+      ignore (next st);
+      parse_register_decl st ~shared:true pos
+  | Lexer.IDENT "register" ->
+      ignore (next st);
+      parse_register_decl st ~shared:false pos
+  | Lexer.IDENT "const" ->
+      ignore (next st);
+      (* const NAME = 42;  (an optional bit<N> type is accepted) *)
+      (match (peek st).Lexer.token with
+      | Lexer.IDENT ("bit" | "bool") -> ignore (parse_typ st)
+      | _ -> ());
+      let name = expect_ident st "the constant name" in
+      expect st Lexer.ASSIGN "after the constant name";
+      let value = expect_int st "the constant value" in
+      expect st Lexer.SEMI "after the constant";
+      Hashtbl.replace st.consts name value;
+      Const_decl { name; value; pos }
+  | Lexer.IDENT "timer" ->
+      ignore (next st);
+      expect st Lexer.LPAREN "after 'timer'";
+      let period_us = expect_const_int st "the timer period (microseconds)" in
+      expect st Lexer.RPAREN "after the timer period";
+      let name = expect_ident st "the timer name" in
+      expect st Lexer.SEMI "after the timer declaration";
+      Timer_decl { name; period_us; pos }
+  | Lexer.IDENT "control" ->
+      ignore (next st);
+      let name = expect_ident st "the control name" in
+      (* Parameter list accepted and ignored: the architecture supplies
+         the environment for each event class. *)
+      expect st Lexer.LPAREN "after the control name";
+      let depth = ref 1 in
+      while !depth > 0 do
+        match (next st).Lexer.token with
+        | Lexer.LPAREN -> incr depth
+        | Lexer.RPAREN -> decr depth
+        | Lexer.EOF -> fail st "unterminated control parameter list"
+        | _ -> ()
+      done;
+      expect st Lexer.LBRACE "to open the control body";
+      (* Locals before apply are treated as statements prepended to the
+         apply body. *)
+      let rec go locals =
+        match (peek st).Lexer.token with
+        | Lexer.IDENT "apply" ->
+            ignore (next st);
+            let body = parse_block st in
+            expect st Lexer.RBRACE "to close the control";
+            Control_decl { name; body = List.rev_append locals body; pos }
+        | Lexer.IDENT ("bit" | "bool") -> go (parse_stmt st :: locals)
+        | _ -> fail st "expected local declarations or 'apply' in the control body"
+      in
+      go []
+  | tok ->
+      raise
+        (Parse_error
+           ( Printf.sprintf "expected a declaration, found %s" (Lexer.token_to_string tok),
+             t.Lexer.pos ))
+
+let parse source =
+  let st = { toks = Lexer.tokenize source; consts = Hashtbl.create 8 } in
+  let rec go acc =
+    match (peek st).Lexer.token with
+    | Lexer.EOF -> List.rev acc
+    | _ -> go (parse_decl st :: acc)
+  in
+  go []
+
+let parse_expr source =
+  let st = { toks = Lexer.tokenize source; consts = Hashtbl.create 8 } in
+  let e = parse_expr_prec st 0 in
+  expect st Lexer.EOF "after the expression";
+  e

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the P4 subset. *)
+
+exception Parse_error of string * Ast.position
+
+val parse : string -> Ast.program
+(** Parse a full source string; raises {!Parse_error} or
+    {!Lexer.Lex_error} with a position on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests). *)

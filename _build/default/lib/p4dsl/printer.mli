@@ -1,0 +1,9 @@
+(** Pretty-printer for the P4 subset: emits source text that
+    {!Parser.parse} accepts and that round-trips to the same AST
+    (property-tested). Useful for program generation, golden tests and
+    error reporting. *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val decl_to_string : Ast.decl -> string
+val program_to_string : Ast.program -> string

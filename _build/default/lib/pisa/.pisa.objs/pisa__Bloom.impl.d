@@ -1,0 +1,1 @@
+lib/pisa/bloom.ml: Netcore Register_alloc Register_array

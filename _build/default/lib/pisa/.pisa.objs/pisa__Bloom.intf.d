@@ -1,0 +1,1 @@
+lib/pisa/bloom.mli: Register_alloc

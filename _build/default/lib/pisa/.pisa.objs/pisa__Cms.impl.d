@@ -1,0 +1,1 @@
+lib/pisa/cms.ml: Array Netcore Printf Register_alloc Register_array Seq

@@ -1,0 +1,1 @@
+lib/pisa/cms.mli: Register_alloc

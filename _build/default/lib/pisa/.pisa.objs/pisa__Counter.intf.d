@@ -1,0 +1,1 @@
+lib/pisa/counter.mli:

@@ -1,0 +1,1 @@
+lib/pisa/match_table.mli:

@@ -1,0 +1,1 @@
+lib/pisa/meter.ml: Float Format

@@ -1,0 +1,1 @@
+lib/pisa/meter.mli: Format

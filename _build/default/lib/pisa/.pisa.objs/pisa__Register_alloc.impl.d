@@ -1,0 +1,1 @@
+lib/pisa/register_alloc.ml: List Register_array

@@ -1,0 +1,1 @@
+lib/pisa/register_alloc.mli: Register_array

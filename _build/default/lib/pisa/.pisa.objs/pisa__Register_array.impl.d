@@ -1,0 +1,1 @@
+lib/pisa/register_array.ml: Array Printf

@@ -1,0 +1,23 @@
+type t = { reg : Register_array.t; bits : int; hashes : int }
+
+let create ~alloc ?(name = "bloom") ~bits ~hashes () =
+  if bits <= 0 || hashes <= 0 then invalid_arg "Bloom.create";
+  { reg = Register_alloc.array alloc ~name ~entries:bits ~width:1; bits; hashes }
+
+let slot t salt key = Netcore.Hashes.fold_range (Netcore.Hashes.salted ~salt key) t.bits
+
+let add t key =
+  for i = 0 to t.hashes - 1 do
+    Register_array.write t.reg (slot t i key) 1
+  done
+
+let mem t key =
+  let rec go i = i >= t.hashes || (Register_array.read t.reg (slot t i key) = 1 && go (i + 1)) in
+  go 0
+
+let reset t = Register_array.reset t.reg
+
+let fill_ratio t =
+  float_of_int (Register_array.nonzero_entries t.reg) /. float_of_int t.bits
+
+let size_bits t = t.bits

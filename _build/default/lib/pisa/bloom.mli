@@ -1,0 +1,13 @@
+(** Bloom filter over 1-bit register arrays; used e.g. for
+    active-flow membership with no false negatives. *)
+
+type t
+
+val create : alloc:Register_alloc.t -> ?name:string -> bits:int -> hashes:int -> unit -> t
+val add : t -> int -> unit
+val mem : t -> int -> bool
+val reset : t -> unit
+val fill_ratio : t -> float
+(** Fraction of set bits — a saturation indicator. *)
+
+val size_bits : t -> int

@@ -1,0 +1,17 @@
+(** Register allocator: every data-plane program allocates its stateful
+    arrays through one of these so the experiment harness can meter the
+    program's total state footprint (the paper's §2 claims an at least
+    four-fold reduction for microburst detection; E6 measures it from
+    these allocations). *)
+
+type t
+
+val create : ?clock:(unit -> int) -> unit -> t
+val array : t -> name:string -> entries:int -> width:int -> Register_array.t
+val registers : t -> Register_array.t list
+(** In allocation order. *)
+
+val total_bits : t -> int
+val total_conflicts : t -> int
+val report : t -> (string * int * int) list
+(** [(name, entries, bits)] per register. *)

@@ -1,0 +1,1 @@
+lib/resmodel/resource_model.mli: Format

@@ -1,0 +1,1 @@
+lib/stats/sliding_window.ml: Array

@@ -1,0 +1,114 @@
+type layout =
+  | Linear of { lo : float; width : float }
+  | Log2
+
+type t = {
+  layout : layout;
+  counts : int array;
+  bounds : (float * float) array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+  mutable sum : float;
+  mutable max_seen : float;
+}
+
+let make layout bounds =
+  {
+    layout;
+    counts = Array.make (Array.length bounds) 0;
+    bounds;
+    underflow = 0;
+    overflow = 0;
+    total = 0;
+    sum = 0.;
+    max_seen = neg_infinity;
+  }
+
+let linear ~lo ~hi ~buckets =
+  if buckets <= 0 || hi <= lo then invalid_arg "Histogram.linear";
+  let width = (hi -. lo) /. float_of_int buckets in
+  let bounds =
+    Array.init buckets (fun i ->
+        (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width)))
+  in
+  make (Linear { lo; width }) bounds
+
+let log2 ~max_exponent =
+  if max_exponent <= 0 then invalid_arg "Histogram.log2";
+  let bounds =
+    Array.init (max_exponent + 1) (fun i ->
+        if i = 0 then (0., 1.) else (2. ** float_of_int (i - 1), 2. ** float_of_int i))
+  in
+  make Log2 bounds
+
+let bucket_index t x =
+  match t.layout with
+  | Linear { lo; width } ->
+      if x < lo then -1
+      else
+        let i = int_of_float ((x -. lo) /. width) in
+        if i >= Array.length t.counts then Array.length t.counts else i
+  | Log2 ->
+      if x < 0. then -1
+      else if x < 1. then 0
+      else
+        let i = 1 + int_of_float (Float.log2 x) in
+        if i >= Array.length t.counts then Array.length t.counts else i
+
+let add_n t x n =
+  t.total <- t.total + n;
+  t.sum <- t.sum +. (x *. float_of_int n);
+  if x > t.max_seen then t.max_seen <- x;
+  let i = bucket_index t x in
+  if i < 0 then t.underflow <- t.underflow + n
+  else if i >= Array.length t.counts then t.overflow <- t.overflow + n
+  else t.counts.(i) <- t.counts.(i) + n
+
+let add t x = add_n t x 1
+let count t = t.total
+let underflow t = t.underflow
+let overflow t = t.overflow
+let mean t = if t.total = 0 then 0. else t.sum /. float_of_int t.total
+let max_seen t = t.max_seen
+
+let percentile t q =
+  if t.total = 0 then nan
+  else begin
+    let target = q *. float_of_int t.total in
+    let acc = ref (float_of_int t.underflow) in
+    let result = ref nan in
+    (try
+       for i = 0 to Array.length t.counts - 1 do
+         acc := !acc +. float_of_int t.counts.(i);
+         if !acc >= target then begin
+           result := snd t.bounds.(i);
+           raise Exit
+         end
+       done;
+       result := t.max_seen
+     with Exit -> ());
+    (* Never report beyond the observed maximum. *)
+    Float.min !result t.max_seen
+  end
+
+let buckets t =
+  let out = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then
+      let lo, hi = t.bounds.(i) in
+      out := (lo, hi, t.counts.(i)) :: !out
+  done;
+  !out
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.underflow <- 0;
+  t.overflow <- 0;
+  t.total <- 0;
+  t.sum <- 0.;
+  t.max_seen <- neg_infinity
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g" t.total (mean t)
+    (percentile t 0.5) (percentile t 0.99) t.max_seen

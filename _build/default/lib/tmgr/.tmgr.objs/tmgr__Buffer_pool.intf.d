@@ -1,0 +1,1 @@
+lib/tmgr/buffer_pool.mli:

@@ -1,0 +1,1 @@
+lib/tmgr/fifo_queue.mli: Netcore

@@ -1,0 +1,1 @@
+lib/tmgr/link.ml: Eventsim Netcore

@@ -1,0 +1,1 @@
+lib/tmgr/pifo.ml: Array

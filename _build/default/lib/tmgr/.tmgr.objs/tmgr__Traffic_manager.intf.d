@@ -1,0 +1,1 @@
+lib/tmgr/traffic_manager.mli: Devents Eventsim Netcore

@@ -1,0 +1,29 @@
+type t = {
+  q : Netcore.Packet.t Queue.t;
+  limit_bytes : int option;
+  mutable bytes : int;
+  mutable high_watermark : int;
+}
+
+let create ?limit_bytes () = { q = Queue.create (); limit_bytes; bytes = 0; high_watermark = 0 }
+
+let can_accept t n =
+  match t.limit_bytes with None -> true | Some limit -> t.bytes + n <= limit
+
+let push t pkt =
+  Queue.push pkt t.q;
+  t.bytes <- t.bytes + Netcore.Packet.len pkt;
+  if t.bytes > t.high_watermark then t.high_watermark <- t.bytes
+
+let pop t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some pkt ->
+      t.bytes <- t.bytes - Netcore.Packet.len pkt;
+      Some pkt
+
+let peek t = Queue.peek_opt t.q
+let occupancy_pkts t = Queue.length t.q
+let occupancy_bytes t = t.bytes
+let high_watermark_bytes t = t.high_watermark
+let is_empty t = Queue.is_empty t.q

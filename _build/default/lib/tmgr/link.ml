@@ -1,0 +1,52 @@
+module Scheduler = Eventsim.Scheduler
+
+type endpoint = {
+  deliver : Netcore.Packet.t -> unit;
+  notify_status : up:bool -> unit;
+}
+
+type t = {
+  sched : Scheduler.t;
+  delay : int;
+  detection_delay : int;
+  a : endpoint;
+  b : endpoint;
+  mutable up : bool;
+  mutable epoch : int; (* bumped on every status change to void in-flight packets *)
+  mutable delivered : int;
+  mutable lost : int;
+}
+
+let create ~sched ?(delay = Eventsim.Sim_time.us 1) ?(detection_delay = Eventsim.Sim_time.us 10)
+    ~a ~b () =
+  { sched; delay; detection_delay; a; b; up = true; epoch = 0; delivered = 0; lost = 0 }
+
+let send t ~from_a pkt =
+  if not t.up then t.lost <- t.lost + 1
+  else begin
+    let epoch = t.epoch in
+    let dst = if from_a then t.b else t.a in
+    ignore
+      (Scheduler.schedule_after t.sched ~delay:t.delay (fun () ->
+           if t.up && t.epoch = epoch then begin
+             t.delivered <- t.delivered + 1;
+             dst.deliver pkt
+           end
+           else t.lost <- t.lost + 1))
+  end
+
+let change_status t up =
+  if t.up <> up then begin
+    t.up <- up;
+    t.epoch <- t.epoch + 1;
+    ignore
+      (Scheduler.schedule_after t.sched ~delay:t.detection_delay (fun () ->
+           t.a.notify_status ~up;
+           t.b.notify_status ~up))
+  end
+
+let fail t = change_status t false
+let restore t = change_status t true
+let is_up t = t.up
+let delivered t = t.delivered
+let lost t = t.lost

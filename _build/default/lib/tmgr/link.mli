@@ -1,0 +1,33 @@
+(** Point-to-point link between two device ports.
+
+    Carries packets with a propagation delay; supports failure
+    injection. When the link fails (or is restored), each endpoint's
+    PHY notices after [detection_delay] and calls its status callback —
+    which an event-driven switch turns into a Link Status Change event,
+    while a baseline switch must wait for control-plane polling.
+    Packets in flight when the failure occurs, and packets sent while
+    down, are lost. *)
+
+type endpoint = {
+  deliver : Netcore.Packet.t -> unit;
+  notify_status : up:bool -> unit;
+}
+
+type t
+
+val create :
+  sched:Eventsim.Scheduler.t ->
+  ?delay:Eventsim.Sim_time.t ->
+  ?detection_delay:Eventsim.Sim_time.t ->
+  a:endpoint ->
+  b:endpoint ->
+  unit ->
+  t
+(** Defaults: 1 us propagation, 10 us failure detection. *)
+
+val send : t -> from_a:bool -> Netcore.Packet.t -> unit
+val fail : t -> unit
+val restore : t -> unit
+val is_up : t -> bool
+val delivered : t -> int
+val lost : t -> int

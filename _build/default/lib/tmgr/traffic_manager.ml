@@ -1,0 +1,247 @@
+module Scheduler = Eventsim.Scheduler
+module Sim_time = Eventsim.Sim_time
+module Packet = Netcore.Packet
+module Event = Devents.Event
+
+type policy = Fifo | Strict_priority | Pifo_sched
+
+type config = {
+  num_ports : int;
+  queues_per_port : int;
+  buffer_bytes : int;
+  queue_limit_bytes : int option;
+  pifo_capacity : int;
+  policy : policy;
+  port_rate_gbps : float;
+}
+
+let default_config =
+  {
+    num_ports = 4;
+    queues_per_port = 1;
+    buffer_bytes = 512 * 1024;
+    queue_limit_bytes = None;
+    pifo_capacity = 2048;
+    policy = Fifo;
+    port_rate_gbps = 10.;
+  }
+
+type port_queues =
+  | Fifos of Fifo_queue.t array
+  | Pifo_q of Netcore.Packet.t Pifo.t
+
+type port = {
+  index : int;
+  queues : port_queues;
+  mutable busy : bool;
+  mutable occupancy_bytes : int;
+  mutable occupancy_pkts : int;
+}
+
+type t = {
+  sched : Scheduler.t;
+  config : config;
+  pool : Buffer_pool.t;
+  ports : port array;
+  emit : port:int -> Packet.t -> unit;
+  events : Event.t -> unit;
+  egress : (port:int -> Packet.t -> Packet.t option) option;
+  mutable enqueues : int;
+  mutable dequeues : int;
+  mutable transmitted : int;
+  mutable transmitted_bytes : int;
+  mutable drops : int;
+  mutable egress_drops : int;
+  mutable in_flight : int;
+}
+
+let make_port config index =
+  let queues =
+    match config.policy with
+    | Fifo | Strict_priority ->
+        Fifos
+          (Array.init (max 1 config.queues_per_port) (fun _ ->
+               match config.queue_limit_bytes with
+               | Some limit_bytes -> Fifo_queue.create ~limit_bytes ()
+               | None -> Fifo_queue.create ()))
+    | Pifo_sched -> Pifo_q (Pifo.create ~capacity:config.pifo_capacity ())
+  in
+  { index; queues; busy = false; occupancy_bytes = 0; occupancy_pkts = 0 }
+
+let create ~sched ~config ~emit ~events ?egress () =
+  if config.num_ports <= 0 then invalid_arg "Traffic_manager.create: num_ports";
+  {
+    sched;
+    config;
+    pool = Buffer_pool.create ~capacity_bytes:config.buffer_bytes;
+    ports = Array.init config.num_ports (make_port config);
+    emit;
+    events;
+    egress;
+    enqueues = 0;
+    dequeues = 0;
+    transmitted = 0;
+    transmitted_bytes = 0;
+    drops = 0;
+    egress_drops = 0;
+    in_flight = 0;
+  }
+
+let buffer_event t port (pkt : Packet.t) ~meta_slots =
+  {
+    Event.port = port.index;
+    qid = pkt.Packet.meta.Packet.qid;
+    pkt_len = Packet.len pkt;
+    flow_id = pkt.Packet.meta.Packet.flow_id;
+    meta = Array.copy meta_slots;
+    occupancy_pkts = port.occupancy_pkts;
+    occupancy_bytes = port.occupancy_bytes;
+    time = Scheduler.now t.sched;
+  }
+
+let select_queue t port =
+  match port.queues with
+  | Pifo_q pifo -> if Pifo.is_empty pifo then None else Some (-1)
+  | Fifos queues -> (
+      match t.config.policy with
+      | Fifo | Strict_priority ->
+          (* Strict priority = scan from qid 0 (highest); plain FIFO has a
+             single queue so the scan is equivalent. *)
+          let rec go q =
+            if q >= Array.length queues then None
+            else if not (Fifo_queue.is_empty queues.(q)) then Some q
+            else go (q + 1)
+          in
+          go 0
+      | Pifo_sched -> None)
+
+let pop_from _t port qid =
+  match port.queues with
+  | Pifo_q pifo -> Pifo.pop pifo
+  | Fifos queues -> Fifo_queue.pop queues.(qid)
+
+let rec try_dequeue t port =
+  if not port.busy then
+    match select_queue t port with
+    | None -> ()
+    | Some qid -> (
+        match pop_from t port qid with
+        | None -> ()
+        | Some pkt ->
+            let len = Packet.len pkt in
+            port.occupancy_bytes <- port.occupancy_bytes - len;
+            port.occupancy_pkts <- port.occupancy_pkts - 1;
+            Buffer_pool.free t.pool len;
+            t.dequeues <- t.dequeues + 1;
+            t.events (Event.Dequeue (buffer_event t port pkt ~meta_slots:pkt.Packet.meta.Packet.deq_meta));
+            if port.occupancy_pkts = 0 then
+              t.events
+                (Event.Underflow
+                   { port = port.index; qid = pkt.Packet.meta.Packet.qid; time = Scheduler.now t.sched });
+            let outgoing =
+              match t.egress with
+              | None -> Some pkt
+              | Some egress -> egress ~port:port.index pkt
+            in
+            (match outgoing with
+            | None ->
+                t.egress_drops <- t.egress_drops + 1;
+                (* Port is free immediately; look for more work. *)
+                try_dequeue t port
+            | Some pkt ->
+                port.busy <- true;
+                t.in_flight <- t.in_flight + 1;
+                let tx = Sim_time.tx_time ~bytes:(Packet.len pkt) ~gbps:t.config.port_rate_gbps in
+                ignore
+                  (Scheduler.schedule_after t.sched ~delay:tx (fun () ->
+                       port.busy <- false;
+                       t.in_flight <- t.in_flight - 1;
+                       t.transmitted <- t.transmitted + 1;
+                       t.transmitted_bytes <- t.transmitted_bytes + Packet.len pkt;
+                       t.events
+                         (Event.Transmitted
+                            {
+                              port = port.index;
+                              pkt_len = Packet.len pkt;
+                              flow_id = pkt.Packet.meta.Packet.flow_id;
+                              time = Scheduler.now t.sched;
+                            });
+                       t.emit ~port:port.index pkt;
+                       try_dequeue t port))))
+
+let reject t port pkt =
+  t.drops <- t.drops + 1;
+  t.events (Event.Overflow (buffer_event t port pkt ~meta_slots:pkt.Packet.meta.Packet.enq_meta))
+
+let enqueue t ~port pkt =
+  if port < 0 || port >= Array.length t.ports then
+    invalid_arg (Printf.sprintf "Traffic_manager.enqueue: bad port %d" port);
+  let p = t.ports.(port) in
+  let len = Packet.len pkt in
+  let accept () =
+    p.occupancy_bytes <- p.occupancy_bytes + len;
+    p.occupancy_pkts <- p.occupancy_pkts + 1;
+    t.enqueues <- t.enqueues + 1;
+    t.events (Event.Enqueue (buffer_event t p pkt ~meta_slots:pkt.Packet.meta.Packet.enq_meta));
+    try_dequeue t p
+  in
+  match p.queues with
+  | Fifos queues ->
+      let qid =
+        let q = pkt.Packet.meta.Packet.qid in
+        if q < 0 || q >= Array.length queues then 0 else q
+      in
+      pkt.Packet.meta.Packet.qid <- qid;
+      if Fifo_queue.can_accept queues.(qid) len && Buffer_pool.try_alloc t.pool len then begin
+        Fifo_queue.push queues.(qid) pkt;
+        accept ();
+        true
+      end
+      else begin
+        reject t p pkt;
+        false
+      end
+  | Pifo_q pifo ->
+      if Buffer_pool.try_alloc t.pool len then begin
+        match Pifo.push_evict pifo ~rank:pkt.Packet.meta.Packet.priority pkt with
+        | `Accepted ->
+            accept ();
+            true
+        | `Evicted victim ->
+            let vlen = Packet.len victim in
+            p.occupancy_bytes <- p.occupancy_bytes - vlen;
+            p.occupancy_pkts <- p.occupancy_pkts - 1;
+            Buffer_pool.free t.pool vlen;
+            reject t p victim;
+            accept ();
+            true
+        | `Rejected ->
+            Buffer_pool.free t.pool len;
+            reject t p pkt;
+            false
+      end
+      else begin
+        reject t p pkt;
+        false
+      end
+
+let occupancy_bytes t ~port = t.ports.(port).occupancy_bytes
+
+let queue_occupancy_bytes t ~port ~qid =
+  match t.ports.(port).queues with
+  | Fifos queues -> Fifo_queue.occupancy_bytes queues.(qid)
+  | Pifo_q _ -> t.ports.(port).occupancy_bytes
+
+let total_occupancy_bytes t =
+  Array.fold_left (fun acc p -> acc + p.occupancy_bytes) 0 t.ports
+
+let enqueues t = t.enqueues
+let dequeues t = t.dequeues
+let transmitted t = t.transmitted
+let transmitted_bytes t = t.transmitted_bytes
+let drops t = t.drops
+let egress_drops t = t.egress_drops
+let config t = t.config
+
+let quiescent t =
+  t.in_flight = 0 && Array.for_all (fun p -> p.occupancy_pkts = 0) t.ports

@@ -1,0 +1,1 @@
+lib/workloads/flowgen.ml: Eventsim Hashtbl List Netcore Option Stats Traffic

@@ -1,0 +1,1 @@
+lib/workloads/flowgen.mli: Eventsim Hashtbl Netcore Stats Traffic

@@ -1,0 +1,1 @@
+lib/workloads/topology.ml: Array Evcore Tmgr

@@ -1,0 +1,1 @@
+lib/workloads/topology.mli: Evcore Eventsim Tmgr

@@ -1,0 +1,1 @@
+lib/workloads/traffic.ml: Eventsim Netcore Stats

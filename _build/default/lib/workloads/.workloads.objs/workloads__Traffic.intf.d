@@ -1,0 +1,1 @@
+lib/workloads/traffic.mli: Eventsim Netcore Stats

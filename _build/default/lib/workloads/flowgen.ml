@@ -1,0 +1,91 @@
+module Flow = Netcore.Flow
+module Ipv4_addr = Netcore.Ipv4_addr
+
+type flow_desc = {
+  flow : Flow.t;
+  packets : int;
+  pkt_bytes : int;
+  start : Eventsim.Sim_time.t;
+  rank : int;
+}
+
+type spec = {
+  num_flows : int;
+  key_space : int;
+  zipf_alpha : float;
+  mean_packets : float;
+  pkt_bytes : int;
+  arrival_rate_per_sec : float;
+}
+
+let default_spec =
+  {
+    num_flows = 500;
+    key_space = 200;
+    zipf_alpha = 1.1;
+    mean_packets = 20.;
+    pkt_bytes = 256;
+    arrival_rate_per_sec = 50_000.;
+  }
+
+let flow_of_rank rank =
+  (* Deterministic (src, dst) per popularity rank; distinct ports per
+     rank keep five-tuples unique. *)
+  Flow.make
+    ~src:(Ipv4_addr.host ~subnet:1 rank)
+    ~dst:(Ipv4_addr.host ~subnet:2 rank)
+    ~src_port:(1024 + (rank land 0xfff))
+    ~dst_port:80 ()
+
+let generate ~rng spec =
+  if spec.num_flows <= 0 then invalid_arg "Flowgen.generate";
+  let zipf = Stats.Dist.zipf ~n:spec.key_space ~alpha:spec.zipf_alpha in
+  (* Pareto with shape 1.4 and mean m has scale m * (shape-1)/shape. *)
+  let shape = 1.4 in
+  let scale = spec.mean_packets *. (shape -. 1.) /. shape in
+  let time = ref 0. in
+  List.init spec.num_flows (fun _ ->
+      let gap = Stats.Dist.exponential rng ~rate:spec.arrival_rate_per_sec in
+      time := !time +. gap;
+      let rank = Stats.Dist.zipf_draw rng zipf in
+      let packets = max 1 (int_of_float (Stats.Dist.pareto rng ~shape ~scale)) in
+      {
+        flow = flow_of_rank rank;
+        packets;
+        pkt_bytes = spec.pkt_bytes;
+        start = int_of_float (!time *. 1e12);
+        rank;
+      })
+
+let true_packet_counts flows =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun fd ->
+      let key = Flow.hash_addresses fd.flow in
+      let prev = Option.value (Hashtbl.find_opt table key) ~default:0 in
+      Hashtbl.replace table key (prev + fd.packets))
+    flows;
+  table
+
+let replay ~sched ~flows ~rate_pps_per_flow ~send () =
+  List.map
+    (fun (fd : flow_desc) ->
+      let gap_gbps =
+        (* Convert a per-flow packet rate into the gbps knob cbr wants. *)
+        float_of_int (fd.pkt_bytes * 8) *. rate_pps_per_flow /. 1e9
+      in
+      let t =
+        Traffic.cbr ~sched ~flow:fd.flow ~pkt_bytes:fd.pkt_bytes ~rate_gbps:gap_gbps
+          ~start:fd.start ~send ()
+      in
+      (* Bound the flow's packet count by stopping it after its quota:
+         the simplest faithful cut-off is a scheduled stop. *)
+      let duration =
+        int_of_float (float_of_int fd.packets /. rate_pps_per_flow *. 1e12)
+      in
+      ignore
+        (Eventsim.Scheduler.schedule sched
+           ~at:(fd.start + duration)
+           (fun () -> Traffic.stop_now t));
+      t)
+    flows

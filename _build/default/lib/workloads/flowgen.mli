@@ -1,0 +1,37 @@
+(** Synthetic flow populations for measurement experiments: Zipf
+    popularity over keys, Pareto sizes, Poisson arrivals — the standard
+    shape for heavy-hitter / sketch workloads. *)
+
+type flow_desc = {
+  flow : Netcore.Flow.t;
+  packets : int;  (** flow length in packets *)
+  pkt_bytes : int;
+  start : Eventsim.Sim_time.t;
+  rank : int;  (** popularity rank of the flow's key (1 = hottest) *)
+}
+
+type spec = {
+  num_flows : int;
+  key_space : int;  (** distinct (src,dst) pairs *)
+  zipf_alpha : float;
+  mean_packets : float;  (** mean flow length (Pareto, shape 1.4) *)
+  pkt_bytes : int;
+  arrival_rate_per_sec : float;  (** Poisson flow arrivals *)
+}
+
+val default_spec : spec
+val generate : rng:Stats.Rng.t -> spec -> flow_desc list
+(** Flows ordered by start time. *)
+
+val true_packet_counts : flow_desc list -> (int, int) Hashtbl.t
+(** Key (packed flow hash) -> total packets; ground truth for sketch
+    accuracy experiments. *)
+
+val replay :
+  sched:Eventsim.Scheduler.t ->
+  flows:flow_desc list ->
+  rate_pps_per_flow:float ->
+  send:(Netcore.Packet.t -> unit) ->
+  unit ->
+  Traffic.t list
+(** Start a CBR-ish sub-source per flow emitting its packets. *)

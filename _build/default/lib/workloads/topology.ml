@@ -1,0 +1,102 @@
+module Network = Evcore.Network
+module Event_switch = Evcore.Event_switch
+module Host = Evcore.Host
+
+type role = Leaf of int | Spine of int | Standalone of int
+
+type single = {
+  network : Network.t;
+  switch : Event_switch.t;
+  hosts : Host.t array;
+  host_links : Tmgr.Link.t array;
+}
+
+let with_ports config n =
+  if config.Event_switch.num_ports >= n then config
+  else { config with Event_switch.num_ports = n }
+
+let single ~sched ~num_hosts ~config ~program ?host_delay () =
+  if num_hosts <= 0 then invalid_arg "Topology.single: num_hosts";
+  let network = Network.create ~sched in
+  let config = with_ports config num_hosts in
+  let switch = Event_switch.create ~sched ~id:0 ~config ~program () in
+  let hosts = Array.init num_hosts (fun id -> Host.create ~sched ~id ()) in
+  let host_links =
+    Array.mapi
+      (fun i host ->
+        Network.connect_host network ~host ~switch:(switch, i) ?delay:host_delay ())
+      hosts
+  in
+  { network; switch; hosts; host_links }
+
+type chain = {
+  network : Network.t;
+  switches : Event_switch.t array;
+  hosts : Host.t array;
+  inter_links : Tmgr.Link.t array;
+}
+
+let chain ~sched ~num_switches ~config ~program ?link_delay ?detection_delay () =
+  if num_switches <= 0 then invalid_arg "Topology.chain: num_switches";
+  let network = Network.create ~sched in
+  let switches =
+    Array.init num_switches (fun i ->
+        let role = Standalone i in
+        let cfg = with_ports (config role) 3 in
+        Event_switch.create ~sched ~id:i ~config:cfg ~program:(program role) ())
+  in
+  let hosts = Array.init num_switches (fun id -> Host.create ~sched ~id ()) in
+  Array.iteri
+    (fun i host -> ignore (Network.connect_host network ~host ~switch:(switches.(i), 0) ()))
+    hosts;
+  let inter_links =
+    Array.init (max 0 (num_switches - 1)) (fun i ->
+        Network.connect_switches network ~a:(switches.(i), 1) ~b:(switches.(i + 1), 2)
+          ?delay:link_delay ?detection_delay ())
+  in
+  { network; switches; hosts; inter_links }
+
+type leaf_spine = {
+  network : Network.t;
+  leaves : Event_switch.t array;
+  spines : Event_switch.t array;
+  hosts : Host.t array array;
+  uplinks : Tmgr.Link.t array array;
+}
+
+let uplink_port ~hosts_per_leaf ~spine = hosts_per_leaf + spine
+
+let leaf_spine ~sched ~num_leaves ~num_spines ~hosts_per_leaf ~config ~program ?host_delay
+    ?fabric_delay ?detection_delay () =
+  if num_leaves <= 0 || num_spines <= 0 || hosts_per_leaf <= 0 then
+    invalid_arg "Topology.leaf_spine: sizes must be positive";
+  let network = Network.create ~sched in
+  let leaves =
+    Array.init num_leaves (fun l ->
+        let cfg = with_ports (config (Leaf l)) (hosts_per_leaf + num_spines) in
+        Event_switch.create ~sched ~id:l ~config:cfg ~program:(program (Leaf l)) ())
+  in
+  let spines =
+    Array.init num_spines (fun s ->
+        let cfg = with_ports (config (Spine s)) num_leaves in
+        Event_switch.create ~sched ~id:(1000 + s) ~config:cfg ~program:(program (Spine s)) ())
+  in
+  let hosts =
+    Array.init num_leaves (fun l ->
+        Array.init hosts_per_leaf (fun h -> Host.create ~sched ~id:((l * hosts_per_leaf) + h) ()))
+  in
+  Array.iteri
+    (fun l row ->
+      Array.iteri
+        (fun h host ->
+          ignore (Network.connect_host network ~host ~switch:(leaves.(l), h) ?delay:host_delay ()))
+        row)
+    hosts;
+  let uplinks =
+    Array.init num_leaves (fun l ->
+        Array.init num_spines (fun s ->
+            Network.connect_switches network
+              ~a:(leaves.(l), uplink_port ~hosts_per_leaf ~spine:s)
+              ~b:(spines.(s), l) ?delay:fabric_delay ?detection_delay ()))
+  in
+  { network; leaves; spines; hosts; uplinks }

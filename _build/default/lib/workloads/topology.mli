@@ -1,0 +1,70 @@
+(** Topology builders.
+
+    Port conventions:
+    - [single]: host [i] on port [i].
+    - [chain]: host [i] on port 0 of switch [i]; switch [i] port 1
+      connects to switch [i+1] port 2.
+    - [leaf_spine]: on a leaf, ports [0 .. hosts_per_leaf-1] face
+      hosts and port [hosts_per_leaf + s] is the uplink to spine [s];
+      on a spine, port [l] faces leaf [l]. *)
+
+type role = Leaf of int | Spine of int | Standalone of int
+
+type single = {
+  network : Evcore.Network.t;
+  switch : Evcore.Event_switch.t;
+  hosts : Evcore.Host.t array;
+  host_links : Tmgr.Link.t array;
+}
+
+val single :
+  sched:Eventsim.Scheduler.t ->
+  num_hosts:int ->
+  config:Evcore.Event_switch.config ->
+  program:Evcore.Program.spec ->
+  ?host_delay:Eventsim.Sim_time.t ->
+  unit ->
+  single
+(** One switch with [num_hosts] hosts; the config's [num_ports] is
+    raised to at least [num_hosts]. *)
+
+type chain = {
+  network : Evcore.Network.t;
+  switches : Evcore.Event_switch.t array;
+  hosts : Evcore.Host.t array;
+  inter_links : Tmgr.Link.t array;  (** [i] connects switch i and i+1 *)
+}
+
+val chain :
+  sched:Eventsim.Scheduler.t ->
+  num_switches:int ->
+  config:(role -> Evcore.Event_switch.config) ->
+  program:(role -> Evcore.Program.spec) ->
+  ?link_delay:Eventsim.Sim_time.t ->
+  ?detection_delay:Eventsim.Sim_time.t ->
+  unit ->
+  chain
+
+type leaf_spine = {
+  network : Evcore.Network.t;
+  leaves : Evcore.Event_switch.t array;
+  spines : Evcore.Event_switch.t array;
+  hosts : Evcore.Host.t array array;  (** hosts.(leaf).(i) *)
+  uplinks : Tmgr.Link.t array array;  (** uplinks.(leaf).(spine) *)
+}
+
+val leaf_spine :
+  sched:Eventsim.Scheduler.t ->
+  num_leaves:int ->
+  num_spines:int ->
+  hosts_per_leaf:int ->
+  config:(role -> Evcore.Event_switch.config) ->
+  program:(role -> Evcore.Program.spec) ->
+  ?host_delay:Eventsim.Sim_time.t ->
+  ?fabric_delay:Eventsim.Sim_time.t ->
+  ?detection_delay:Eventsim.Sim_time.t ->
+  unit ->
+  leaf_spine
+
+val uplink_port : hosts_per_leaf:int -> spine:int -> int
+(** The leaf port facing [spine]. *)

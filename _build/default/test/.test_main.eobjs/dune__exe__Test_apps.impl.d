@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Devents Evcore Eventsim Float Hashtbl List Netcore Option Printf QCheck Stats Tmgr Workloads

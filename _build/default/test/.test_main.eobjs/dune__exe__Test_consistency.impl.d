@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Devents Eventsim List Pisa QCheck QCheck_alcotest Stats String

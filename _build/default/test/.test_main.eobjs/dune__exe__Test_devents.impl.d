@@ -1,0 +1,1 @@
+test/test_devents.ml: Alcotest Array Devents Eventsim Fun List Netcore Pisa Printf QCheck QCheck_alcotest Stats

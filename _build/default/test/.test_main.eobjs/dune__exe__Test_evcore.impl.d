@@ -1,0 +1,1 @@
+test/test_evcore.ml: Alcotest Array Devents Evcore Eventsim List Netcore Option Pisa QCheck QCheck_alcotest Stats Tmgr

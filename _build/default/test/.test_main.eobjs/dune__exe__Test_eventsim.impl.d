@@ -1,0 +1,1 @@
+test/test_eventsim.ml: Alcotest Eventsim List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netcore.ml: Alcotest Array Bytes Netcore QCheck QCheck_alcotest

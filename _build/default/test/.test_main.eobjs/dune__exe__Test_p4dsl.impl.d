@@ -1,0 +1,1 @@
+test/test_p4dsl.ml: Alcotest Array Devents Evcore Eventsim Hashtbl List Netcore P4dsl Pisa Printf QCheck QCheck_alcotest String Workloads

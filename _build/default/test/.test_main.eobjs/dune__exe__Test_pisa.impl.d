@@ -1,0 +1,1 @@
+test/test_pisa.ml: Alcotest Eventsim Hashtbl List Netcore Option Pisa QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_resmodel.ml: Alcotest List Resmodel

@@ -1,0 +1,1 @@
+test/test_tmgr.ml: Alcotest Devents Eventsim List Netcore Option QCheck QCheck_alcotest Stats Tmgr

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Evcore Eventsim Float Hashtbl List Netcore Printf Stats Workloads

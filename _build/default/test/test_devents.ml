@@ -1,0 +1,343 @@
+(* Tests for the event substrate: event queues, timer unit, packet
+   generator, event merger, shared registers (incl. Figure 3
+   aggregation). *)
+
+module Scheduler = Eventsim.Scheduler
+module Sim_time = Eventsim.Sim_time
+module Event = Devents.Event
+module Event_queue = Devents.Event_queue
+module Timer_unit = Devents.Timer_unit
+module Packet_gen = Devents.Packet_gen
+module Event_merger = Devents.Event_merger
+module Shared_register = Devents.Shared_register
+module Pipeline = Pisa.Pipeline
+
+let test_event_classes () =
+  Alcotest.(check int) "thirteen classes (Table 1)" 13 Event.num_classes;
+  Alcotest.(check int) "list matches" Event.num_classes (List.length Event.all_classes);
+  (* Indexes are a bijection. *)
+  let seen = Array.make Event.num_classes false in
+  List.iter (fun c -> seen.(Event.cls_index c) <- true) Event.all_classes;
+  Alcotest.(check bool) "bijection" true (Array.for_all Fun.id seen)
+
+let test_event_queue_bounds () =
+  let q = Event_queue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Event_queue.push q 1);
+  Alcotest.(check bool) "push 2" true (Event_queue.push q 2);
+  Alcotest.(check bool) "push 3 drops" false (Event_queue.push q 3);
+  Alcotest.(check int) "dropped" 1 (Event_queue.dropped q);
+  Alcotest.(check (option int)) "fifo" (Some 1) (Event_queue.pop q);
+  Alcotest.(check int) "watermark" 2 (Event_queue.high_watermark q)
+
+let test_timer_quantisation () =
+  let sched = Scheduler.create () in
+  let fired = ref [] in
+  let tu =
+    Timer_unit.create ~sched ~resolution:(Sim_time.ns 100)
+      ~sink:(fun ev -> match ev with Event.Timer t -> fired := t :: !fired | _ -> ())
+      ()
+  in
+  (* Period 250ns with 100ns resolution: firings quantise up
+     (scheduled 250/500/750/1000 -> fired 300/500/800/1000). *)
+  ignore (Timer_unit.add_periodic tu ~period:(Sim_time.ns 250));
+  Scheduler.run ~until:(Sim_time.ns 1000) sched;
+  let fired = List.rev !fired in
+  Alcotest.(check int) "count" 4 (List.length fired);
+  List.iter
+    (fun (t : Event.timer_event) ->
+      Alcotest.(check int) "fired on tick" 0 (t.Event.fired mod Sim_time.ns 100);
+      Alcotest.(check bool) "never early" true (t.Event.fired >= t.Event.scheduled))
+    fired
+
+let test_timer_cancel () =
+  let sched = Scheduler.create () in
+  let count = ref 0 in
+  let tu = Timer_unit.create ~sched ~sink:(fun _ -> incr count) () in
+  let id = Timer_unit.add_periodic tu ~period:(Sim_time.us 1) in
+  ignore
+    (Scheduler.schedule sched ~at:(Sim_time.us 3 + Sim_time.ns 500) (fun () ->
+         Timer_unit.cancel tu id));
+  Scheduler.run ~until:(Sim_time.us 10) sched;
+  Alcotest.(check int) "three firings then cancelled" 3 !count
+
+let test_oneshot_timer () =
+  let sched = Scheduler.create () in
+  let times = ref [] in
+  let tu =
+    Timer_unit.create ~sched
+      ~sink:(fun ev -> times := Event.time_of ev :: !times)
+      ()
+  in
+  ignore (Timer_unit.add_oneshot tu ~delay:(Sim_time.us 5));
+  Scheduler.run sched;
+  Alcotest.(check (list int)) "fires once" [ Sim_time.us 5 ] !times;
+  Alcotest.(check int) "no active timers left" 0 (Timer_unit.active tu)
+
+let mk_pkt () =
+  Netcore.Packet.udp_packet
+    ~src:(Netcore.Ipv4_addr.of_string "10.0.0.1")
+    ~dst:(Netcore.Ipv4_addr.of_string "10.0.0.2")
+    ~src_port:1 ~dst_port:2 ~payload_len:22 ()
+
+let test_packet_gen_count () =
+  let sched = Scheduler.create () in
+  let got = ref 0 in
+  let pg = Packet_gen.create ~sched ~sink:(fun _ -> incr got) () in
+  Packet_gen.configure pg ~period:(Sim_time.us 1) ~count:5 ~template:(fun _ -> mk_pkt ()) ();
+  Scheduler.run ~until:(Sim_time.ms 1) sched;
+  Alcotest.(check int) "exactly count" 5 !got;
+  Alcotest.(check bool) "stopped" false (Packet_gen.running pg)
+
+let test_packet_gen_reconfigure () =
+  let sched = Scheduler.create () in
+  let got = ref 0 in
+  let pg = Packet_gen.create ~sched ~sink:(fun _ -> incr got) () in
+  Packet_gen.configure pg ~period:(Sim_time.us 1) ~template:(fun _ -> mk_pkt ()) ();
+  ignore
+    (Scheduler.schedule sched ~at:(Sim_time.us 10 + 1) (fun () -> Packet_gen.stop pg));
+  Scheduler.run ~until:(Sim_time.us 20) sched;
+  Alcotest.(check int) "stopped at 10us" 10 !got
+
+(* --- Event merger --- *)
+
+let merger_fixture ?config () =
+  let sched = Scheduler.create () in
+  let pipeline = Pipeline.create ~sched () in
+  let carriers = ref [] in
+  let merger =
+    Event_merger.create ~sched ~pipeline ?config
+      ~process:(fun c ~exit_time:_ -> carriers := c :: !carriers)
+      ()
+  in
+  (sched, pipeline, merger, carriers)
+
+let timer_ev n = Event.Timer { id = 0; period = 0; scheduled = n; fired = n; count = n }
+
+let test_merger_piggyback () =
+  let sched, _p, merger, carriers = merger_fixture () in
+  ignore (Event_merger.offer_event merger (timer_ev 1));
+  ignore (Event_merger.offer_packet merger Event_merger.Ingress (mk_pkt ()));
+  Scheduler.run sched;
+  match List.rev !carriers with
+  | [ c ] ->
+      Alcotest.(check bool) "packet present" true (c.Event_merger.pkt <> None);
+      Alcotest.(check int) "event piggybacked" 1 (List.length c.Event_merger.events);
+      Alcotest.(check int) "no empty carriers" 0 (Event_merger.empty_carriers merger);
+      Alcotest.(check int) "piggyback count" 1 (Event_merger.piggybacked_events merger)
+  | cs -> Alcotest.failf "expected one carrier, got %d" (List.length cs)
+
+let test_merger_empty_carrier () =
+  let sched, _p, merger, carriers = merger_fixture () in
+  ignore (Event_merger.offer_event merger (timer_ev 1));
+  Scheduler.run sched;
+  match !carriers with
+  | [ c ] ->
+      Alcotest.(check bool) "no packet" true (c.Event_merger.pkt = None);
+      Alcotest.(check int) "empty carrier counted" 1 (Event_merger.empty_carriers merger)
+  | cs -> Alcotest.failf "expected one carrier, got %d" (List.length cs)
+
+let test_merger_one_admission_per_cycle () =
+  let sched, pipeline, merger, carriers = merger_fixture () in
+  for _ = 1 to 5 do
+    ignore (Event_merger.offer_packet merger Event_merger.Ingress (mk_pkt ()))
+  done;
+  Scheduler.run sched;
+  Alcotest.(check int) "all admitted" 5 (List.length !carriers);
+  (* 5 admissions at 1/cycle: the last admission is at cycle 4. *)
+  Alcotest.(check int) "admissions" 5 (Pipeline.admissions pipeline);
+  Alcotest.(check int) "clock advanced 4 cycles" (4 * Pipeline.clock_period pipeline)
+    (Scheduler.now sched)
+
+let test_merger_priority_order () =
+  let sched, _p, merger, carriers = merger_fixture () in
+  (* Offer low-priority first; the carrier must list link-change before
+     enqueue. *)
+  let be =
+    Event.Enqueue
+      {
+        Event.port = 0;
+        qid = 0;
+        pkt_len = 100;
+        flow_id = 1;
+        meta = [||];
+        occupancy_pkts = 1;
+        occupancy_bytes = 100;
+        time = 0;
+      }
+  in
+  ignore (Event_merger.offer_event merger be);
+  ignore (Event_merger.offer_event merger (Event.Link_change { port = 1; up = false; time = 0 }));
+  ignore (Event_merger.offer_packet merger Event_merger.Ingress (mk_pkt ()));
+  Scheduler.run sched;
+  match !carriers with
+  | [ c ] ->
+      let classes = List.map Event.cls_of c.Event_merger.events in
+      Alcotest.(check (list string)) "priority order"
+        [ "link-status-change"; "buffer-enqueue" ]
+        (List.map Event.cls_name classes)
+  | cs -> Alcotest.failf "expected one carrier, got %d" (List.length cs)
+
+let test_merger_one_event_per_class_per_carrier () =
+  let sched, _p, merger, carriers = merger_fixture () in
+  ignore (Event_merger.offer_event merger (timer_ev 1));
+  ignore (Event_merger.offer_event merger (timer_ev 2));
+  Scheduler.run sched;
+  (* Two timer events cannot share a carrier: two empty carriers. *)
+  Alcotest.(check int) "two carriers" 2 (List.length !carriers);
+  List.iter
+    (fun c -> Alcotest.(check int) "one event each" 1 (List.length c.Event_merger.events))
+    !carriers
+
+let test_merger_event_drop_accounting () =
+  let config =
+    { Event_merger.default_config with Event_merger.event_queue_capacity = 4 }
+  in
+  let sched, _p, merger, _carriers = merger_fixture ~config () in
+  (* Offer 10 timer events at once; queue capacity 4 -> 6 dropped. *)
+  let accepted = ref 0 in
+  for i = 1 to 10 do
+    if Event_merger.offer_event merger (timer_ev i) then incr accepted
+  done;
+  Scheduler.run sched;
+  Alcotest.(check int) "accepted" 4 !accepted;
+  match Event_merger.event_drops merger with
+  | [ (cls, n) ] ->
+      Alcotest.(check string) "class" "timer-expiration" (Event.cls_name cls);
+      Alcotest.(check int) "dropped" 6 n
+  | other -> Alcotest.failf "unexpected drop list of length %d" (List.length other)
+
+(* --- Shared registers --- *)
+
+let shared_fixture mode =
+  let sched = Scheduler.create () in
+  let pipeline = Pipeline.create ~sched () in
+  let alloc = Pisa.Register_alloc.create () in
+  let reg =
+    Shared_register.create ~alloc ~pipeline ~mode ~name:"qsize" ~entries:8 ~width:32 ()
+  in
+  (sched, pipeline, alloc, reg)
+
+let test_multiport_immediate () =
+  let _sched, _p, _alloc, reg = shared_fixture Shared_register.Multiport in
+  Shared_register.event_add reg Shared_register.Enq_side 3 200;
+  Alcotest.(check int) "immediately visible" 200 (Shared_register.read reg 3);
+  Shared_register.event_add reg Shared_register.Deq_side 3 (-50);
+  Alcotest.(check int) "decrement" 150 (Shared_register.read reg 3);
+  Alcotest.(check int) "no pending" 0 (Shared_register.pending_ops reg);
+  Alcotest.(check bool) "no staleness recorded" true
+    (Shared_register.max_staleness_cycles reg = neg_infinity)
+
+let test_aggregated_coalesce_and_drain () =
+  let sched, pipeline, _alloc, reg = shared_fixture Shared_register.Aggregated in
+  (* Two event-side adds at cycle 0 coalesce into one dirty entry. *)
+  Shared_register.event_add reg Shared_register.Enq_side 2 100;
+  Shared_register.event_add reg Shared_register.Enq_side 2 50;
+  Alcotest.(check int) "coalesced" 1 (Shared_register.pending_ops reg);
+  Alcotest.(check int) "main still stale" 0 (Shared_register.read reg 2);
+  Alcotest.(check int) "true value" 150 (Shared_register.true_value reg 2);
+  (* Let 10 idle cycles pass; the drain budget then covers the op. *)
+  Scheduler.run ~until:(10 * Pipeline.clock_period pipeline) sched;
+  Alcotest.(check int) "applied after idle cycles" 150 (Shared_register.read reg 2);
+  Alcotest.(check int) "none pending" 0 (Shared_register.pending_ops reg);
+  Alcotest.(check int) "one applied op" 1 (Shared_register.applied_ops reg)
+
+let test_aggregated_conservation () =
+  let sched, pipeline, _alloc, reg = shared_fixture Shared_register.Aggregated in
+  let rng = Stats.Rng.create ~seed:5 in
+  let truth = Array.make 8 0 in
+  (* Random event-side traffic across 200 cycles. *)
+  for c = 0 to 199 do
+    ignore
+      (Scheduler.schedule sched
+         ~at:(c * Pipeline.clock_period pipeline)
+         (fun () ->
+           let i = Stats.Rng.int rng 8 in
+           let delta = Stats.Rng.int rng 100 - 50 in
+           truth.(i) <- truth.(i) + delta;
+           let side =
+             if Stats.Rng.bool rng then Shared_register.Enq_side else Shared_register.Deq_side
+           in
+           Shared_register.event_add reg side i delta))
+  done;
+  Scheduler.run sched;
+  Shared_register.sync reg;
+  for i = 0 to 7 do
+    (* Values are 32-bit wrapped; compare in that domain. *)
+    Alcotest.(check int)
+      (Printf.sprintf "slot %d conserved" i)
+      (truth.(i) land 0xffffffff)
+      (Shared_register.read reg i)
+  done
+
+let test_aggregated_staleness_bounded_when_idle () =
+  let sched, pipeline, _alloc, reg = shared_fixture Shared_register.Aggregated in
+  (* With an idle pipeline, staleness stays tiny: each op is applied at
+     the next access. *)
+  for k = 0 to 49 do
+    ignore
+      (Scheduler.schedule sched
+         ~at:(k * 10 * Pipeline.clock_period pipeline)
+         (fun () -> Shared_register.event_add reg Shared_register.Enq_side (k mod 8) 1))
+  done;
+  Scheduler.run sched;
+  Shared_register.sync reg;
+  let h = Shared_register.staleness reg in
+  Alcotest.(check bool) "some ops applied with staleness tracked" true
+    (Stats.Histogram.count h > 0);
+  Alcotest.(check bool) "staleness below 15 cycles" true (Stats.Histogram.max_seen h <= 15.)
+
+let test_aggregated_costs_three_arrays () =
+  let _sched, _p, alloc, reg = shared_fixture Shared_register.Aggregated in
+  Alcotest.(check int) "3x bits charged" (3 * 8 * 32) (Shared_register.total_bits reg);
+  Alcotest.(check int) "allocator agrees" (3 * 8 * 32) (Pisa.Register_alloc.total_bits alloc)
+
+let qcheck_aggregated_matches_multiport =
+  (* Property: after sync, an Aggregated register holds exactly what a
+     Multiport register holds under the same op sequence. *)
+  QCheck.Test.make ~name:"aggregated == multiport after sync" ~count:100
+    QCheck.(list (tup3 (int_bound 7) (int_range (-100) 100) bool))
+    (fun ops ->
+      let sched = Scheduler.create () in
+      let pipeline = Pipeline.create ~sched () in
+      let alloc = Pisa.Register_alloc.create () in
+      let mk mode =
+        Shared_register.create ~alloc ~pipeline ~mode ~name:"x" ~entries:8 ~width:32 ()
+      in
+      let a = mk Shared_register.Aggregated and m = mk Shared_register.Multiport in
+      List.iter
+        (fun (i, delta, enq) ->
+          let side = if enq then Shared_register.Enq_side else Shared_register.Deq_side in
+          Shared_register.event_add a side i delta;
+          Shared_register.event_add m side i delta)
+        ops;
+      Shared_register.sync a;
+      let ok = ref true in
+      for i = 0 to 7 do
+        if Shared_register.read a i <> Shared_register.read m i then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "event classes (Table 1)" `Quick test_event_classes;
+    Alcotest.test_case "event queue bounds" `Quick test_event_queue_bounds;
+    Alcotest.test_case "timer quantisation" `Quick test_timer_quantisation;
+    Alcotest.test_case "timer cancel" `Quick test_timer_cancel;
+    Alcotest.test_case "oneshot timer" `Quick test_oneshot_timer;
+    Alcotest.test_case "packet gen count" `Quick test_packet_gen_count;
+    Alcotest.test_case "packet gen stop" `Quick test_packet_gen_reconfigure;
+    Alcotest.test_case "merger piggyback" `Quick test_merger_piggyback;
+    Alcotest.test_case "merger empty carrier" `Quick test_merger_empty_carrier;
+    Alcotest.test_case "merger admission rate" `Quick test_merger_one_admission_per_cycle;
+    Alcotest.test_case "merger priority order" `Quick test_merger_priority_order;
+    Alcotest.test_case "merger one event/class/carrier" `Quick
+      test_merger_one_event_per_class_per_carrier;
+    Alcotest.test_case "merger drop accounting" `Quick test_merger_event_drop_accounting;
+    Alcotest.test_case "multiport immediate" `Quick test_multiport_immediate;
+    Alcotest.test_case "aggregated coalesce+drain" `Quick test_aggregated_coalesce_and_drain;
+    Alcotest.test_case "aggregated conservation" `Quick test_aggregated_conservation;
+    Alcotest.test_case "aggregated staleness bounded" `Quick
+      test_aggregated_staleness_bounded_when_idle;
+    Alcotest.test_case "aggregated costs 3 arrays" `Quick test_aggregated_costs_three_arrays;
+    QCheck_alcotest.to_alcotest qcheck_aggregated_matches_multiport;
+  ]

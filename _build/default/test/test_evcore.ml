@@ -1,0 +1,598 @@
+(* End-to-end tests of the switch architecture layer. *)
+
+module Scheduler = Eventsim.Scheduler
+module Sim_time = Eventsim.Sim_time
+module Packet = Netcore.Packet
+module Flow = Netcore.Flow
+module Ipv4_addr = Netcore.Ipv4_addr
+module Event = Devents.Event
+module Arch = Evcore.Arch
+module Program = Evcore.Program
+module Event_switch = Evcore.Event_switch
+module Control_plane = Evcore.Control_plane
+module Host = Evcore.Host
+module Network = Evcore.Network
+module Shared_register = Devents.Shared_register
+
+let mk_packet ?(bytes = 128) ?(src = 1) ?(dst = 2) () =
+  let payload_len = max 0 (bytes - 42) in
+  Packet.udp_packet
+    ~src:(Ipv4_addr.host ~subnet:1 src)
+    ~dst:(Ipv4_addr.host ~subnet:1 dst)
+    ~src_port:1000 ~dst_port:2000 ~payload_len ()
+
+let make_switch ?(arch = Arch.event_pisa_full) ?(tm_config = Tmgr.Traffic_manager.default_config)
+    ?merger_config ~sched program =
+  let config = Event_switch.default_config arch in
+  let config =
+    match merger_config with
+    | None -> { config with Event_switch.tm_config = tm_config }
+    | Some mc -> { config with Event_switch.tm_config = tm_config; merger_config = mc }
+  in
+  Event_switch.create ~sched ~config ~program ()
+
+let test_forward_path () =
+  let sched = Scheduler.create () in
+  let sw = make_switch ~sched (Program.forward_all ~name:"fwd" ~out_port:1) in
+  let received = ref [] in
+  Event_switch.set_port_tx sw ~port:1 (fun pkt -> received := pkt :: !received);
+  for _ = 1 to 10 do
+    Event_switch.inject sw ~port:0 (mk_packet ())
+  done;
+  Scheduler.run sched;
+  Alcotest.(check int) "all forwarded" 10 (List.length !received);
+  Alcotest.(check int) "ingress fired" 10 (Event_switch.fired sw Event.Ingress_packet);
+  Alcotest.(check int) "ingress handled" 10 (Event_switch.handled sw Event.Ingress_packet);
+  Alcotest.(check int) "tm enqueued" 10 (Tmgr.Traffic_manager.enqueues (Event_switch.tm sw));
+  Alcotest.(check int) "enqueue events fired" 10 (Event_switch.fired sw Event.Buffer_enqueue);
+  (* No handler subscribed, so none were delivered. *)
+  Alcotest.(check int) "enqueue events unhandled" 0 (Event_switch.handled sw Event.Buffer_enqueue)
+
+let test_pipeline_latency () =
+  let sched = Scheduler.create () in
+  let sw = make_switch ~sched (Program.forward_all ~name:"fwd" ~out_port:0) in
+  let arrival = ref (-1) in
+  Event_switch.set_port_tx sw ~port:0 (fun _ -> arrival := Scheduler.now sched);
+  let pkt = mk_packet ~bytes:64 () in
+  Event_switch.inject sw ~port:0 pkt;
+  Scheduler.run sched;
+  (* 16-cycle x 5ns pipeline + 64B at 10G serialization = 80ns + 51.2ns *)
+  let expected = Sim_time.ns 80 + Sim_time.tx_time ~bytes:64 ~gbps:10. in
+  Alcotest.(check int) "egress timestamp" expected !arrival
+
+let test_enqueue_dequeue_state () =
+  (* The paper's microburst skeleton: enqueue/dequeue handlers keep
+     per-flow buffer occupancy in a shared register; after the buffer
+     drains, occupancy must return to zero. *)
+  let sched = Scheduler.create () in
+  let reg = ref None in
+  let program ctx =
+    let r = Program.shared_register ctx ~name:"bufSize" ~entries:64 ~width:32 in
+    reg := Some r;
+    Program.make ~name:"occupancy"
+      ~ingress:(fun _ctx pkt ->
+        let fid = Netcore.Hashes.fold_range (Flow.hash_addresses (Packet.flow_exn pkt)) 64 in
+        pkt.Packet.meta.Packet.flow_id <- fid;
+        pkt.Packet.meta.Packet.enq_meta.(0) <- fid;
+        pkt.Packet.meta.Packet.deq_meta.(0) <- fid;
+        Program.Forward 1)
+      ~enqueue:(fun _ctx ev ->
+        Shared_register.event_add r Shared_register.Enq_side ev.Event.meta.(0) ev.Event.pkt_len)
+      ~dequeue:(fun _ctx ev ->
+        Shared_register.event_add r Shared_register.Deq_side ev.Event.meta.(0) (-ev.Event.pkt_len))
+      ()
+  in
+  let sw = make_switch ~sched program in
+  Event_switch.set_port_tx sw ~port:1 (fun _ -> ());
+  for i = 1 to 50 do
+    ignore
+      (Scheduler.schedule sched ~at:(i * Sim_time.ns 100) (fun () ->
+           Event_switch.inject sw ~port:0 (mk_packet ~bytes:200 ())))
+  done;
+  Scheduler.run sched;
+  let r = Option.get !reg in
+  Shared_register.sync r;
+  let total = ref 0 in
+  for i = 0 to 63 do
+    total := !total + Shared_register.read r i
+  done;
+  Alcotest.(check int) "occupancy returns to zero" 0 !total;
+  Alcotest.(check int) "enqueue handled 50" 50 (Event_switch.handled sw Event.Buffer_enqueue);
+  Alcotest.(check int) "dequeue handled 50" 50 (Event_switch.handled sw Event.Buffer_dequeue)
+
+let test_overflow_event () =
+  let sched = Scheduler.create () in
+  let overflows = ref 0 in
+  let program _ctx =
+    Program.make ~name:"ovf"
+      ~ingress:(fun _ctx _pkt -> Program.Forward 0)
+      ~overflow:(fun _ctx _ev -> incr overflows)
+      ()
+  in
+  let tm_config =
+    { Tmgr.Traffic_manager.default_config with Tmgr.Traffic_manager.buffer_bytes = 1000 }
+  in
+  let sw = make_switch ~sched ~tm_config program in
+  Event_switch.set_port_tx sw ~port:0 (fun _ -> ());
+  (* 20 x 500B back-to-back at t=0: pool of 1000B holds only 2. *)
+  for _ = 1 to 20 do
+    Event_switch.inject sw ~port:0 (mk_packet ~bytes:500 ())
+  done;
+  Scheduler.run sched;
+  Alcotest.(check bool) "overflow events delivered" true (!overflows > 0);
+  Alcotest.(check int) "tm drops match events" !overflows
+    (Tmgr.Traffic_manager.drops (Event_switch.tm sw))
+
+let test_timer_events () =
+  let sched = Scheduler.create () in
+  let fired = ref 0 in
+  let program ctx =
+    ignore (ctx.Program.add_timer ~period:(Sim_time.us 10));
+    Program.make ~name:"timer"
+      ~ingress:(fun _ctx _pkt -> Program.Drop)
+      ~timer:(fun _ctx _ev -> incr fired)
+      ()
+  in
+  let sw = make_switch ~sched program in
+  ignore sw;
+  Scheduler.run ~until:(Sim_time.ms 1) sched;
+  Alcotest.(check int) "100 timer firings in 1ms" 100 !fired
+
+let test_timer_unsupported_on_baseline () =
+  let sched = Scheduler.create () in
+  let program ctx =
+    ignore (ctx.Program.add_timer ~period:(Sim_time.us 10));
+    Program.make ~name:"timer" ~ingress:(fun _ctx _pkt -> Program.Drop) ()
+  in
+  Alcotest.check_raises "baseline has no timers"
+    (Program.Unsupported "baseline-psa has no timers") (fun () ->
+      ignore (make_switch ~arch:Arch.baseline_psa ~sched program))
+
+let test_baseline_masks_buffer_events () =
+  (* Same program as the event-driven one, installed on a baseline
+     architecture: buffer events fire in hardware but never reach the
+     program. *)
+  let sched = Scheduler.create () in
+  let got = ref 0 in
+  let program _ctx =
+    Program.make ~name:"mask"
+      ~ingress:(fun _ctx _pkt -> Program.Forward 1)
+      ~enqueue:(fun _ctx _ev -> incr got)
+      ()
+  in
+  let sw = make_switch ~arch:Arch.baseline_psa ~sched program in
+  Event_switch.set_port_tx sw ~port:1 (fun _ -> ());
+  for _ = 1 to 5 do
+    Event_switch.inject sw ~port:0 (mk_packet ())
+  done;
+  Scheduler.run sched;
+  Alcotest.(check int) "events fired in hw" 5 (Event_switch.fired sw Event.Buffer_enqueue);
+  Alcotest.(check int) "program never saw them" 0 !got
+
+let test_packet_generator () =
+  let sched = Scheduler.create () in
+  let program ctx =
+    ctx.Program.configure_pktgen ~period:(Sim_time.us 10) ~count:7
+      ~template:(fun i -> mk_packet ~src:(100 + i) ())
+      ();
+    Program.make ~name:"gen" ~ingress:(fun _ctx _pkt -> Program.Forward 2) ()
+  in
+  let sw = make_switch ~sched program in
+  let out = ref 0 in
+  Event_switch.set_port_tx sw ~port:2 (fun _ -> incr out);
+  Scheduler.run ~until:(Sim_time.ms 1) sched;
+  Alcotest.(check int) "generated packets forwarded" 7 !out;
+  Alcotest.(check int) "generated events fired" 7 (Event_switch.fired sw Event.Generated_packet);
+  Alcotest.(check int) "handled as generated" 7 (Event_switch.handled sw Event.Generated_packet)
+
+let test_link_status_event () =
+  let sched = Scheduler.create () in
+  let changes = ref [] in
+  let program _ctx =
+    Program.make ~name:"link"
+      ~ingress:(fun _ctx _pkt -> Program.Drop)
+      ~link_change:(fun _ctx (ev : Event.link_event) -> changes := ev.Event.up :: !changes)
+      ()
+  in
+  let sw = make_switch ~sched program in
+  ignore (Scheduler.schedule sched ~at:(Sim_time.us 1) (fun () ->
+      Event_switch.link_status sw ~port:2 ~up:false));
+  ignore (Scheduler.schedule sched ~at:(Sim_time.us 2) (fun () ->
+      Event_switch.link_status sw ~port:2 ~up:true));
+  (* A duplicate "up" must not fire another event. *)
+  ignore (Scheduler.schedule sched ~at:(Sim_time.us 3) (fun () ->
+      Event_switch.link_status sw ~port:2 ~up:true));
+  Scheduler.run sched;
+  Alcotest.(check (list bool)) "down then up" [ false; true ] (List.rev !changes)
+
+let test_control_and_user_events () =
+  let sched = Scheduler.create () in
+  let control = ref 0 and user = ref (-1) in
+  let program _ctx =
+    Program.make ~name:"ctl"
+      ~ingress:(fun ctx _pkt ->
+        ctx.Program.emit_user_event ~tag:3 ~data:99;
+        Program.Drop)
+      ~control:(fun _ctx (ev : Event.control_event) -> control := ev.Event.opcode)
+      ~user:(fun _ctx (ev : Event.user_event) -> user := ev.Event.data)
+      ()
+  in
+  let sw = make_switch ~sched program in
+  Event_switch.control_event sw ~opcode:7 ~arg:1;
+  Event_switch.inject sw ~port:0 (mk_packet ());
+  Scheduler.run sched;
+  Alcotest.(check int) "control delivered" 7 !control;
+  Alcotest.(check int) "user event delivered" 99 !user
+
+let test_recirculation () =
+  let sched = Scheduler.create () in
+  let program _ctx =
+    Program.make ~name:"recirc"
+      ~ingress:(fun _ctx _pkt -> Program.Recirculate)
+      ~recirculated:(fun _ctx _pkt -> Program.Forward 1)
+      ()
+  in
+  let sw = make_switch ~sched program in
+  let out = ref 0 in
+  Event_switch.set_port_tx sw ~port:1 (fun _ -> incr out);
+  Event_switch.inject sw ~port:0 (mk_packet ());
+  Scheduler.run sched;
+  Alcotest.(check int) "recirculated then forwarded" 1 !out;
+  Alcotest.(check int) "recirculations counted" 1 (Event_switch.recirculations sw);
+  Alcotest.(check int) "handled as recirculated" 1
+    (Event_switch.handled sw Event.Recirculated_packet)
+
+let test_recirculation_unsupported () =
+  let sched = Scheduler.create () in
+  let program _ctx =
+    Program.make ~name:"recirc" ~ingress:(fun _ctx _pkt -> Program.Recirculate) ()
+  in
+  let sw = make_switch ~arch:Arch.sume_event_switch ~sched program in
+  Event_switch.inject sw ~port:0 (mk_packet ());
+  Scheduler.run sched;
+  Alcotest.(check int) "counted unsupported" 1 (Event_switch.unsupported_actions sw)
+
+let test_multicast () =
+  let sched = Scheduler.create () in
+  let program _ctx =
+    Program.make ~name:"mc" ~ingress:(fun _ctx _pkt -> Program.Multicast [ 1; 2; 3 ]) ()
+  in
+  let sw = make_switch ~sched program in
+  let out = Array.make 4 0 in
+  for p = 1 to 3 do
+    Event_switch.set_port_tx sw ~port:p (fun _ -> out.(p) <- out.(p) + 1)
+  done;
+  Event_switch.inject sw ~port:0 (mk_packet ());
+  Scheduler.run sched;
+  Alcotest.(check (list int)) "one copy per port" [ 1; 1; 1 ] [ out.(1); out.(2); out.(3) ]
+
+let test_egress_handler_psa () =
+  let sched = Scheduler.create () in
+  let program _ctx =
+    Program.make ~name:"egress-drop"
+      ~ingress:(fun _ctx _pkt -> Program.Forward 1)
+      ~egress:(fun _ctx ~port:_ pkt ->
+        if pkt.Packet.payload_len > 100 then None else Some pkt)
+      ()
+  in
+  let sw = make_switch ~arch:Arch.baseline_psa ~sched program in
+  let out = ref 0 in
+  Event_switch.set_port_tx sw ~port:1 (fun _ -> incr out);
+  Event_switch.inject sw ~port:0 (mk_packet ~bytes:80 ());
+  Event_switch.inject sw ~port:0 (mk_packet ~bytes:500 ());
+  Scheduler.run sched;
+  Alcotest.(check int) "small passed, big dropped at egress" 1 !out;
+  Alcotest.(check int) "egress drop counted" 1
+    (Tmgr.Traffic_manager.egress_drops (Event_switch.tm sw))
+
+let test_cp_injection () =
+  let sched = Scheduler.create () in
+  let rng = Stats.Rng.create ~seed:1 in
+  let cp = Control_plane.create ~sched ~rng () in
+  let program _ctx =
+    Program.make ~name:"fwd" ~ingress:(fun _ctx _pkt -> Program.Forward 1) ()
+  in
+  let sw = make_switch ~arch:Arch.baseline_psa ~sched program in
+  let out = ref 0 in
+  Event_switch.set_port_tx sw ~port:1 (fun _ -> incr out);
+  Control_plane.submit cp (fun () -> Event_switch.inject_from_control_plane sw (mk_packet ()));
+  Scheduler.run sched;
+  Alcotest.(check int) "cp-injected forwarded" 1 !out;
+  Alcotest.(check int) "counted" 1 (Event_switch.cp_injections sw);
+  Alcotest.(check bool) "paid latency" true (Scheduler.now sched >= Sim_time.us 200)
+
+let test_control_plane_rate_limit () =
+  let sched = Scheduler.create () in
+  let rng = Stats.Rng.create ~seed:1 in
+  let cp = Control_plane.create ~sched ~op_rate_per_sec:1000. ~jitter:0 ~rng () in
+  let times = ref [] in
+  for _ = 1 to 5 do
+    Control_plane.submit cp (fun () -> times := Scheduler.now sched :: !times)
+  done;
+  Scheduler.run sched;
+  let times = List.rev !times in
+  let rec gaps = function a :: (b :: _ as rest) -> (b - a) :: gaps rest | [ _ ] | [] -> [] in
+  List.iter
+    (fun g -> Alcotest.(check bool) "gap >= 1ms at 1000 ops/s" true (g >= Sim_time.ms 1))
+    (gaps times);
+  Alcotest.(check int) "all ops ran" 5 (Control_plane.ops cp)
+
+let test_notifications () =
+  let sched = Scheduler.create () in
+  let program _ctx =
+    Program.make ~name:"notify"
+      ~ingress:(fun ctx _pkt ->
+        ctx.Program.notify_monitor "hello";
+        Program.Drop)
+      ()
+  in
+  let sw = make_switch ~sched program in
+  let seen = ref 0 in
+  Event_switch.on_notification sw (fun ~time:_ msg ->
+      if msg = "hello" then incr seen);
+  Event_switch.inject sw ~port:0 (mk_packet ());
+  Scheduler.run sched;
+  Alcotest.(check int) "callback" 1 !seen;
+  Alcotest.(check int) "count" 1 (Event_switch.notification_count sw)
+
+let test_host_network_roundtrip () =
+  let sched = Scheduler.create () in
+  let network = Network.create ~sched in
+  let program _ctx =
+    Program.make ~name:"fwd01"
+      ~ingress:(fun _ctx pkt ->
+        (* Port 0 <-> port 1 crossover. *)
+        if pkt.Packet.meta.Packet.ingress_port = 0 then Program.Forward 1 else Program.Forward 0)
+      ()
+  in
+  let config = Event_switch.default_config Arch.event_pisa_full in
+  let sw = Event_switch.create ~sched ~config ~program () in
+  let h0 = Host.create ~sched ~id:0 () and h1 = Host.create ~sched ~id:1 () in
+  ignore (Network.connect_host network ~host:h0 ~switch:(sw, 0) ());
+  ignore (Network.connect_host network ~host:h1 ~switch:(sw, 1) ());
+  Host.set_receiver h1 (fun h pkt ->
+      (* Bounce one reply back. *)
+      if Host.received h = 1 then
+        Host.send h (mk_packet ~src:2 ~dst:1 ~bytes:(Packet.len pkt) ()));
+  Host.send h0 (mk_packet ~src:1 ~dst:2 ());
+  Scheduler.run sched;
+  Alcotest.(check int) "h1 received" 1 (Host.received h1);
+  Alcotest.(check int) "h0 got the bounce" 1 (Host.received h0)
+
+let test_link_failure_loses_packets_and_notifies () =
+  let sched = Scheduler.create () in
+  let network = Network.create ~sched in
+  let down_seen = ref 0 in
+  let program _ctx =
+    Program.make ~name:"fwd"
+      ~ingress:(fun _ctx _pkt -> Program.Forward 1)
+      ~link_change:(fun _ctx (ev : Event.link_event) -> if not ev.Event.up then incr down_seen)
+      ()
+  in
+  let config = Event_switch.default_config Arch.event_pisa_full in
+  let sw_a = Event_switch.create ~sched ~id:0 ~config ~program () in
+  let sw_b = Event_switch.create ~sched ~id:1 ~config ~program () in
+  let link = Network.connect_switches network ~a:(sw_a, 1) ~b:(sw_b, 1) () in
+  Event_switch.set_port_tx sw_b ~port:1 (fun _ -> ());
+  ignore (Scheduler.schedule sched ~at:(Sim_time.us 5) (fun () -> Tmgr.Link.fail link));
+  (* A packet sent after the failure must be lost. *)
+  ignore
+    (Scheduler.schedule sched ~at:(Sim_time.us 6) (fun () ->
+         Event_switch.inject sw_a ~port:0 (mk_packet ())));
+  Scheduler.run sched;
+  Alcotest.(check int) "both switches saw link-down" 2 !down_seen;
+  Alcotest.(check bool) "packet lost on dead link" true (Tmgr.Link.lost link >= 1)
+
+let test_empty_carriers_for_events () =
+  (* Timer events with no traffic ride empty carriers. *)
+  let sched = Scheduler.create () in
+  let program ctx =
+    ignore (ctx.Program.add_timer ~period:(Sim_time.us 1));
+    Program.make ~name:"t" ~ingress:(fun _ctx _pkt -> Program.Drop)
+      ~timer:(fun _ctx _ev -> ())
+      ()
+  in
+  let sw = make_switch ~sched program in
+  Scheduler.run ~until:(Sim_time.us 100) sched;
+  let merger = Event_switch.merger sw in
+  Alcotest.(check int) "each timer event rode an empty carrier" 100
+    (Devents.Event_merger.empty_carriers merger);
+  Alcotest.(check int) "pipeline saw empty carriers" 100
+    (Pisa.Pipeline.empty_carriers (Event_switch.pipeline sw))
+
+(* --- edge cases and failure injection --- *)
+
+let test_unrouted_ports_counted () =
+  let sched = Scheduler.create () in
+  (* Forward to an unwired port and to an out-of-range port. *)
+  let program _ctx =
+    Program.make ~name:"bad-routes"
+      ~ingress:(fun _ctx pkt ->
+        if pkt.Packet.meta.Packet.ingress_port = 0 then Program.Forward 2 (* unwired *)
+        else Program.Forward 99 (* out of range *))
+      ()
+  in
+  let sw = make_switch ~sched program in
+  Event_switch.inject sw ~port:0 (mk_packet ());
+  Event_switch.inject sw ~port:1 (mk_packet ());
+  Scheduler.run sched;
+  (* The unwired port discards at transmit time; the invalid port is
+     rejected at decision time: both count as unrouted. *)
+  Alcotest.(check int) "both counted unrouted" 2 (Event_switch.unrouted sw)
+
+let test_inject_bad_port_raises () =
+  let sched = Scheduler.create () in
+  let sw = make_switch ~sched (Program.forward_all ~name:"fwd" ~out_port:0) in
+  Alcotest.check_raises "bad port" (Invalid_argument "Event_switch.inject: bad port")
+    (fun () -> Event_switch.inject sw ~port:7 (mk_packet ()))
+
+let test_merger_packet_queue_overflow () =
+  let sched = Scheduler.create () in
+  let merger_config =
+    { Devents.Event_merger.default_config with Devents.Event_merger.packet_queue_capacity = 4 }
+  in
+  let sw = make_switch ~sched ~merger_config (Program.forward_all ~name:"fwd" ~out_port:1) in
+  (* 10 packets at the same instant: only 4 fit the input queue plus
+     the ones admitted as cycles pass. *)
+  for _ = 1 to 10 do
+    Event_switch.inject sw ~port:0 (mk_packet ())
+  done;
+  Scheduler.run sched;
+  Alcotest.(check bool) "input overflow counted" true
+    (Devents.Event_merger.packet_drops (Event_switch.merger sw) > 0)
+
+let test_user_events_masked_on_sume () =
+  (* The SUME prototype has no user events: emitting one fires it in
+     hardware but never delivers it. *)
+  let sched = Scheduler.create () in
+  let got = ref 0 in
+  let program _ctx =
+    Program.make ~name:"user"
+      ~ingress:(fun ctx _pkt ->
+        ctx.Program.emit_user_event ~tag:1 ~data:1;
+        Program.Drop)
+      ~user:(fun _ctx _ev -> incr got)
+      ()
+  in
+  let sw = make_switch ~arch:Arch.sume_event_switch ~sched program in
+  Event_switch.inject sw ~port:0 (mk_packet ());
+  Scheduler.run sched;
+  Alcotest.(check int) "fired" 1 (Event_switch.fired sw Event.User_event);
+  Alcotest.(check int) "masked" 0 !got
+
+let test_pifo_switch_end_to_end () =
+  (* A PIFO-scheduled switch: while a long packet serialises, a later
+     high-priority (low rank) packet overtakes an earlier low-priority
+     one. *)
+  let sched = Scheduler.create () in
+  let program _ctx =
+    Program.make ~name:"rank"
+      ~ingress:(fun _ctx pkt ->
+        pkt.Packet.meta.Packet.priority <- Packet.len pkt (* shorter = more urgent *);
+        Program.Forward 1)
+      ()
+  in
+  let tm_config =
+    { Tmgr.Traffic_manager.default_config with Tmgr.Traffic_manager.policy = Tmgr.Traffic_manager.Pifo_sched }
+  in
+  let config = Event_switch.default_config Arch.event_pisa_full in
+  let config = { config with Event_switch.tm_config } in
+  let sw = Event_switch.create ~sched ~config ~program () in
+  let order = ref [] in
+  Event_switch.set_port_tx sw ~port:1 (fun pkt -> order := Packet.len pkt :: !order);
+  Event_switch.inject sw ~port:0 (mk_packet ~bytes:1500 ());
+  Event_switch.inject sw ~port:0 (mk_packet ~bytes:1000 ());
+  Event_switch.inject sw ~port:0 (mk_packet ~bytes:100 ());
+  Scheduler.run sched;
+  Alcotest.(check (list int)) "short packet overtakes" [ 1500; 100; 1000 ] (List.rev !order)
+
+let test_cp_notify_path () =
+  let sched = Scheduler.create () in
+  let rng = Stats.Rng.create ~seed:9 in
+  let cp = Control_plane.create ~sched ~rng () in
+  let got_at = ref 0 in
+  Control_plane.notify cp (fun () -> got_at := Scheduler.now sched);
+  Scheduler.run sched;
+  Alcotest.(check int) "one-way latency paid" (Sim_time.us 200) !got_at;
+  Alcotest.(check int) "notification counted" 1 (Control_plane.notifications cp)
+
+let test_scheduler_negative_delay_raises () =
+  let sched = Scheduler.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Scheduler.schedule_after: negative delay")
+    (fun () -> ignore (Scheduler.schedule_after sched ~delay:(-1) (fun () -> ())))
+
+let test_pktgen_zero_period_raises () =
+  let sched = Scheduler.create () in
+  let pg = Devents.Packet_gen.create ~sched ~sink:(fun _ -> ()) () in
+  Alcotest.check_raises "zero period"
+    (Invalid_argument "Packet_gen.configure: period must be positive") (fun () ->
+      Devents.Packet_gen.configure pg ~period:0 ~template:(fun _ -> mk_packet ()) ())
+
+let test_multicast_with_invalid_member () =
+  (* One bad port in a multicast set: the others still get a copy. *)
+  let sched = Scheduler.create () in
+  let program _ctx =
+    Program.make ~name:"mc" ~ingress:(fun _ctx _pkt -> Program.Multicast [ 1; 42; 2 ]) ()
+  in
+  let sw = make_switch ~sched program in
+  let got = ref 0 in
+  Event_switch.set_port_tx sw ~port:1 (fun _ -> incr got);
+  Event_switch.set_port_tx sw ~port:2 (fun _ -> incr got);
+  Event_switch.inject sw ~port:0 (mk_packet ());
+  Scheduler.run sched;
+  Alcotest.(check int) "two valid copies" 2 !got;
+  Alcotest.(check int) "bad member counted" 1 (Event_switch.unrouted sw)
+
+let qcheck_switch_conservation =
+  (* End-to-end: injected = transmitted + program drops + TM drops +
+     egress drops + unrouted + merger input drops, once drained. *)
+  QCheck.Test.make ~name:"switch conserves packets end to end" ~count:40
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 100))
+    (fun (seed, n) ->
+      let sched = Scheduler.create () in
+      let rng = Stats.Rng.create ~seed in
+      let program _ctx =
+        Program.make ~name:"mix"
+          ~ingress:(fun _ctx pkt ->
+            match pkt.Packet.uid mod 4 with
+            | 0 -> Program.Drop
+            | 1 -> Program.Forward 1
+            | 2 -> Program.Forward 2 (* unwired: discarded at tx *)
+            | _ -> Program.Forward 0)
+          ()
+      in
+      let tm_config =
+        { Tmgr.Traffic_manager.default_config with Tmgr.Traffic_manager.buffer_bytes = 10_000 }
+      in
+      let sw = make_switch ~sched ~tm_config program in
+      let received = ref 0 in
+      Event_switch.set_port_tx sw ~port:0 (fun _ -> incr received);
+      Event_switch.set_port_tx sw ~port:1 (fun _ -> incr received);
+      for i = 0 to n - 1 do
+        ignore
+          (Scheduler.schedule sched
+             ~at:(i * Sim_time.ns (30 + Stats.Rng.int rng 300))
+             (fun () ->
+               Event_switch.inject sw ~port:(Stats.Rng.int rng 4)
+                 (mk_packet ~bytes:(64 + Stats.Rng.int rng 900) ())))
+      done;
+      Scheduler.run sched;
+      let tm = Event_switch.tm sw in
+      n
+      = !received + Event_switch.unrouted sw + Event_switch.program_drops sw
+        + Tmgr.Traffic_manager.drops tm
+        + Devents.Event_merger.packet_drops (Event_switch.merger sw))
+
+let suite =
+  [
+    Alcotest.test_case "forward path" `Quick test_forward_path;
+    Alcotest.test_case "pipeline latency" `Quick test_pipeline_latency;
+    Alcotest.test_case "enqueue/dequeue shared state" `Quick test_enqueue_dequeue_state;
+    Alcotest.test_case "overflow events" `Quick test_overflow_event;
+    Alcotest.test_case "timer events" `Quick test_timer_events;
+    Alcotest.test_case "timers unsupported on baseline" `Quick test_timer_unsupported_on_baseline;
+    Alcotest.test_case "baseline masks buffer events" `Quick test_baseline_masks_buffer_events;
+    Alcotest.test_case "packet generator" `Quick test_packet_generator;
+    Alcotest.test_case "link status events" `Quick test_link_status_event;
+    Alcotest.test_case "control + user events" `Quick test_control_and_user_events;
+    Alcotest.test_case "recirculation" `Quick test_recirculation;
+    Alcotest.test_case "recirculation unsupported" `Quick test_recirculation_unsupported;
+    Alcotest.test_case "multicast" `Quick test_multicast;
+    Alcotest.test_case "PSA egress handler" `Quick test_egress_handler_psa;
+    Alcotest.test_case "control-plane injection" `Quick test_cp_injection;
+    Alcotest.test_case "control-plane rate limit" `Quick test_control_plane_rate_limit;
+    Alcotest.test_case "notifications" `Quick test_notifications;
+    Alcotest.test_case "host/network roundtrip" `Quick test_host_network_roundtrip;
+    Alcotest.test_case "link failure" `Quick test_link_failure_loses_packets_and_notifies;
+    Alcotest.test_case "empty carriers" `Quick test_empty_carriers_for_events;
+    Alcotest.test_case "unrouted ports counted" `Quick test_unrouted_ports_counted;
+    Alcotest.test_case "inject bad port raises" `Quick test_inject_bad_port_raises;
+    Alcotest.test_case "merger packet overflow" `Quick test_merger_packet_queue_overflow;
+    Alcotest.test_case "user events masked on SUME" `Quick test_user_events_masked_on_sume;
+    Alcotest.test_case "PIFO switch end-to-end" `Quick test_pifo_switch_end_to_end;
+    Alcotest.test_case "control-plane notify" `Quick test_cp_notify_path;
+    Alcotest.test_case "negative delay raises" `Quick test_scheduler_negative_delay_raises;
+    Alcotest.test_case "pktgen zero period raises" `Quick test_pktgen_zero_period_raises;
+    Alcotest.test_case "multicast with invalid member" `Quick test_multicast_with_invalid_member;
+    QCheck_alcotest.to_alcotest qcheck_switch_conservation;
+  ]

@@ -1,0 +1,159 @@
+(* Tests for the discrete-event simulation engine. *)
+
+module Sim_time = Eventsim.Sim_time
+module Scheduler = Eventsim.Scheduler
+module Event_heap = Eventsim.Event_heap
+module Trace = Eventsim.Trace
+
+let test_time_units () =
+  Alcotest.(check int) "ns" 1_000 (Sim_time.ns 1);
+  Alcotest.(check int) "us" 1_000_000 (Sim_time.us 1);
+  Alcotest.(check int) "ms" 1_000_000_000 (Sim_time.ms 1);
+  Alcotest.(check int) "sec" 1_000_000_000_000 (Sim_time.sec 1);
+  Alcotest.(check (float 1e-9)) "to_ns" 1.5 (Sim_time.to_ns 1_500)
+
+let test_tx_time () =
+  (* 64B at 10 Gb/s = 51.2 ns *)
+  Alcotest.(check int) "64B@10G" (Sim_time.of_ns_float 51.2) (Sim_time.tx_time ~bytes:64 ~gbps:10.);
+  (* 1500B at 1 Gb/s = 12 us *)
+  Alcotest.(check int) "1500B@1G" (Sim_time.us 12) (Sim_time.tx_time ~bytes:1500 ~gbps:1.)
+
+let test_cycles () =
+  Alcotest.(check int) "cycles" 3 (Sim_time.cycles (Sim_time.ns 16) ~cycle:(Sim_time.ns 5))
+
+let test_heap_ordering () =
+  let h = Event_heap.create () in
+  Event_heap.push h ~time:30 "c";
+  Event_heap.push h ~time:10 "a";
+  Event_heap.push h ~time:20 "b";
+  Alcotest.(check (option int)) "peek" (Some 10) (Event_heap.peek_time h);
+  let order = List.init 3 (fun _ -> match Event_heap.pop h with Some (_, x) -> x | None -> "?") in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] order;
+  Alcotest.(check bool) "empty" true (Event_heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Event_heap.create () in
+  List.iter (fun x -> Event_heap.push h ~time:5 x) [ 1; 2; 3; 4; 5 ];
+  let order = List.init 5 (fun _ -> match Event_heap.pop h with Some (_, x) -> x | None -> -1) in
+  Alcotest.(check (list int)) "fifo among equal times" [ 1; 2; 3; 4; 5 ] order
+
+let qcheck_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let h = Event_heap.create () in
+      List.iter (fun time -> Event_heap.push h ~time ()) times;
+      let rec drain last =
+        match Event_heap.pop h with
+        | None -> true
+        | Some (time, ()) -> time >= last && drain time
+      in
+      drain min_int)
+
+let test_scheduler_order () =
+  let sched = Scheduler.create () in
+  let log = ref [] in
+  ignore (Scheduler.schedule sched ~at:20 (fun () -> log := "b" :: !log));
+  ignore (Scheduler.schedule sched ~at:10 (fun () -> log := "a" :: !log));
+  ignore (Scheduler.schedule sched ~at:30 (fun () -> log := "c" :: !log));
+  Scheduler.run sched;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Scheduler.now sched)
+
+let test_scheduler_cancel () =
+  let sched = Scheduler.create () in
+  let ran = ref false in
+  let h = Scheduler.schedule sched ~at:10 (fun () -> ran := true) in
+  Scheduler.cancel h;
+  Scheduler.run sched;
+  Alcotest.(check bool) "cancelled did not run" false !ran
+
+let test_scheduler_past_raises () =
+  let sched = Scheduler.create () in
+  ignore (Scheduler.schedule sched ~at:100 (fun () -> ()));
+  Scheduler.run sched;
+  Alcotest.check_raises "past" (Invalid_argument "Scheduler.schedule: at=50 is before now=100")
+    (fun () -> ignore (Scheduler.schedule sched ~at:50 (fun () -> ())))
+
+let test_scheduler_same_instant_reentry () =
+  (* A callback scheduling at the current instant runs in the same
+     drain, after currently queued same-time events. *)
+  let sched = Scheduler.create () in
+  let log = ref [] in
+  ignore
+    (Scheduler.schedule sched ~at:10 (fun () ->
+         log := "first" :: !log;
+         ignore (Scheduler.schedule sched ~at:10 (fun () -> log := "nested" :: !log))));
+  ignore (Scheduler.schedule sched ~at:10 (fun () -> log := "second" :: !log));
+  Scheduler.run sched;
+  Alcotest.(check (list string)) "reentry order" [ "first"; "second"; "nested" ] (List.rev !log)
+
+let test_scheduler_until () =
+  let sched = Scheduler.create () in
+  let count = ref 0 in
+  ignore (Scheduler.every sched ~period:10 (fun () -> incr count));
+  Scheduler.run ~until:100 sched;
+  Alcotest.(check int) "10 periodic firings in 100" 10 !count;
+  Alcotest.(check int) "clock advanced to until" 100 (Scheduler.now sched)
+
+let test_periodic_cancel_stops () =
+  let sched = Scheduler.create () in
+  let count = ref 0 in
+  let h = Scheduler.every sched ~period:10 (fun () -> incr count) in
+  ignore
+    (Scheduler.schedule sched ~at:35 (fun () -> Scheduler.cancel h));
+  Scheduler.run ~until:200 sched;
+  Alcotest.(check int) "three firings before cancel at 35" 3 !count
+
+let test_periodic_start () =
+  let sched = Scheduler.create () in
+  let times = ref [] in
+  ignore
+    (Scheduler.every sched ~start:5 ~period:10 (fun () ->
+         times := Scheduler.now sched :: !times));
+  Scheduler.run ~until:40 sched;
+  Alcotest.(check (list int)) "start offset" [ 5; 15; 25; 35 ] (List.rev !times)
+
+let test_executed_counter () =
+  let sched = Scheduler.create () in
+  for i = 1 to 5 do
+    ignore (Scheduler.schedule sched ~at:(i * 10) (fun () -> ()))
+  done;
+  Scheduler.run sched;
+  Alcotest.(check int) "executed" 5 (Scheduler.executed sched)
+
+let test_trace_bounds () =
+  let tr = Trace.create ~limit:3 () in
+  Trace.enable tr;
+  for i = 1 to 5 do
+    Trace.record tr ~time:i (Printf.sprintf "ev%d" i)
+  done;
+  Alcotest.(check int) "count includes dropped" 5 (Trace.count tr);
+  Alcotest.(check int) "kept only limit" 3 (List.length (Trace.records tr));
+  Alcotest.(check (option (pair int string)))
+    "find" (Some (4, "ev4")) (Trace.find tr ~pattern:"ev4")
+
+let test_trace_disabled () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:1 "ignored";
+  Alcotest.(check int) "disabled records nothing" 0 (Trace.count tr)
+
+let suite =
+  [
+    Alcotest.test_case "time units" `Quick test_time_units;
+    Alcotest.test_case "tx_time" `Quick test_tx_time;
+    Alcotest.test_case "cycles" `Quick test_cycles;
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap FIFO ties" `Quick test_heap_fifo_ties;
+    QCheck_alcotest.to_alcotest qcheck_heap_sorted;
+    Alcotest.test_case "scheduler order" `Quick test_scheduler_order;
+    Alcotest.test_case "scheduler cancel" `Quick test_scheduler_cancel;
+    Alcotest.test_case "scheduling in the past raises" `Quick test_scheduler_past_raises;
+    Alcotest.test_case "same-instant reentry" `Quick test_scheduler_same_instant_reentry;
+    Alcotest.test_case "run until" `Quick test_scheduler_until;
+    Alcotest.test_case "periodic cancel" `Quick test_periodic_cancel_stops;
+    Alcotest.test_case "periodic start offset" `Quick test_periodic_start;
+    Alcotest.test_case "executed counter" `Quick test_executed_counter;
+    Alcotest.test_case "trace bounds" `Quick test_trace_bounds;
+    Alcotest.test_case "trace disabled" `Quick test_trace_disabled;
+  ]

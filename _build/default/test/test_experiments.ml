@@ -1,0 +1,77 @@
+(* Smoke + invariant tests for the experiment registry.
+
+   Each experiment's [run] is exercised (cheap ones directly; the full
+   set is covered by the bench harness), and the registry's structure
+   is validated so the CLI and bench never drift apart. *)
+
+let test_registry_complete () =
+  let names = Experiments.Registry.names () in
+  Alcotest.(check bool) "at least 21 experiments" true (List.length names >= 21);
+  List.iter
+    (fun required ->
+      if not (List.mem required names) then Alcotest.failf "missing experiment %s" required)
+    [
+      "table1"; "table2"; "table3"; "fig4-linerate"; "fig3-staleness"; "microburst"; "cms-reset";
+      "hula"; "liveness"; "flowrate"; "aqm"; "frr"; "policer"; "netcache"; "tofino-emulation";
+      "int-telemetry"; "ablations"; "migration"; "p4-equivalence"; "wfq"; "ecn";
+    ]
+
+let test_registry_names_unique () =
+  let names = Experiments.Registry.names () in
+  let sorted = List.sort_uniq String.compare names in
+  Alcotest.(check int) "no duplicate names" (List.length names) (List.length sorted)
+
+let test_registry_find () =
+  (match Experiments.Registry.find "table3" with
+  | Some e -> Alcotest.(check string) "id" "E3" e.Experiments.Registry.experiment_id
+  | None -> Alcotest.fail "table3 not found");
+  Alcotest.(check bool) "unknown is None" true (Experiments.Registry.find "nope" = None)
+
+let test_e3_reproduces_table3 () =
+  let r = Experiments.E03_table3.run () in
+  List.iter
+    (fun (name, expected) ->
+      Alcotest.(check (float 1e-9)) name expected
+        (List.assoc name r.Experiments.E03_table3.increases))
+    [ ("Lookup Tables", 0.5); ("Flip Flops", 0.4); ("Block RAM", 2.0) ]
+
+let test_e6_shape () =
+  let r = Experiments.E06_microburst.run () in
+  let ed = r.Experiments.E06_microburst.event_driven in
+  let sn = r.Experiments.E06_microburst.snappy in
+  Alcotest.(check bool) "state reduction at least 4x" true
+    (sn.Experiments.E06_microburst.state_bits >= 4 * ed.Experiments.E06_microburst.state_bits);
+  Alcotest.(check (list int)) "event-driven finds exactly the culprits"
+    r.Experiments.E06_microburst.culprit_slots ed.Experiments.E06_microburst.detected_slots
+
+let test_e9_shape () =
+  let r = Experiments.E09_liveness.run () in
+  match
+    ( r.Experiments.E09_liveness.event_driven.Experiments.E09_liveness.detection_latency_ns,
+      r.Experiments.E09_liveness.cp_driven.Experiments.E09_liveness.detection_latency_ns )
+  with
+  | Some ed, Some cp -> Alcotest.(check bool) "event-driven 3x faster" true (ed *. 3. <= cp)
+  | _ -> Alcotest.fail "a variant failed to detect the failure"
+
+let test_e13_shape () =
+  let r = Experiments.E13_policer.run () in
+  match r.Experiments.E13_policer.points with
+  | [ extern_m; t10; _; t1000 ] ->
+      Alcotest.(check bool) "extern enforces CIR" true
+        (extern_m.Experiments.E13_policer.error_vs_cir < 0.05);
+      Alcotest.(check bool) "fine timer matches" true
+        (t10.Experiments.E13_policer.error_vs_cir < 0.05);
+      Alcotest.(check bool) "coarse refill starves" true
+        (t1000.Experiments.E13_policer.error_vs_cir > 0.2)
+  | _ -> Alcotest.fail "expected 4 points"
+
+let suite =
+  [
+    Alcotest.test_case "registry complete" `Quick test_registry_complete;
+    Alcotest.test_case "registry unique" `Quick test_registry_names_unique;
+    Alcotest.test_case "registry find" `Quick test_registry_find;
+    Alcotest.test_case "E3 reproduces Table 3" `Quick test_e3_reproduces_table3;
+    Alcotest.test_case "E6 shape claims" `Quick test_e6_shape;
+    Alcotest.test_case "E9 shape claims" `Quick test_e9_shape;
+    Alcotest.test_case "E13 shape claims" `Quick test_e13_shape;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "evpp"
+    [
+      ("stats", Test_stats.suite);
+      ("eventsim", Test_eventsim.suite);
+      ("netcore", Test_netcore.suite);
+      ("pisa", Test_pisa.suite);
+      ("devents", Test_devents.suite);
+      ("consistency", Test_consistency.suite);
+      ("tmgr", Test_tmgr.suite);
+      ("evcore", Test_evcore.suite);
+      ("apps", Test_apps.suite);
+      ("workloads", Test_workloads.suite);
+      ("resmodel", Test_resmodel.suite);
+      ("experiments", Test_experiments.suite);
+      ("p4dsl", Test_p4dsl.suite);
+    ]

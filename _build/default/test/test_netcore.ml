@@ -1,0 +1,208 @@
+(* Tests for packets, headers, serialization and hashing. *)
+
+module Mac_addr = Netcore.Mac_addr
+module Ipv4_addr = Netcore.Ipv4_addr
+module Ethernet = Netcore.Ethernet
+module Ipv4 = Netcore.Ipv4
+module Udp = Netcore.Udp
+module Tcp = Netcore.Tcp
+module Packet = Netcore.Packet
+module Frame = Netcore.Frame
+module Flow = Netcore.Flow
+module Hashes = Netcore.Hashes
+module Cursor = Netcore.Cursor
+
+let test_mac_roundtrip () =
+  let s = "02:00:00:00:12:34" in
+  Alcotest.(check string) "roundtrip" s (Mac_addr.to_string (Mac_addr.of_string s));
+  Alcotest.(check string) "broadcast" "ff:ff:ff:ff:ff:ff" (Mac_addr.to_string Mac_addr.broadcast)
+
+let test_mac_invalid () =
+  Alcotest.check_raises "bad syntax" (Invalid_argument "Mac_addr.of_string: nonsense")
+    (fun () -> ignore (Mac_addr.of_string "nonsense"))
+
+let test_ipv4_addr () =
+  let a = Ipv4_addr.of_string "10.1.2.3" in
+  Alcotest.(check string) "roundtrip" "10.1.2.3" (Ipv4_addr.to_string a);
+  Alcotest.(check bool) "prefix match" true
+    (Ipv4_addr.in_prefix a ~prefix:(Ipv4_addr.of_string "10.1.0.0") ~len:16);
+  Alcotest.(check bool) "prefix mismatch" false
+    (Ipv4_addr.in_prefix a ~prefix:(Ipv4_addr.of_string "10.2.0.0") ~len:16);
+  Alcotest.(check bool) "len 0 matches all" true
+    (Ipv4_addr.in_prefix a ~prefix:(Ipv4_addr.of_string "0.0.0.0") ~len:0)
+
+let test_ipv4_checksum_zero () =
+  (* Writing then summing over the header must give 0 (valid). *)
+  let ip =
+    Ipv4.make ~proto:Ipv4.proto_udp ~src:(Ipv4_addr.of_string "1.2.3.4")
+      ~dst:(Ipv4_addr.of_string "5.6.7.8") ~payload_len:100 ()
+  in
+  let w = Cursor.writer Ipv4.size in
+  Ipv4.write w ip;
+  Alcotest.(check int) "checksum verifies" 0
+    (Ipv4.checksum (Cursor.contents w) ~off:0 ~len:Ipv4.size)
+
+let test_ipv4_corrupt_detected () =
+  let ip =
+    Ipv4.make ~proto:Ipv4.proto_udp ~src:(Ipv4_addr.of_string "1.2.3.4")
+      ~dst:(Ipv4_addr.of_string "5.6.7.8") ~payload_len:0 ()
+  in
+  let w = Cursor.writer Ipv4.size in
+  Ipv4.write w ip;
+  let buf = Cursor.contents w in
+  Bytes.set_uint8 buf 8 (Bytes.get_uint8 buf 8 lxor 0xff);
+  Alcotest.check_raises "bad checksum" (Failure "Ipv4.read: bad checksum") (fun () ->
+      ignore (Ipv4.read (Cursor.reader buf)))
+
+let test_ttl () =
+  let ip =
+    Ipv4.make ~ttl:2 ~proto:6 ~src:(Ipv4_addr.of_string "1.1.1.1")
+      ~dst:(Ipv4_addr.of_string "2.2.2.2") ~payload_len:0 ()
+  in
+  (match Ipv4.decrement_ttl ip with
+  | Some ip' -> Alcotest.(check int) "ttl decremented" 1 ip'.Ipv4.ttl
+  | None -> Alcotest.fail "should survive");
+  let ip1 =
+    Ipv4.make ~ttl:1 ~proto:6 ~src:(Ipv4_addr.of_string "1.1.1.1")
+      ~dst:(Ipv4_addr.of_string "2.2.2.2") ~payload_len:0 ()
+  in
+  Alcotest.(check bool) "ttl 1 dies" true (Ipv4.decrement_ttl ip1 = None)
+
+let test_frame_roundtrip_udp () =
+  let pkt =
+    Packet.udp_packet
+      ~src:(Ipv4_addr.of_string "10.0.0.1")
+      ~dst:(Ipv4_addr.of_string "10.0.0.2")
+      ~src_port:1234 ~dst_port:80 ~payload_len:100 ()
+  in
+  let buf = Frame.to_bytes pkt in
+  Alcotest.(check int) "wire length" (Packet.len pkt) (Bytes.length buf);
+  let parsed = Frame.of_bytes buf in
+  Alcotest.(check bool) "headers preserved" true (Frame.roundtrip_equal pkt parsed)
+
+let test_frame_roundtrip_tcp () =
+  let ip =
+    Ipv4.make ~proto:Ipv4.proto_tcp ~src:(Ipv4_addr.of_string "1.2.3.4")
+      ~dst:(Ipv4_addr.of_string "4.3.2.1") ~payload_len:(Tcp.size + 50) ()
+  in
+  let tcp = Tcp.make ~src_port:5555 ~dst_port:80 ~seq:1000 ~flags:Tcp.flag_syn () in
+  let eth =
+    Ethernet.make ~dst:(Mac_addr.host 1) ~src:(Mac_addr.host 2)
+      ~ethertype:Ethernet.ethertype_ipv4
+  in
+  let pkt = Packet.create ~ip ~l4:(Packet.Tcp tcp) ~payload_len:50 ~eth () in
+  let parsed = Frame.of_bytes (Frame.to_bytes pkt) in
+  Alcotest.(check bool) "tcp roundtrip" true (Frame.roundtrip_equal pkt parsed)
+
+let qcheck_frame_roundtrip =
+  QCheck.Test.make ~name:"frame serialize/parse roundtrips" ~count:200
+    QCheck.(quad (int_bound 0xffff) (int_bound 0xffff) (int_bound 1000) (int_bound 0xffffff))
+    (fun (sport, dport, payload, addr) ->
+      let pkt =
+        Packet.udp_packet
+          ~src:(Ipv4_addr.of_int (0x0a000000 lor addr))
+          ~dst:(Ipv4_addr.of_int (0x0b000000 lor (addr lxor 0x1234)))
+          ~src_port:sport ~dst_port:dport ~payload_len:payload ()
+      in
+      Frame.roundtrip_equal pkt (Frame.of_bytes (Frame.to_bytes pkt)))
+
+let test_truncated_frame () =
+  let pkt =
+    Packet.udp_packet
+      ~src:(Ipv4_addr.of_string "10.0.0.1")
+      ~dst:(Ipv4_addr.of_string "10.0.0.2")
+      ~src_port:1 ~dst_port:2 ~payload_len:0 ()
+  in
+  let buf = Frame.to_bytes pkt in
+  let short = Bytes.sub buf 0 20 in
+  Alcotest.check_raises "truncated" Cursor.Truncated (fun () -> ignore (Frame.of_bytes short))
+
+let test_flow_of_packet () =
+  let pkt =
+    Packet.udp_packet
+      ~src:(Ipv4_addr.of_string "10.0.0.1")
+      ~dst:(Ipv4_addr.of_string "10.0.0.2")
+      ~src_port:1234 ~dst_port:80 ~payload_len:10 ()
+  in
+  match Packet.flow pkt with
+  | None -> Alcotest.fail "expected a flow"
+  | Some f ->
+      Alcotest.(check int) "src port" 1234 f.Flow.src_port;
+      Alcotest.(check int) "proto" Ipv4.proto_udp f.Flow.proto
+
+let test_flow_hash_stability () =
+  let f1 =
+    Flow.make ~src:(Ipv4_addr.of_string "1.1.1.1") ~dst:(Ipv4_addr.of_string "2.2.2.2")
+      ~src_port:10 ~dst_port:20 ()
+  in
+  let f2 =
+    Flow.make ~src:(Ipv4_addr.of_string "1.1.1.1") ~dst:(Ipv4_addr.of_string "2.2.2.2")
+      ~src_port:10 ~dst_port:20 ()
+  in
+  Alcotest.(check int) "equal flows hash equal" (Flow.hash f1) (Flow.hash f2);
+  let f3 = Flow.make ~src:(Ipv4_addr.of_string "1.1.1.1") ~dst:(Ipv4_addr.of_string "2.2.2.3") () in
+  Alcotest.(check bool) "different flows differ" true (Flow.hash f1 <> Flow.hash f3)
+
+let test_crc32_vector () =
+  (* Standard test vector: crc32("123456789") = 0xCBF43926 *)
+  Alcotest.(check int) "known vector" 0xCBF43926 (Hashes.crc32 (Bytes.of_string "123456789"))
+
+let test_salted_hashes_differ () =
+  let key = 123456 in
+  let h0 = Hashes.salted ~salt:0 key and h1 = Hashes.salted ~salt:1 key in
+  Alcotest.(check bool) "salts give distinct functions" true (h0 <> h1);
+  Alcotest.(check int) "deterministic" h0 (Hashes.salted ~salt:0 key)
+
+let qcheck_fold_range =
+  QCheck.Test.make ~name:"fold_range lands in [0,n)" ~count:500
+    QCheck.(pair int (int_range 1 10_000))
+    (fun (h, n) ->
+      let v = Hashes.fold_range h n in
+      v >= 0 && v < n)
+
+let test_clone_for_forward () =
+  let pkt =
+    Packet.udp_packet
+      ~src:(Ipv4_addr.of_string "10.0.0.1")
+      ~dst:(Ipv4_addr.of_string "10.0.0.2")
+      ~src_port:1 ~dst_port:2 ~payload_len:64 ()
+  in
+  pkt.Packet.meta.Packet.flow_id <- 77;
+  pkt.Packet.meta.Packet.enq_meta.(0) <- 5;
+  let copy = Packet.clone_for_forward pkt in
+  Alcotest.(check bool) "fresh uid" true (copy.Packet.uid <> pkt.Packet.uid);
+  Alcotest.(check int) "meta copied" 77 copy.Packet.meta.Packet.flow_id;
+  Alcotest.(check int) "enq_meta copied" 5 copy.Packet.meta.Packet.enq_meta.(0);
+  copy.Packet.meta.Packet.flow_id <- 1;
+  Alcotest.(check int) "copies are independent" 77 pkt.Packet.meta.Packet.flow_id
+
+let test_packet_len () =
+  let pkt =
+    Packet.udp_packet
+      ~src:(Ipv4_addr.of_string "10.0.0.1")
+      ~dst:(Ipv4_addr.of_string "10.0.0.2")
+      ~src_port:1 ~dst_port:2 ~payload_len:58 ()
+  in
+  (* 14 + 20 + 8 + 58 = 100 *)
+  Alcotest.(check int) "wire length" 100 (Packet.len pkt)
+
+let suite =
+  [
+    Alcotest.test_case "mac roundtrip" `Quick test_mac_roundtrip;
+    Alcotest.test_case "mac invalid" `Quick test_mac_invalid;
+    Alcotest.test_case "ipv4 addr" `Quick test_ipv4_addr;
+    Alcotest.test_case "ipv4 checksum" `Quick test_ipv4_checksum_zero;
+    Alcotest.test_case "ipv4 corruption detected" `Quick test_ipv4_corrupt_detected;
+    Alcotest.test_case "ttl" `Quick test_ttl;
+    Alcotest.test_case "frame roundtrip udp" `Quick test_frame_roundtrip_udp;
+    Alcotest.test_case "frame roundtrip tcp" `Quick test_frame_roundtrip_tcp;
+    QCheck_alcotest.to_alcotest qcheck_frame_roundtrip;
+    Alcotest.test_case "truncated frame" `Quick test_truncated_frame;
+    Alcotest.test_case "flow of packet" `Quick test_flow_of_packet;
+    Alcotest.test_case "flow hash stability" `Quick test_flow_hash_stability;
+    Alcotest.test_case "crc32 vector" `Quick test_crc32_vector;
+    Alcotest.test_case "salted hashes" `Quick test_salted_hashes_differ;
+    QCheck_alcotest.to_alcotest qcheck_fold_range;
+    Alcotest.test_case "clone for forward" `Quick test_clone_for_forward;
+    Alcotest.test_case "packet length" `Quick test_packet_len;
+  ]

@@ -1,0 +1,49 @@
+(* Tests for the FPGA resource model (Table 3). *)
+
+module Rm = Resmodel.Resource_model
+
+let test_table3_matches_paper () =
+  let t = Rm.table3 () in
+  Alcotest.(check (float 1e-9)) "LUT +0.5%" 0.5 (List.assoc "Lookup Tables" t);
+  Alcotest.(check (float 1e-9)) "FF +0.4%" 0.4 (List.assoc "Flip Flops" t);
+  Alcotest.(check (float 1e-9)) "BRAM +2.0%" 2.0 (List.assoc "Block RAM" t)
+
+let test_event_logic_is_marginal () =
+  let extra = Rm.sum Rm.event_components in
+  let l, f, b = Rm.utilisation Rm.virtex7_690t extra in
+  Alcotest.(check bool) "all under 2.5% of device" true (l < 0.025 && f < 0.025 && b < 0.025)
+
+let test_baseline_plausible () =
+  let base = Rm.sum Rm.baseline_components in
+  let l, _, _ = Rm.utilisation Rm.virtex7_690t base in
+  (* The P4->NetFPGA reference switch lands somewhere near half the
+     device; the model must stay in a plausible band. *)
+  Alcotest.(check bool) "baseline in 20-70% LUT band" true (l > 0.2 && l < 0.7)
+
+let test_cost_arithmetic () =
+  let a = { Rm.luts = 1; ffs = 2; brams = 3 } in
+  let b = { Rm.luts = 10; ffs = 20; brams = 30 } in
+  let s = Rm.add a b in
+  Alcotest.(check int) "luts" 11 s.Rm.luts;
+  Alcotest.(check int) "ffs" 22 s.Rm.ffs;
+  Alcotest.(check int) "brams" 33 s.Rm.brams;
+  Alcotest.(check int) "zero is neutral" s.Rm.luts (Rm.add Rm.zero s).Rm.luts
+
+let test_brams_for_bits () =
+  Alcotest.(check int) "0 bits" 0 (Rm.brams_for_bits 0);
+  Alcotest.(check int) "1 bit" 1 (Rm.brams_for_bits 1);
+  Alcotest.(check int) "exactly one block" 1 (Rm.brams_for_bits 36_864);
+  Alcotest.(check int) "one over" 2 (Rm.brams_for_bits 36_865);
+  (* The microburst detector's multiport state (32 Kb) fits in one
+     BRAM; Snappy's 262 Kb needs 8. *)
+  Alcotest.(check int) "microburst" 1 (Rm.brams_for_bits (1024 * 32));
+  Alcotest.(check int) "snappy" 8 (Rm.brams_for_bits 262_400)
+
+let suite =
+  [
+    Alcotest.test_case "table3 matches paper" `Quick test_table3_matches_paper;
+    Alcotest.test_case "event logic marginal" `Quick test_event_logic_is_marginal;
+    Alcotest.test_case "baseline plausible" `Quick test_baseline_plausible;
+    Alcotest.test_case "cost arithmetic" `Quick test_cost_arithmetic;
+    Alcotest.test_case "brams for bits" `Quick test_brams_for_bits;
+  ]

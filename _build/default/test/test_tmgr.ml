@@ -1,0 +1,309 @@
+(* Tests for the traffic manager, queues, PIFO and links. *)
+
+module Scheduler = Eventsim.Scheduler
+module Sim_time = Eventsim.Sim_time
+module Packet = Netcore.Packet
+module Event = Devents.Event
+module Buffer_pool = Tmgr.Buffer_pool
+module Fifo_queue = Tmgr.Fifo_queue
+module Pifo = Tmgr.Pifo
+module Traffic_manager = Tmgr.Traffic_manager
+module Link = Tmgr.Link
+
+let mk_pkt ?(bytes = 100) ?(qid = 0) ?(priority = 0) () =
+  let pkt =
+    Packet.udp_packet
+      ~src:(Netcore.Ipv4_addr.of_string "10.0.0.1")
+      ~dst:(Netcore.Ipv4_addr.of_string "10.0.0.2")
+      ~src_port:1 ~dst_port:2
+      ~payload_len:(max 0 (bytes - 42))
+      ()
+  in
+  pkt.Packet.meta.Packet.qid <- qid;
+  pkt.Packet.meta.Packet.priority <- priority;
+  pkt
+
+let test_buffer_pool () =
+  let p = Buffer_pool.create ~capacity_bytes:1000 in
+  Alcotest.(check bool) "alloc ok" true (Buffer_pool.try_alloc p 600);
+  Alcotest.(check bool) "overflow rejected" false (Buffer_pool.try_alloc p 600);
+  Buffer_pool.free p 600;
+  Alcotest.(check bool) "after free ok" true (Buffer_pool.try_alloc p 600);
+  Alcotest.(check int) "watermark" 600 (Buffer_pool.high_watermark p);
+  Alcotest.(check int) "failed allocs" 1 (Buffer_pool.failed_allocs p)
+
+let test_fifo_queue () =
+  let q = Fifo_queue.create ~limit_bytes:250 () in
+  let a = mk_pkt ~bytes:100 () and b = mk_pkt ~bytes:100 () in
+  Alcotest.(check bool) "accepts" true (Fifo_queue.can_accept q 100);
+  Fifo_queue.push q a;
+  Fifo_queue.push q b;
+  Alcotest.(check bool) "limit enforced" false (Fifo_queue.can_accept q 100);
+  Alcotest.(check int) "bytes" 200 (Fifo_queue.occupancy_bytes q);
+  (match Fifo_queue.pop q with
+  | Some p -> Alcotest.(check int) "fifo order" a.Packet.uid p.Packet.uid
+  | None -> Alcotest.fail "pop");
+  Alcotest.(check int) "bytes after pop" 100 (Fifo_queue.occupancy_bytes q)
+
+let test_pifo_ordering () =
+  let p = Pifo.create () in
+  ignore (Pifo.push p ~rank:5 "e");
+  ignore (Pifo.push p ~rank:1 "a");
+  ignore (Pifo.push p ~rank:3 "c");
+  ignore (Pifo.push p ~rank:1 "b") (* equal rank: FIFO after "a" *);
+  let order = List.init 4 (fun _ -> Option.get (Pifo.pop p)) in
+  Alcotest.(check (list string)) "rank order, FIFO ties" [ "a"; "b"; "c"; "e" ] order
+
+let qcheck_pifo_sorted =
+  QCheck.Test.make ~name:"pifo pops in nondecreasing rank order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun ranks ->
+      let p = Pifo.create () in
+      List.iter (fun r -> ignore (Pifo.push p ~rank:r r)) ranks;
+      let rec drain last =
+        match Pifo.pop p with None -> true | Some r -> r >= last && drain r
+      in
+      drain min_int)
+
+let test_pifo_bounded_eviction () =
+  let p = Pifo.create ~capacity:2 () in
+  ignore (Pifo.push p ~rank:10 "j");
+  ignore (Pifo.push p ~rank:20 "t");
+  (match Pifo.push_evict p ~rank:5 "e" with
+  | `Evicted "t" -> ()
+  | `Evicted _ | `Accepted | `Rejected -> Alcotest.fail "expected eviction of worst");
+  (match Pifo.push_evict p ~rank:30 "z" with
+  | `Rejected -> ()
+  | `Evicted _ | `Accepted -> Alcotest.fail "expected rejection");
+  Alcotest.(check int) "evictions counted" 2 (Pifo.evictions p);
+  Alcotest.(check (list string)) "contents" [ "e"; "j" ]
+    (List.init 2 (fun _ -> Option.get (Pifo.pop p)))
+
+let tm_fixture ?(config = Traffic_manager.default_config) () =
+  let sched = Scheduler.create () in
+  let emitted = ref [] in
+  let events = ref [] in
+  let tm =
+    Traffic_manager.create ~sched ~config
+      ~emit:(fun ~port pkt -> emitted := (port, pkt) :: !emitted)
+      ~events:(fun ev -> events := ev :: !events)
+      ()
+  in
+  (sched, tm, emitted, events)
+
+let count_events events cls =
+  List.length
+    (List.filter (fun ev -> Event.cls_equal (Event.cls_of ev) cls) !events)
+
+let test_tm_basic_flow () =
+  let sched, tm, emitted, events = tm_fixture () in
+  ignore (Traffic_manager.enqueue tm ~port:1 (mk_pkt ~bytes:100 ()));
+  Scheduler.run sched;
+  Alcotest.(check int) "emitted" 1 (List.length !emitted);
+  Alcotest.(check int) "enqueue events" 1 (count_events events Event.Buffer_enqueue);
+  Alcotest.(check int) "dequeue events" 1 (count_events events Event.Buffer_dequeue);
+  Alcotest.(check int) "underflow (emptied)" 1 (count_events events Event.Buffer_underflow);
+  Alcotest.(check int) "transmit events" 1 (count_events events Event.Packet_transmitted);
+  (* 100B at 10G = 80ns serialization. *)
+  Alcotest.(check int) "serialization delay" (Sim_time.tx_time ~bytes:100 ~gbps:10.)
+    (Scheduler.now sched)
+
+let test_tm_serialisation_backlog () =
+  let sched, tm, emitted, _events = tm_fixture () in
+  (* Two packets at once: second finishes after 2x tx time. *)
+  ignore (Traffic_manager.enqueue tm ~port:0 (mk_pkt ~bytes:1000 ()));
+  ignore (Traffic_manager.enqueue tm ~port:0 (mk_pkt ~bytes:1000 ()));
+  Scheduler.run sched;
+  Alcotest.(check int) "both sent" 2 (List.length !emitted);
+  Alcotest.(check int) "back to back" (2 * Sim_time.tx_time ~bytes:1000 ~gbps:10.)
+    (Scheduler.now sched)
+
+let test_tm_overflow () =
+  let config = { Traffic_manager.default_config with Traffic_manager.buffer_bytes = 150 } in
+  let sched, tm, _emitted, events = tm_fixture ~config () in
+  (* The first packet dequeues to the port immediately (freeing its
+     pool bytes); the second waits in the queue; the third overflows. *)
+  Alcotest.(check bool) "first fits" true (Traffic_manager.enqueue tm ~port:0 (mk_pkt ~bytes:100 ()));
+  Alcotest.(check bool) "second queues" true
+    (Traffic_manager.enqueue tm ~port:0 (mk_pkt ~bytes:100 ()));
+  Alcotest.(check bool) "third dropped" false
+    (Traffic_manager.enqueue tm ~port:0 (mk_pkt ~bytes:100 ()));
+  Scheduler.run sched;
+  Alcotest.(check int) "overflow event" 1 (count_events events Event.Buffer_overflow);
+  Alcotest.(check int) "drop counted" 1 (Traffic_manager.drops tm)
+
+let test_tm_strict_priority () =
+  let config =
+    {
+      Traffic_manager.default_config with
+      Traffic_manager.queues_per_port = 2;
+      policy = Traffic_manager.Strict_priority;
+    }
+  in
+  let sched, tm, emitted, _events = tm_fixture ~config () in
+  (* While a low-priority packet serialises, queue one low and one high:
+     high (qid 0) must leave before the earlier-queued low (qid 1). *)
+  ignore (Traffic_manager.enqueue tm ~port:0 (mk_pkt ~bytes:1000 ~qid:1 ()));
+  let low = mk_pkt ~bytes:100 ~qid:1 () in
+  let high = mk_pkt ~bytes:100 ~qid:0 () in
+  ignore (Traffic_manager.enqueue tm ~port:0 low);
+  ignore (Traffic_manager.enqueue tm ~port:0 high);
+  Scheduler.run sched;
+  match List.rev_map snd !emitted with
+  | [ _first; second; third ] ->
+      Alcotest.(check int) "high before low" high.Packet.uid second.Packet.uid;
+      Alcotest.(check int) "low last" low.Packet.uid third.Packet.uid
+  | l -> Alcotest.failf "expected 3 packets, got %d" (List.length l)
+
+let test_tm_pifo_policy () =
+  let config =
+    { Traffic_manager.default_config with Traffic_manager.policy = Traffic_manager.Pifo_sched }
+  in
+  let sched, tm, emitted, _events = tm_fixture ~config () in
+  ignore (Traffic_manager.enqueue tm ~port:0 (mk_pkt ~bytes:1000 ~priority:0 ()));
+  let late_but_urgent = mk_pkt ~bytes:100 ~priority:1 () in
+  let early_but_lazy = mk_pkt ~bytes:100 ~priority:9 () in
+  ignore (Traffic_manager.enqueue tm ~port:0 early_but_lazy);
+  ignore (Traffic_manager.enqueue tm ~port:0 late_but_urgent);
+  Scheduler.run sched;
+  match List.rev_map snd !emitted with
+  | [ _first; second; third ] ->
+      Alcotest.(check int) "rank order" late_but_urgent.Packet.uid second.Packet.uid;
+      Alcotest.(check int) "lazy last" early_but_lazy.Packet.uid third.Packet.uid
+  | l -> Alcotest.failf "expected 3 packets, got %d" (List.length l)
+
+let test_tm_egress_drop () =
+  let sched = Scheduler.create () in
+  let emitted = ref 0 in
+  let tm =
+    Traffic_manager.create ~sched ~config:Traffic_manager.default_config
+      ~emit:(fun ~port:_ _ -> incr emitted)
+      ~events:(fun _ -> ())
+      ~egress:(fun ~port:_ pkt -> if Packet.len pkt > 500 then None else Some pkt)
+      ()
+  in
+  ignore (Traffic_manager.enqueue tm ~port:0 (mk_pkt ~bytes:1000 ()));
+  ignore (Traffic_manager.enqueue tm ~port:0 (mk_pkt ~bytes:100 ()));
+  Scheduler.run sched;
+  Alcotest.(check int) "only small emitted" 1 !emitted;
+  Alcotest.(check int) "egress drop counted" 1 (Traffic_manager.egress_drops tm);
+  Alcotest.(check bool) "quiescent at end" true (Traffic_manager.quiescent tm)
+
+let test_tm_occupancy_conservation () =
+  let sched, tm, _emitted, _events = tm_fixture () in
+  let rng = Stats.Rng.create ~seed:3 in
+  for i = 0 to 99 do
+    ignore
+      (Scheduler.schedule sched ~at:(i * Sim_time.ns 200) (fun () ->
+           let bytes = 64 + Stats.Rng.int rng 1400 in
+           ignore (Traffic_manager.enqueue tm ~port:(Stats.Rng.int rng 4) (mk_pkt ~bytes ()))))
+  done;
+  Scheduler.run sched;
+  Alcotest.(check int) "drains to zero" 0 (Traffic_manager.total_occupancy_bytes tm);
+  Alcotest.(check bool) "quiescent" true (Traffic_manager.quiescent tm);
+  Alcotest.(check int) "all transmitted" 100 (Traffic_manager.transmitted tm)
+
+let test_link_delay_and_failure () =
+  let sched = Scheduler.create () in
+  let got_a = ref 0 and got_b = ref 0 in
+  let status = ref [] in
+  let ep got =
+    {
+      Link.deliver = (fun _ -> incr got);
+      notify_status = (fun ~up -> status := up :: !status);
+    }
+  in
+  let link =
+    Link.create ~sched ~delay:(Sim_time.us 2) ~detection_delay:(Sim_time.us 1) ~a:(ep got_a)
+      ~b:(ep got_b) ()
+  in
+  Link.send link ~from_a:true (mk_pkt ());
+  Scheduler.run sched;
+  Alcotest.(check int) "delivered to b" 1 !got_b;
+  Alcotest.(check int) "a got nothing" 0 !got_a;
+  Alcotest.(check int) "propagation delay" (Sim_time.us 2) (Scheduler.now sched);
+  Link.fail link;
+  Link.send link ~from_a:false (mk_pkt ());
+  Scheduler.run sched;
+  Alcotest.(check int) "lost while down" 1 (Link.lost link);
+  Alcotest.(check (list bool)) "both endpoints notified" [ false; false ] !status;
+  Link.restore link;
+  Link.send link ~from_a:false (mk_pkt ());
+  Scheduler.run sched;
+  Alcotest.(check int) "works again" 1 !got_a
+
+let test_link_inflight_lost_on_failure () =
+  let sched = Scheduler.create () in
+  let got = ref 0 in
+  let ep = { Link.deliver = (fun _ -> incr got); notify_status = (fun ~up:_ -> ()) } in
+  let link = Link.create ~sched ~delay:(Sim_time.us 10) ~a:ep ~b:ep () in
+  Link.send link ~from_a:true (mk_pkt ());
+  ignore (Scheduler.schedule sched ~at:(Sim_time.us 1) (fun () -> Link.fail link));
+  Scheduler.run sched;
+  Alcotest.(check int) "in-flight packet lost" 0 !got;
+  Alcotest.(check int) "loss counted" 1 (Link.lost link)
+
+(* --- conservation properties --- *)
+
+let qcheck_tm_conservation =
+  (* Every packet offered to the TM is accounted for exactly once:
+     transmitted + overflow-dropped + egress-dropped + still queued. *)
+  QCheck.Test.make ~name:"traffic manager conserves packets" ~count:60
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 120))
+    (fun (seed, n) ->
+      let sched = Scheduler.create () in
+      let rng = Stats.Rng.create ~seed in
+      let config =
+        {
+          Traffic_manager.default_config with
+          Traffic_manager.buffer_bytes = 20_000 (* small: force overflows *);
+        }
+      in
+      let emitted = ref 0 in
+      let tm =
+        Traffic_manager.create ~sched ~config
+          ~emit:(fun ~port:_ _ -> incr emitted)
+          ~events:(fun _ -> ())
+          ~egress:(fun ~port:_ pkt ->
+            (* Randomly-ish drop some at egress (deterministic in size). *)
+            if Netcore.Packet.len pkt mod 7 = 0 then None else Some pkt)
+          ()
+      in
+      let offered = ref 0 in
+      for i = 0 to n - 1 do
+        ignore
+          (Scheduler.schedule sched
+             ~at:(i * Sim_time.ns (50 + Stats.Rng.int rng 400))
+             (fun () ->
+               incr offered;
+               ignore
+                 (Traffic_manager.enqueue tm
+                    ~port:(Stats.Rng.int rng 4)
+                    (mk_pkt ~bytes:(64 + Stats.Rng.int rng 1400) ()))))
+      done;
+      Scheduler.run sched;
+      !offered
+      = Traffic_manager.transmitted tm + Traffic_manager.drops tm
+        + Traffic_manager.egress_drops tm
+      && !emitted = Traffic_manager.transmitted tm
+      && Traffic_manager.quiescent tm
+      && Traffic_manager.enqueues tm = Traffic_manager.dequeues tm)
+
+let suite =
+  [
+    Alcotest.test_case "buffer pool" `Quick test_buffer_pool;
+    Alcotest.test_case "fifo queue" `Quick test_fifo_queue;
+    Alcotest.test_case "pifo ordering" `Quick test_pifo_ordering;
+    QCheck_alcotest.to_alcotest qcheck_pifo_sorted;
+    Alcotest.test_case "pifo bounded eviction" `Quick test_pifo_bounded_eviction;
+    Alcotest.test_case "tm basic flow" `Quick test_tm_basic_flow;
+    Alcotest.test_case "tm serialization backlog" `Quick test_tm_serialisation_backlog;
+    Alcotest.test_case "tm overflow" `Quick test_tm_overflow;
+    Alcotest.test_case "tm strict priority" `Quick test_tm_strict_priority;
+    Alcotest.test_case "tm pifo policy" `Quick test_tm_pifo_policy;
+    Alcotest.test_case "tm egress drop" `Quick test_tm_egress_drop;
+    Alcotest.test_case "tm occupancy conservation" `Quick test_tm_occupancy_conservation;
+    Alcotest.test_case "link delay and failure" `Quick test_link_delay_and_failure;
+    Alcotest.test_case "link in-flight loss" `Quick test_link_inflight_lost_on_failure;
+    QCheck_alcotest.to_alcotest qcheck_tm_conservation;
+  ]

@@ -1,0 +1,240 @@
+(* Tests for traffic sources, flow generation and topology builders. *)
+
+module Scheduler = Eventsim.Scheduler
+module Sim_time = Eventsim.Sim_time
+module Traffic = Workloads.Traffic
+module Flowgen = Workloads.Flowgen
+module Topology = Workloads.Topology
+module Flow = Netcore.Flow
+module Ipv4_addr = Netcore.Ipv4_addr
+
+let flow = Flow.make ~src:(Ipv4_addr.host ~subnet:1 1) ~dst:(Ipv4_addr.host ~subnet:2 1) ()
+
+let test_cbr_rate () =
+  let sched = Scheduler.create () in
+  let bytes = ref 0 in
+  let src =
+    Traffic.cbr ~sched ~flow ~pkt_bytes:1000 ~rate_gbps:2. ~stop:(Sim_time.ms 1)
+      ~send:(fun pkt -> bytes := !bytes + Netcore.Packet.len pkt)
+      ()
+  in
+  Scheduler.run sched;
+  (* 2 Gb/s for 1 ms = 250 KB. *)
+  Alcotest.(check int) "sent bytes" 250_000 !bytes;
+  Alcotest.(check int) "counter agrees" !bytes (Traffic.sent_bytes src);
+  Alcotest.(check int) "packets" 250 (Traffic.sent src)
+
+let test_cbr_start_stop () =
+  let sched = Scheduler.create () in
+  let times = ref [] in
+  ignore
+    (Traffic.cbr ~sched ~flow ~pkt_bytes:1000 ~rate_gbps:8. ~start:(Sim_time.us 10)
+       ~stop:(Sim_time.us 15)
+       ~send:(fun _ -> times := Scheduler.now sched :: !times)
+       ());
+  Scheduler.run sched;
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "within window" true (t >= Sim_time.us 10 && t < Sim_time.us 15))
+    !times;
+  Alcotest.(check int) "1us gap -> 5 packets" 5 (List.length !times)
+
+let test_poisson_mean_rate () =
+  let sched = Scheduler.create () in
+  let rng = Stats.Rng.create ~seed:11 in
+  let src =
+    Traffic.poisson ~sched ~rng ~flow ~pkt_bytes:100 ~rate_pps:1_000_000. ~stop:(Sim_time.ms 20)
+      ~send:(fun _ -> ())
+      ()
+  in
+  Scheduler.run sched;
+  let rate = float_of_int (Traffic.sent src) /. 20e-3 in
+  Alcotest.(check bool) "within 5% of 1Mpps" true (Float.abs (rate -. 1e6) /. 1e6 < 0.05)
+
+let test_on_off_duty_cycle () =
+  let sched = Scheduler.create () in
+  let rng = Stats.Rng.create ~seed:13 in
+  let src =
+    Traffic.on_off ~sched ~rng ~flow ~pkt_bytes:1000 ~burst_rate_gbps:10.
+      ~on_time:(Sim_time.us 100) ~off_time:(Sim_time.us 100) ~stop:(Sim_time.ms 2)
+      ~send:(fun _ -> ())
+      ()
+  in
+  Scheduler.run sched;
+  (* 50% duty at 10G over 2 ms ~ 1.25 MB, i.e. ~1250 packets. *)
+  let sent = Traffic.sent src in
+  Alcotest.(check bool)
+    (Printf.sprintf "sent about 1250 (got %d)" sent)
+    true
+    (sent > 1000 && sent < 1500)
+
+let test_stop_now () =
+  let sched = Scheduler.create () in
+  let src =
+    Traffic.cbr ~sched ~flow ~pkt_bytes:1000 ~rate_gbps:1. ~stop:(Sim_time.ms 10)
+      ~send:(fun _ -> ())
+      ()
+  in
+  ignore (Scheduler.schedule sched ~at:(Sim_time.ms 1) (fun () -> Traffic.stop_now src));
+  Scheduler.run sched;
+  Alcotest.(check bool) "stopped early" true (Traffic.sent src <= 126)
+
+let test_flowgen_population () =
+  let rng = Stats.Rng.create ~seed:21 in
+  let spec = { Flowgen.default_spec with Flowgen.num_flows = 300 } in
+  let flows = Flowgen.generate ~rng spec in
+  Alcotest.(check int) "count" 300 (List.length flows);
+  (* Start times are sorted. *)
+  let sorted =
+    let rec go = function
+      | (a : Flowgen.flow_desc) :: (b :: _ as rest) ->
+          a.Flowgen.start <= b.Flowgen.start && go rest
+      | [ _ ] | [] -> true
+    in
+    go flows
+  in
+  Alcotest.(check bool) "sorted by start" true sorted;
+  (* Zipf: rank 1 appears far more often than rank 50. *)
+  let count r = List.length (List.filter (fun f -> f.Flowgen.rank = r) flows) in
+  Alcotest.(check bool) "rank 1 popular" true (count 1 > 3 * max 1 (count 50));
+  (* Ground-truth counts sum to total packets. *)
+  let truth = Flowgen.true_packet_counts flows in
+  let total_truth = Hashtbl.fold (fun _ c acc -> acc + c) truth 0 in
+  let total = List.fold_left (fun acc f -> acc + f.Flowgen.packets) 0 flows in
+  Alcotest.(check int) "truth conserves packets" total total_truth
+
+let test_flowgen_replay () =
+  let sched = Scheduler.create () in
+  let rng = Stats.Rng.create ~seed:23 in
+  let spec =
+    { Flowgen.default_spec with Flowgen.num_flows = 20; arrival_rate_per_sec = 1e6 }
+  in
+  let flows = Flowgen.generate ~rng spec in
+  let got = ref 0 in
+  ignore
+    (Flowgen.replay ~sched ~flows ~rate_pps_per_flow:100_000. ~send:(fun _ -> incr got) ());
+  Scheduler.run ~until:(Sim_time.ms 50) sched;
+  Alcotest.(check bool) "packets flowed" true (!got > 50)
+
+let fwd = Evcore.Program.forward_all ~name:"fwd" ~out_port:1
+
+let test_topology_single () =
+  let sched = Scheduler.create () in
+  let config = Evcore.Event_switch.default_config Evcore.Arch.event_pisa_full in
+  let topo = Topology.single ~sched ~num_hosts:6 ~config ~program:fwd () in
+  Alcotest.(check int) "hosts" 6 (Array.length topo.Topology.hosts);
+  Alcotest.(check int) "ports grown" 6 (Evcore.Event_switch.num_ports topo.Topology.switch);
+  (* Host 0 -> switch -> out port 1 -> host 1. *)
+  Evcore.Host.send topo.Topology.hosts.(0)
+    (Netcore.Packet.udp_packet ~src:(Ipv4_addr.host ~subnet:1 1)
+       ~dst:(Ipv4_addr.host ~subnet:1 2) ~src_port:1 ~dst_port:2 ~payload_len:10 ());
+  Scheduler.run sched;
+  Alcotest.(check int) "delivered to host 1" 1 (Evcore.Host.received topo.Topology.hosts.(1))
+
+let test_topology_chain () =
+  let sched = Scheduler.create () in
+  let config _ = Evcore.Event_switch.default_config Evcore.Arch.event_pisa_full in
+  (* Forward "up" the chain: host traffic (port 0) goes out port 1;
+     transit from previous switch (port 2) is delivered locally. *)
+  let program _role _ctx =
+    Evcore.Program.make ~name:"chain"
+      ~ingress:(fun _ctx pkt ->
+        if pkt.Netcore.Packet.meta.Netcore.Packet.ingress_port = 2 then Evcore.Program.Forward 0
+        else Evcore.Program.Forward 1)
+      ()
+  in
+  let topo = Topology.chain ~sched ~num_switches:3 ~config ~program ()  in
+  Alcotest.(check int) "links" 2 (Array.length topo.Topology.inter_links);
+  Evcore.Host.send topo.Topology.hosts.(0)
+    (Netcore.Packet.udp_packet ~src:(Ipv4_addr.host ~subnet:1 1)
+       ~dst:(Ipv4_addr.host ~subnet:1 2) ~src_port:1 ~dst_port:2 ~payload_len:10 ());
+  Scheduler.run sched;
+  Alcotest.(check int) "hop delivered to next host" 1
+    (Evcore.Host.received topo.Topology.hosts.(1))
+
+let test_topology_leaf_spine_wiring () =
+  let sched = Scheduler.create () in
+  let config _ = Evcore.Event_switch.default_config Evcore.Arch.event_pisa_full in
+  let seen_roles = ref [] in
+  let program role _ctx =
+    seen_roles := role :: !seen_roles;
+    Evcore.Program.make ~name:"nop" ~ingress:(fun _ctx _pkt -> Evcore.Program.Drop) ()
+  in
+  let topo =
+    Topology.leaf_spine ~sched ~num_leaves:2 ~num_spines:3 ~hosts_per_leaf:2 ~config ~program ()
+  in
+  Alcotest.(check int) "leaves" 2 (Array.length topo.Topology.leaves);
+  Alcotest.(check int) "spines" 3 (Array.length topo.Topology.spines);
+  Alcotest.(check int) "uplinks per leaf" 3 (Array.length topo.Topology.uplinks.(0));
+  Alcotest.(check int) "programs installed" 5 (List.length !seen_roles);
+  let leaves = List.length (List.filter (function Topology.Leaf _ -> true | _ -> false) !seen_roles) in
+  Alcotest.(check int) "leaf roles" 2 leaves;
+  Alcotest.(check int) "uplink port convention" 4 (Topology.uplink_port ~hosts_per_leaf:2 ~spine:2)
+
+(* --- Trace record/replay --- *)
+
+let test_trace_roundtrip () =
+  let sched = Scheduler.create () in
+  let trace = Workloads.Trace.create () in
+  ignore
+    (Traffic.cbr ~sched ~flow ~pkt_bytes:500 ~rate_gbps:1. ~stop:(Sim_time.us 100)
+       ~send:(fun pkt -> Workloads.Trace.record trace ~sched ~port:2 pkt)
+       ());
+  Scheduler.run sched;
+  let n = Workloads.Trace.length trace in
+  Alcotest.(check bool) "recorded" true (n > 10);
+  (* Replay into a fresh clock: identical arrival times and sizes. *)
+  let sched2 = Scheduler.create () in
+  let got = ref [] in
+  let scheduled =
+    Workloads.Trace.replay trace ~sched:sched2
+      ~send:(fun ~port pkt ->
+        got := (Scheduler.now sched2, port, Netcore.Packet.len pkt) :: !got)
+      ()
+  in
+  Scheduler.run sched2;
+  Alcotest.(check int) "all scheduled" n scheduled;
+  Alcotest.(check int) "all delivered" n (List.length !got);
+  let expected =
+    List.map
+      (fun (e : Workloads.Trace.entry) -> (e.Workloads.Trace.at, e.Workloads.Trace.port, e.Workloads.Trace.pkt_bytes))
+      (Workloads.Trace.entries trace)
+  in
+  Alcotest.(check (list (triple int int int))) "same arrivals" expected (List.rev !got)
+
+let test_trace_time_offset () =
+  let trace = Workloads.Trace.create () in
+  Workloads.Trace.add trace
+    { Workloads.Trace.at = Sim_time.us 5; port = 0; flow; pkt_bytes = 100 };
+  let sched = Scheduler.create () in
+  let at = ref 0 in
+  ignore
+    (Workloads.Trace.replay trace ~sched ~time_offset:(Sim_time.us 10)
+       ~send:(fun ~port:_ _ -> at := Scheduler.now sched)
+       ());
+  Scheduler.run sched;
+  Alcotest.(check int) "offset applied" (Sim_time.us 15) !at;
+  Alcotest.(check int) "bytes accounted" 100 (Workloads.Trace.total_bytes trace)
+
+let test_trace_ordering_enforced () =
+  let trace = Workloads.Trace.create () in
+  Workloads.Trace.add trace { Workloads.Trace.at = 100; port = 0; flow; pkt_bytes = 64 };
+  Alcotest.check_raises "backwards time" (Invalid_argument "Trace.add: entries must be time-ordered")
+    (fun () -> Workloads.Trace.add trace { Workloads.Trace.at = 50; port = 0; flow; pkt_bytes = 64 })
+
+let suite =
+  [
+    Alcotest.test_case "cbr rate" `Quick test_cbr_rate;
+    Alcotest.test_case "cbr start/stop" `Quick test_cbr_start_stop;
+    Alcotest.test_case "poisson mean rate" `Quick test_poisson_mean_rate;
+    Alcotest.test_case "on/off duty cycle" `Quick test_on_off_duty_cycle;
+    Alcotest.test_case "stop_now" `Quick test_stop_now;
+    Alcotest.test_case "flowgen population" `Quick test_flowgen_population;
+    Alcotest.test_case "flowgen replay" `Quick test_flowgen_replay;
+    Alcotest.test_case "topology single" `Quick test_topology_single;
+    Alcotest.test_case "topology chain" `Quick test_topology_chain;
+    Alcotest.test_case "topology leaf-spine" `Quick test_topology_leaf_spine_wiring;
+    Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "trace time offset" `Quick test_trace_time_offset;
+    Alcotest.test_case "trace ordering" `Quick test_trace_ordering_enforced;
+  ]
