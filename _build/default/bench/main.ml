@@ -19,8 +19,10 @@ let mk_pkt () =
     ~src_port:1234 ~dst_port:80 ~payload_len:86 ()
 
 (* Table 1 kernel: firing + merging + dispatching one event through a
-   live switch. *)
-let bench_event_dispatch =
+   live switch.  [metrics] optionally attaches a registry to the
+   scheduler; with a disabled registry this measures the cost of the
+   instrumentation branches alone. *)
+let make_event_dispatch ~name ?metrics () =
   let sched = Eventsim.Scheduler.create () in
   let config = Evcore.Event_switch.default_config Evcore.Arch.event_pisa_full in
   let count = ref 0 in
@@ -32,11 +34,20 @@ let bench_event_dispatch =
   in
   let sw = Evcore.Event_switch.create ~sched ~config ~program () in
   Evcore.Event_switch.set_port_tx sw ~port:0 (fun _ -> ());
+  (match metrics with
+  | Some reg -> Eventsim.Scheduler.set_metrics ~wall:false sched reg
+  | None -> ());
   let ctx = Evcore.Event_switch.ctx sw in
-  Test.make ~name:"table1/event-dispatch"
+  Test.make ~name
     (Staged.stage (fun () ->
          ctx.Evcore.Program.emit_user_event ~tag:1 ~data:2;
          Eventsim.Scheduler.run sched))
+
+let bench_event_dispatch = make_event_dispatch ~name:"table1/event-dispatch" ()
+
+let bench_event_dispatch_metrics_off =
+  make_event_dispatch ~name:"table1/event-dispatch-metrics-off"
+    ~metrics:(Obs.Metrics.create ~enabled:false ()) ()
 
 (* Table 2 kernel: count-min sketch update+query (the monitoring
    workhorse). *)
@@ -133,6 +144,7 @@ let benchmarks =
   Test.make_grouped ~name:"evpp"
     [
       bench_event_dispatch;
+      bench_event_dispatch_metrics_off;
       bench_cms;
       bench_resmodel;
       bench_shared_register;
@@ -163,13 +175,55 @@ let run_microbenches () =
     (fun (name, est) -> Printf.printf "  %-40s %12.1f ns/run\n" name est)
     (List.sort compare !rows)
 
-let () =
-  let seed =
-    match Sys.getenv_opt "EVPP_SEED" with Some s -> int_of_string s | None -> 42
+(* --quick: the tier-1 smoke pass.  Runs only the event-dispatch kernel
+   with and without a disabled metrics registry attached, checks the
+   disabled path really records nothing, and trips only on a gross
+   overhead regression (the headline <5% number comes from the full
+   harness; short quotas are too noisy for a tight assert). *)
+let run_quick () =
+  let reg = Obs.Metrics.create ~enabled:false () in
+  let c = Obs.Metrics.counter reg "smoke.count" in
+  Obs.Metrics.Counter.incr c;
+  assert (Obs.Metrics.Counter.value c = 0);
+  let estimate test =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"quick" [ test ]) in
+    let results = Analyze.all ols instance raw in
+    let est = ref nan in
+    Hashtbl.iter
+      (fun _ r ->
+        match Analyze.OLS.estimates r with Some [ e ] -> est := e | _ -> ())
+      results;
+    !est
   in
-  Printf.printf "Event-Driven Packet Processing — paper reproduction harness (seed %d)\n" seed;
-  List.iter
-    (fun (e : Experiments.Registry.entry) -> e.Experiments.Registry.run_and_print ~seed)
-    Experiments.Registry.all;
-  run_microbenches ();
-  print_newline ()
+  let base = estimate (make_event_dispatch ~name:"event-dispatch" ()) in
+  let off =
+    estimate
+      (make_event_dispatch ~name:"event-dispatch-metrics-off"
+         ~metrics:(Obs.Metrics.create ~enabled:false ()) ())
+  in
+  let overhead = (off -. base) /. base in
+  Printf.printf "event-dispatch:              %10.1f ns/run\n" base;
+  Printf.printf "event-dispatch, metrics off: %10.1f ns/run\n" off;
+  Printf.printf "disabled-metrics overhead:   %+10.1f%%\n" (100. *. overhead);
+  assert (Float.is_finite base && base > 0.);
+  assert (Float.is_finite off && off > 0.);
+  assert (overhead < 0.5);
+  print_endline "bench --quick OK"
+
+let () =
+  if Array.exists (( = ) "--quick") Sys.argv then run_quick ()
+  else begin
+    let seed =
+      match Sys.getenv_opt "EVPP_SEED" with Some s -> int_of_string s | None -> 42
+    in
+    Printf.printf "Event-Driven Packet Processing — paper reproduction harness (seed %d)\n" seed;
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        e.Experiments.Registry.run_and_print ~metrics:None ~seed)
+      Experiments.Registry.all;
+    run_microbenches ();
+    print_newline ()
+  end

@@ -7,18 +7,32 @@ let list_cmd () =
         Printf.printf "%-18s %-4s %s\n" e.name e.experiment_id e.paper_artifact)
       all)
 
-let run_cmd name seed =
+let run_cmd name seed metrics_out =
+  let metrics =
+    match metrics_out with None -> None | Some _ -> Some (Obs.Metrics.create ())
+  in
+  let finish () =
+    (match (metrics_out, metrics) with
+    | Some path, Some reg ->
+        Experiments.Report.metrics_summary reg;
+        Obs.Metrics.write_json ~path reg;
+        Printf.printf "\nmetrics written to %s (%d series)\n" path
+          (Obs.Metrics.cardinality reg)
+    | _ -> ());
+    `Ok ()
+  in
   match name with
   | None ->
       List.iter
-        (fun (e : Experiments.Registry.entry) -> e.Experiments.Registry.run_and_print ~seed)
+        (fun (e : Experiments.Registry.entry) ->
+          e.Experiments.Registry.run_and_print ~metrics ~seed)
         Experiments.Registry.all;
-      `Ok ()
+      finish ()
   | Some n -> (
       match Experiments.Registry.find n with
       | Some e ->
-          e.Experiments.Registry.run_and_print ~seed;
-          `Ok ()
+          e.Experiments.Registry.run_and_print ~metrics ~seed;
+          finish ()
       | None ->
           `Error
             ( false,
@@ -88,7 +102,16 @@ let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 let name_arg =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc:"Experiment name.")
 
-let run_term = Term.(ret (const run_cmd $ name_arg $ seed))
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Record simulator metrics (scheduler, event switch, traffic manager) \
+           during the run and write a JSON snapshot to $(docv).")
+
+let run_term = Term.(ret (const run_cmd $ name_arg $ seed $ metrics_out))
 
 let run_info =
   Cmd.info "run" ~doc:"Run one experiment (or all when no name is given)."

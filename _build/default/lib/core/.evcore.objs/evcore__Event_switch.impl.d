@@ -1,1 +1,1 @@
-lib/core/event_switch.ml: Arch Array Devents Eventsim List Netcore Option Pisa Program Queue Stats Tmgr
+lib/core/event_switch.ml: Arch Array Devents Eventsim List Netcore Obs Option Pisa Program Queue Stats Tmgr

@@ -1,1 +1,1 @@
-lib/core/event_switch.mli: Arch Devents Eventsim Netcore Pisa Program Tmgr
+lib/core/event_switch.mli: Arch Devents Eventsim Netcore Obs Pisa Program Tmgr

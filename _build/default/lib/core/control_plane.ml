@@ -32,15 +32,15 @@ let submit t f =
   let exec_at = max (now + t.latency + j) t.next_free in
   t.next_free <- exec_at + t.min_gap;
   ignore
-    (Scheduler.schedule t.sched ~at:exec_at (fun () ->
+    (Scheduler.schedule ~cls:"control" t.sched ~at:exec_at (fun () ->
          t.ops <- t.ops + 1;
          f ()))
 
-let periodic t ~period f = Scheduler.every t.sched ~period (fun () -> submit t f)
+let periodic t ~period f = Scheduler.every ~cls:"control" t.sched ~period (fun () -> submit t f)
 
 let notify t f =
   t.notifications <- t.notifications + 1;
-  ignore (Scheduler.schedule_after t.sched ~delay:t.latency f)
+  ignore (Scheduler.schedule_after ~cls:"control" t.sched ~delay:t.latency f)
 
 let ops t = t.ops
 let notifications t = t.notifications

@@ -186,7 +186,9 @@ let process_carrier t (carrier : Event_merger.carrier) ~exit_time =
       let decision = handler (get_ctx t) pkt in
       (* The decision takes effect when the carrier exits the
          pipeline. *)
-      ignore (Scheduler.schedule t.sched ~at:exit_time (fun () -> apply_decision t pkt decision)));
+      ignore
+        (Scheduler.schedule ~cls:"switch.decision" t.sched ~at:exit_time (fun () ->
+             apply_decision t pkt decision)));
   List.iter (handle_event t) carrier.Event_merger.events
 
 let create ~sched ?(id = 0) ~config ~program () =
@@ -364,3 +366,41 @@ let recirculations t = t.recirculations
 let cp_injections t = t.cp_injections
 let notification_count t = t.notification_count
 let notifications t = List.of_seq (Queue.to_seq t.notifications)
+
+let export_metrics ?(labels = []) t reg =
+  if Obs.Metrics.is_enabled reg then begin
+    let labels = ("switch", string_of_int t.id) :: labels in
+    let counter ?(labels = labels) name v =
+      Obs.Metrics.Counter.set (Obs.Metrics.counter reg ~labels name) v
+    in
+    let gauge ?(labels = labels) name v =
+      Obs.Metrics.Gauge.set (Obs.Metrics.gauge reg ~labels name) v
+    in
+    let merger = get_merger t in
+    List.iter
+      (fun cls ->
+        let clabels = ("class", Event.cls_name cls) :: labels in
+        counter ~labels:clabels "switch.events_fired" t.fired.(Event.cls_index cls);
+        counter ~labels:clabels "switch.events_handled" t.handled.(Event.cls_index cls);
+        gauge ~labels:clabels "merger.queue_hwm" (Event_merger.queue_high_watermark merger cls))
+      Event.all_classes;
+    counter "switch.program_drops" t.program_drops;
+    counter "switch.unsupported_actions" t.unsupported_actions;
+    counter "switch.unrouted" t.unrouted;
+    counter "switch.recirculations" t.recirculations;
+    counter "switch.cp_injections" t.cp_injections;
+    counter "switch.notifications" t.notification_count;
+    counter "merger.empty_carriers" (Event_merger.empty_carriers merger);
+    counter "merger.piggybacked_events" (Event_merger.piggybacked_events merger);
+    counter "merger.packet_drops" (Event_merger.packet_drops merger);
+    gauge "merger.events_waiting" (Event_merger.events_waiting merger);
+    gauge "merger.packets_waiting" (Event_merger.packets_waiting merger);
+    List.iter
+      (fun (cls, n) ->
+        counter ~labels:(("class", Event.cls_name cls) :: labels) "merger.event_drops" n)
+      (Event_merger.event_drops merger);
+    counter "pipeline.admissions" (Pisa.Pipeline.admissions t.pipeline);
+    counter "pipeline.packet_carriers" (Pisa.Pipeline.packet_carriers t.pipeline);
+    counter "pipeline.empty_carriers" (Pisa.Pipeline.empty_carriers t.pipeline);
+    Traffic_manager.export_metrics ~labels (get_tm t) reg
+  end

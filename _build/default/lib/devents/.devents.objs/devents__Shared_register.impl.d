@@ -1,1 +1,1 @@
-lib/devents/shared_register.ml: Array Pisa Queue Stats
+lib/devents/shared_register.ml: Array Obs Pisa Queue Stats

@@ -1,1 +1,1 @@
-lib/devents/shared_register.mli: Pisa Stats
+lib/devents/shared_register.mli: Obs Pisa Stats

@@ -104,7 +104,7 @@ let rec arm t =
   if (not t.admission_armed) && has_work t then begin
     t.admission_armed <- true;
     let at = Pipeline.earliest_admission t.pipeline in
-    ignore (Scheduler.schedule t.sched ~at (fun () -> admit t))
+    ignore (Scheduler.schedule ~cls:"merger.admit" t.sched ~at (fun () -> admit t))
   end
 
 and admit t =

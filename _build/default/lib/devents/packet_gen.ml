@@ -33,7 +33,7 @@ let configure t ~period ?count ~template () =
   t.template <- Some template;
   t.emitted_this_config <- 0;
   let handle =
-    Scheduler.every t.sched ~period (fun () ->
+    Scheduler.every ~cls:"pktgen" t.sched ~period (fun () ->
         match t.template with
         | None -> ()
         | Some template ->

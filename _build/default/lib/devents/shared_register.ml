@@ -13,6 +13,7 @@ type agg_side = {
 }
 
 type t = {
+  name : string;
   mode : mode;
   drain_policy : drain_policy;
   pipeline : Pipeline.t;
@@ -51,6 +52,7 @@ let create ~alloc ~pipeline ~mode ?(drain_policy = Round_robin) ~name ~entries ~
           Register_array.bits enq + Register_array.bits deq )
   in
   {
+    name;
     mode;
     drain_policy;
     pipeline;
@@ -178,3 +180,26 @@ let side_staleness t side =
 let max_staleness_cycles t = Stats.Histogram.max_seen t.staleness
 let applied_ops t = t.applied
 let total_bits t = Register_array.bits t.main + t.agg_bits
+let name t = t.name
+
+let export_metrics ?(labels = []) t reg =
+  if Obs.Metrics.is_enabled reg then begin
+    let labels = ("register", t.name) :: labels in
+    Obs.Metrics.Counter.set
+      (Obs.Metrics.counter reg ~labels "shared_register.applied_ops")
+      t.applied;
+    Obs.Metrics.Gauge.set
+      (Obs.Metrics.gauge reg ~labels "shared_register.pending_ops")
+      (pending_ops t);
+    Obs.Metrics.Gauge.set (Obs.Metrics.gauge reg ~labels "shared_register.bits") (total_bits t);
+    match t.mode with
+    | Multiport -> ()
+    | Aggregated ->
+        Obs.Metrics.attach_histogram reg ~labels "shared_register.staleness_cycles" t.staleness;
+        Array.iteri
+          (fun i s ->
+            Obs.Metrics.attach_histogram reg
+              ~labels:(("side", if i = 0 then "enq" else "deq") :: labels)
+              "shared_register.staleness_cycles" s.side_staleness)
+          t.agg
+  end

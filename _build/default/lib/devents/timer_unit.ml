@@ -43,7 +43,7 @@ let fire t timer ~scheduled =
 let rec arm_periodic t timer ~scheduled =
   let at = quantise t scheduled in
   ignore
-    (Scheduler.schedule t.sched ~at (fun () ->
+    (Scheduler.schedule ~cls:"timer" t.sched ~at (fun () ->
          if not timer.cancelled then begin
            fire t timer ~scheduled;
            arm_periodic t timer ~scheduled:(scheduled + timer.period)
@@ -67,7 +67,7 @@ let add_oneshot t ~delay =
   let timer = fresh t ~period:0 in
   let scheduled = Scheduler.now t.sched + delay in
   ignore
-    (Scheduler.schedule t.sched ~at:(quantise t scheduled) (fun () ->
+    (Scheduler.schedule ~cls:"timer" t.sched ~at:(quantise t scheduled) (fun () ->
          fire t timer ~scheduled;
          Hashtbl.remove t.timers timer.id));
   timer.id

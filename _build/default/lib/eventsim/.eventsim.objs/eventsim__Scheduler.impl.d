@@ -1,1 +1,1 @@
-lib/eventsim/scheduler.ml: Event_heap Printf Sim_time
+lib/eventsim/scheduler.ml: Event_heap Hashtbl List Obs Printf Sim_time String Sys

@@ -1,1 +1,1 @@
-lib/eventsim/scheduler.mli: Sim_time
+lib/eventsim/scheduler.mli: Obs Sim_time

@@ -1,58 +1,120 @@
-type cell = { mutable cancelled : bool; mutable callback : unit -> unit }
+type cell = {
+  mutable cancelled : bool;
+  mutable callback : unit -> unit;
+  mutable queued : bool;
+  cls : string;
+  live : int ref; (* the owning scheduler's live-event count *)
+}
+
 type handle = cell
+
+type prof = {
+  reg : Obs.Metrics.t;
+  labels : Obs.Metrics.labels;
+  wall : bool;
+  depth : Obs.Metrics.Gauge.t;
+  wall_per_sim : Obs.Metrics.Summary.t;
+  by_cls : (string, Obs.Metrics.Counter.t) Hashtbl.t;
+}
 
 type t = {
   heap : cell Event_heap.t;
   mutable clock : Sim_time.t;
   mutable executed : int;
+  live : int ref;
+  mutable depth_hwm : int;
+  mutable prof : prof option;
 }
 
-let create () = { heap = Event_heap.create (); clock = 0; executed = 0 }
+let create () =
+  {
+    heap = Event_heap.create ();
+    clock = 0;
+    executed = 0;
+    live = ref 0;
+    depth_hwm = 0;
+    prof = None;
+  }
+
 let now t = t.clock
 
-let schedule t ~at f =
+let enqueue_cell t ~time cell =
+  cell.queued <- true;
+  incr t.live;
+  if !(t.live) > t.depth_hwm then t.depth_hwm <- !(t.live);
+  Event_heap.push t.heap ~time cell;
+  match t.prof with
+  | Some p when Obs.Metrics.is_enabled p.reg -> Obs.Metrics.Gauge.set p.depth !(t.live)
+  | Some _ | None -> ()
+
+let schedule ?(cls = "callback") t ~at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Scheduler.schedule: at=%d is before now=%d" at t.clock);
-  let cell = { cancelled = false; callback = f } in
-  Event_heap.push t.heap ~time:at cell;
+  let cell = { cancelled = false; callback = f; queued = false; cls; live = t.live } in
+  enqueue_cell t ~time:at cell;
   cell
 
-let schedule_after t ~delay f =
+let schedule_after ?cls t ~delay f =
   if delay < 0 then invalid_arg "Scheduler.schedule_after: negative delay";
-  schedule t ~at:(t.clock + delay) f
+  schedule ?cls t ~at:(t.clock + delay) f
 
-let cancel cell = cell.cancelled <- true
+let cancel cell =
+  if not cell.cancelled then begin
+    cell.cancelled <- true;
+    if cell.queued then decr cell.live
+  end
 
-let every t ?start ~period f =
+let every ?(cls = "periodic") t ?start ~period f =
   if period <= 0 then invalid_arg "Scheduler.every: period must be positive";
   let first = match start with Some s -> s | None -> t.clock + period in
-  let cell = { cancelled = false; callback = (fun () -> ()) } in
+  let cell = { cancelled = false; callback = (fun () -> ()); queued = false; cls; live = t.live } in
   let rec fire () =
     if not cell.cancelled then begin
       f ();
       if not cell.cancelled then begin
         cell.callback <- fire;
-        Event_heap.push t.heap ~time:(t.clock + period) cell
+        enqueue_cell t ~time:(t.clock + period) cell
       end
     end
   in
   cell.callback <- fire;
-  Event_heap.push t.heap ~time:first cell;
+  enqueue_cell t ~time:first cell;
   cell
+
+let cls_counter p cls =
+  match Hashtbl.find_opt p.by_cls cls with
+  | Some c -> c
+  | None ->
+      let c =
+        Obs.Metrics.counter p.reg ~labels:(("class", cls) :: p.labels) "scheduler.callbacks"
+      in
+      Hashtbl.add p.by_cls cls c;
+      c
 
 let step t =
   match Event_heap.pop t.heap with
   | None -> false
   | Some (time, cell) ->
       t.clock <- max t.clock time;
+      cell.queued <- false;
       if not cell.cancelled then begin
+        decr t.live;
         t.executed <- t.executed + 1;
+        (match t.prof with
+        | Some p when Obs.Metrics.is_enabled p.reg ->
+            Obs.Metrics.Counter.incr (cls_counter p cell.cls)
+        | Some _ | None -> ());
         cell.callback ()
       end;
       true
 
 let run ?until t =
+  let wall0 =
+    match t.prof with
+    | Some p when p.wall && Obs.Metrics.is_enabled p.reg -> Some (Sys.time (), t.clock)
+    | Some _ | None -> None
+  in
   let continue = ref true in
   while !continue do
     match (Event_heap.peek_time t.heap, until) with
@@ -60,7 +122,36 @@ let run ?until t =
     | Some time, Some limit when time > limit -> continue := false
     | Some _, _ -> ignore (step t)
   done;
-  match until with Some limit when limit > t.clock -> t.clock <- limit | Some _ | None -> ()
+  (match until with Some limit when limit > t.clock -> t.clock <- limit | Some _ | None -> ());
+  match (t.prof, wall0) with
+  | Some p, Some (w0, sim0) ->
+      let sim_s = Sim_time.to_sec (t.clock - sim0) in
+      if sim_s > 0. then
+        Obs.Metrics.Summary.observe p.wall_per_sim ((Sys.time () -. w0) /. sim_s)
+  | (Some _ | None), _ -> ()
 
-let pending t = Event_heap.length t.heap
+let pending t = !(t.live)
 let executed t = t.executed
+let queue_depth_hwm t = t.depth_hwm
+
+let set_metrics ?(labels = []) ?(wall = true) t reg =
+  let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  t.prof <-
+    Some
+      {
+        reg;
+        labels;
+        wall;
+        depth = Obs.Metrics.gauge reg ~labels "scheduler.queue_depth";
+        wall_per_sim = Obs.Metrics.summary reg ~labels "scheduler.wall_s_per_sim_s";
+        by_cls = Hashtbl.create 16;
+      }
+
+let export_metrics ?(labels = []) t reg =
+  if Obs.Metrics.is_enabled reg then begin
+    Obs.Metrics.Counter.set (Obs.Metrics.counter reg ~labels "scheduler.executed") t.executed;
+    Obs.Metrics.Gauge.set (Obs.Metrics.gauge reg ~labels "scheduler.pending") !(t.live);
+    Obs.Metrics.Gauge.set
+      (Obs.Metrics.gauge reg ~labels "scheduler.queue_depth_hwm")
+      t.depth_hwm
+  end

@@ -2,7 +2,14 @@
 
     Callbacks are executed in non-decreasing time order; ties run in
     schedule order. A callback may schedule further work, including at
-    the current instant. *)
+    the current instant.
+
+    Scheduling calls accept an optional callback class [?cls] (e.g.
+    ["tm.tx"], ["timer"], ["workload"]), used only by the profiling
+    hooks: with {!set_metrics} installed, per-class execution counts,
+    the queue-depth high-water mark and wall-time per simulated second
+    are recorded into an {!Obs.Metrics} registry. Without it (or with
+    the registry disabled) the hooks cost one branch per event. *)
 
 type t
 type handle
@@ -10,17 +17,21 @@ type handle
 val create : unit -> t
 val now : t -> Sim_time.t
 
-val schedule : t -> at:Sim_time.t -> (unit -> unit) -> handle
-(** Scheduling in the past raises [Invalid_argument]. *)
+val schedule : ?cls:string -> t -> at:Sim_time.t -> (unit -> unit) -> handle
+(** Scheduling in the past raises [Invalid_argument]. [cls] defaults to
+    ["callback"]. *)
 
-val schedule_after : t -> delay:Sim_time.t -> (unit -> unit) -> handle
+val schedule_after : ?cls:string -> t -> delay:Sim_time.t -> (unit -> unit) -> handle
+
 val cancel : handle -> unit
 (** Cancelling an already-run or cancelled handle is a no-op. For a
-    periodic handle, cancellation stops all future firings. *)
+    periodic handle, cancellation stops all future firings. Cancelled
+    events leave {!pending} immediately (they still occupy a heap slot
+    until their time comes, but are never executed). *)
 
-val every : t -> ?start:Sim_time.t -> period:Sim_time.t -> (unit -> unit) -> handle
+val every : ?cls:string -> t -> ?start:Sim_time.t -> period:Sim_time.t -> (unit -> unit) -> handle
 (** Fire at [start] (default: now + period) and then every [period]
-    until cancelled. *)
+    until cancelled. [cls] defaults to ["periodic"]. *)
 
 val run : ?until:Sim_time.t -> t -> unit
 (** Execute events until the queue is empty or the next event is after
@@ -30,7 +41,27 @@ val step : t -> bool
 (** Run the single earliest event; [false] if the queue was empty. *)
 
 val pending : t -> int
-(** Number of queued (possibly cancelled) events — a debugging aid. *)
+(** Number of queued live events. Cancelled events are excluded, so
+    this is a truthful queue-depth gauge. *)
 
 val executed : t -> int
 (** Total callbacks executed so far. *)
+
+val queue_depth_hwm : t -> int
+(** Highest {!pending} ever reached (lifetime high-water mark). *)
+
+(** {1 Profiling hooks} *)
+
+val set_metrics : ?labels:Obs.Metrics.labels -> ?wall:bool -> t -> Obs.Metrics.t -> unit
+(** Install live profiling into [reg]: [scheduler.callbacks] counters
+    labelled by [class], a [scheduler.queue_depth] gauge (its max is
+    the high-water mark since attach), and — unless [wall] is [false] —
+    a [scheduler.wall_s_per_sim_s] summary observed once per {!run}
+    call. Wall-clock series are inherently nondeterministic; pass
+    [~wall:false] when snapshots must be reproducible. [labels] are
+    added to every series. *)
+
+val export_metrics : ?labels:Obs.Metrics.labels -> t -> Obs.Metrics.t -> unit
+(** Publish current absolute values ([scheduler.executed],
+    [scheduler.pending], [scheduler.queue_depth_hwm]) into [reg];
+    idempotent, intended to run once before a snapshot. *)

@@ -1,1 +1,1 @@
-lib/experiments/e01_table1.mli: Devents
+lib/experiments/e01_table1.mli: Devents Obs

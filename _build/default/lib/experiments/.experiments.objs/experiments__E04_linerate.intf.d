@@ -1,1 +1,1 @@
-lib/experiments/e04_linerate.mli: Eventsim
+lib/experiments/e04_linerate.mli: Eventsim Obs

@@ -1,1 +1,1 @@
-lib/experiments/e05_staleness.mli:
+lib/experiments/e05_staleness.mli: Obs

@@ -1,1 +1,1 @@
-lib/experiments/e06_microburst.mli:
+lib/experiments/e06_microburst.mli: Obs

@@ -1,1 +1,1 @@
-lib/experiments/registry.mli:
+lib/experiments/registry.mli: Obs

@@ -1,1 +1,1 @@
-lib/experiments/report.ml: Array Float List Printf String
+lib/experiments/report.ml: Array Float List Obs Printf String

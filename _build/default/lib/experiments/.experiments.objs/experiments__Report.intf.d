@@ -1,1 +1,1 @@
-lib/experiments/report.mli:
+lib/experiments/report.mli: Obs

@@ -59,7 +59,7 @@ let omni_program () : Program.spec =
     ~user:(fun _ctx _ev -> ())
     ()
 
-let run_arch arch =
+let run_arch ?metrics arch =
   let sched = Scheduler.create () in
   let config = Event_switch.default_config arch in
   let config =
@@ -70,6 +70,10 @@ let run_arch arch =
     }
   in
   let sw = Event_switch.create ~sched ~config ~program:(omni_program ()) () in
+  let obs_labels = [ ("arch", arch.Arch.name) ] in
+  (match metrics with
+  | Some m -> Scheduler.set_metrics ~labels:obs_labels sched m
+  | None -> ());
   Event_switch.set_port_tx sw ~port:0 (fun _ -> ());
   (* Traffic: a burst big enough to overflow the 4 KB buffer. *)
   for i = 0 to 39 do
@@ -91,14 +95,23 @@ let run_arch arch =
     (Scheduler.schedule sched ~at:(Sim_time.us 50) (fun () ->
          Event_switch.link_status sw ~port:2 ~up:true));
   Scheduler.run ~until:(Sim_time.us 200) sched;
+  (match metrics with
+  | Some m ->
+      Scheduler.export_metrics ~labels:obs_labels sched m;
+      Event_switch.export_metrics ~labels:obs_labels sw m
+  | None -> ());
   {
     arch_name = arch.Arch.name;
     fired = List.map (fun cls -> (cls, Event_switch.fired sw cls)) Event.all_classes;
     handled = List.map (fun cls -> (cls, Event_switch.handled sw cls)) Event.all_classes;
   }
 
-let run () =
-  { arches = List.map run_arch [ Arch.baseline_psa; Arch.sume_event_switch; Arch.event_pisa_full ] }
+let run ?metrics () =
+  {
+    arches =
+      List.map (run_arch ?metrics)
+        [ Arch.baseline_psa; Arch.sume_event_switch; Arch.event_pisa_full ];
+  }
 
 let cell ar cls =
   let handled = List.assoc cls ar.handled in

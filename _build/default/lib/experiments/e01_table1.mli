@@ -9,6 +9,9 @@ type arch_result = {
 
 type result = { arches : arch_result list }
 
-val run : unit -> result
+val run : ?metrics:Obs.Metrics.t -> unit -> result
+(** With [metrics], scheduler profiling plus per-switch series are
+    recorded per architecture (labelled [arch=...]). *)
+
 val print : result -> unit
 val name : string

@@ -14,6 +14,9 @@ type point = {
 
 type result = { pkt_bytes : int; duration : Eventsim.Sim_time.t; points : point list }
 
-val run : ?seed:int -> unit -> result
+val run : ?metrics:Obs.Metrics.t -> ?seed:int -> unit -> result
+(** With [metrics], scheduler profiling plus per-switch series are
+    recorded per load point (labelled [load=...]). *)
+
 val print : result -> unit
 val name : string

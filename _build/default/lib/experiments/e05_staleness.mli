@@ -15,6 +15,10 @@ type point = {
 
 type result = { points : point list }
 
-val run : ?seed:int -> unit -> result
+val run : ?metrics:Obs.Metrics.t -> ?seed:int -> unit -> result
+(** With [metrics], scheduler profiling, per-switch series and the
+    shared register's staleness histograms are recorded per sweep
+    point (labelled [point=...]). *)
+
 val print : result -> unit
 val name : string

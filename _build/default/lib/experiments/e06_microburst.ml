@@ -80,7 +80,7 @@ let latency_of detections =
       else None)
     detections
 
-let run_event_driven ~state_mode () =
+let run_event_driven ?metrics ~state_mode () =
   let sched = Scheduler.create () in
   let config = Event_switch.default_config Arch.event_pisa_full in
   let config = { config with Event_switch.state_mode } in
@@ -88,9 +88,25 @@ let run_event_driven ~state_mode () =
     Apps.Microburst.program ~slots ~threshold_bytes ~out_port:(fun _ -> congested_port) ()
   in
   let sw = Event_switch.create ~sched ~config ~program:spec () in
+  let obs_labels =
+    [
+      ( "variant",
+        match state_mode with
+        | Devents.Shared_register.Multiport -> "event-driven-multiport"
+        | Devents.Shared_register.Aggregated -> "event-driven-aggregated" );
+    ]
+  in
+  (match metrics with
+  | Some m -> Scheduler.set_metrics ~labels:obs_labels sched m
+  | None -> ());
   Event_switch.set_port_tx sw ~port:congested_port (fun _ -> ());
   drive_workload ~sched ~inject:(fun port pkt -> Event_switch.inject sw ~port pkt);
   Scheduler.run sched;
+  (match metrics with
+  | Some m ->
+      Scheduler.export_metrics ~labels:obs_labels sched m;
+      Event_switch.export_metrics ~labels:obs_labels sw m
+  | None -> ());
   let detections =
     List.map
       (fun (d : Apps.Microburst.detection) ->
@@ -107,16 +123,25 @@ let run_event_driven ~state_mode () =
     latencies_ns = latency_of detections;
   }
 
-let run_snappy () =
+let run_snappy ?metrics () =
   let sched = Scheduler.create () in
   let config = Event_switch.default_config Arch.baseline_psa in
   let spec, detector =
     Apps.Snappy.program ~slots ~threshold_bytes ~out_port:(fun _ -> congested_port) ()
   in
   let sw = Event_switch.create ~sched ~config ~program:spec () in
+  let obs_labels = [ ("variant", "snappy-baseline") ] in
+  (match metrics with
+  | Some m -> Scheduler.set_metrics ~labels:obs_labels sched m
+  | None -> ());
   Event_switch.set_port_tx sw ~port:congested_port (fun _ -> ());
   drive_workload ~sched ~inject:(fun port pkt -> Event_switch.inject sw ~port pkt);
   Scheduler.run sched;
+  (match metrics with
+  | Some m ->
+      Scheduler.export_metrics ~labels:obs_labels sched m;
+      Event_switch.export_metrics ~labels:obs_labels sw m
+  | None -> ());
   let detections =
     List.map
       (fun (d : Apps.Snappy.detection) -> (d.Apps.Snappy.flow_id, d.Apps.Snappy.time))
@@ -129,14 +154,16 @@ let run_snappy () =
     latencies_ns = latency_of detections;
   }
 
-let run ?(seed = 42) () =
+let run ?metrics ?(seed = 42) () =
   ignore seed;
-  let aggregated = run_event_driven ~state_mode:Devents.Shared_register.Aggregated () in
+  let aggregated =
+    run_event_driven ?metrics ~state_mode:Devents.Shared_register.Aggregated ()
+  in
   {
     culprit_slots = List.sort_uniq Int.compare (List.map flow_slot culprit_flows);
-    event_driven = run_event_driven ~state_mode:Devents.Shared_register.Multiport ();
+    event_driven = run_event_driven ?metrics ~state_mode:Devents.Shared_register.Multiport ();
     event_driven_aggregated_bits = aggregated.state_bits;
-    snappy = run_snappy ();
+    snappy = run_snappy ?metrics ();
   }
 
 let precision_recall ~truth ~detected =

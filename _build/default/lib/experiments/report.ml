@@ -34,3 +34,23 @@ let ns x =
   else Printf.sprintf "%.0fns" x
 
 let time_ps t = ns (float_of_int t /. 1e3)
+
+let metrics_summary reg =
+  let samples = Obs.Metrics.snapshot reg in
+  section (Printf.sprintf "Metrics snapshot (%d series)" (List.length samples));
+  let row { Obs.Metrics.name; labels; value } =
+    let labels_s = String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) labels) in
+    let kind, shown =
+      match value with
+      | Obs.Metrics.Counter_v v -> ("counter", string_of_int v)
+      | Obs.Metrics.Gauge_v { last; max; min = _ } ->
+          ("gauge", Printf.sprintf "%d (max %d)" last max)
+      | Obs.Metrics.Histo_v { count; mean; p50; p99; max } ->
+          ( "histogram",
+            Printf.sprintf "n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g" count mean p50 p99 max )
+      | Obs.Metrics.Summary_v { count; mean; std; min = _; max } ->
+          ("summary", Printf.sprintf "n=%d mean=%.3g std=%.3g max=%.3g" count mean std max)
+    in
+    [ name; labels_s; kind; shown ]
+  in
+  table ~headers:[ "series"; "labels"; "kind"; "value" ] ~rows:(List.map row samples)

@@ -21,3 +21,7 @@ val ns : float -> string
 (** Nanoseconds with adaptive unit. *)
 
 val time_ps : int -> string
+
+val metrics_summary : Obs.Metrics.t -> unit
+(** Render a registry snapshot as an aligned table, one row per
+    series (used by [evsim --metrics] alongside the JSON export). *)

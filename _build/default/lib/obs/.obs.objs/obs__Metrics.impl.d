@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Buffer Char Float Format Hashtbl List Option Printf Stats String

@@ -1,0 +1,328 @@
+type labels = (string * string) list
+
+module Counter = struct
+  type t = { mutable v : int; on : bool ref }
+
+  let incr c = if !(c.on) then c.v <- c.v + 1
+  let add c n = if !(c.on) then c.v <- c.v + n
+  let set c n = if !(c.on) then c.v <- n
+  let value c = c.v
+end
+
+module Gauge = struct
+  type t = {
+    mutable v : int;
+    mutable mx : int;
+    mutable mn : int;
+    mutable seen : bool;
+    on : bool ref;
+  }
+
+  let set g n =
+    if !(g.on) then begin
+      g.v <- n;
+      if (not g.seen) || n > g.mx then g.mx <- n;
+      if (not g.seen) || n < g.mn then g.mn <- n;
+      g.seen <- true
+    end
+
+  let add g n = set g (g.v + n)
+  let value g = g.v
+  let max_seen g = if g.seen then g.mx else 0
+  let min_seen g = if g.seen then g.mn else 0
+end
+
+module Histo = struct
+  type t = { h : Stats.Histogram.t; on : bool ref }
+
+  let observe t x = if !(t.on) then Stats.Histogram.add t.h x
+  let stats t = t.h
+end
+
+module Summary = struct
+  type t = { w : Stats.Welford.t; on : bool ref }
+
+  let observe t x = if !(t.on) then Stats.Welford.add t.w x
+  let stats t = t.w
+end
+
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of Gauge.t
+  | I_histo of Histo.t
+  | I_summary of Summary.t
+
+type metric = { m_name : string; m_labels : labels; instrument : instrument }
+
+type t = { on : bool ref; tbl : (string, metric) Hashtbl.t }
+
+let create ?(enabled = true) () = { on = ref enabled; tbl = Hashtbl.create 64 }
+let enable t = t.on := true
+let disable t = t.on := false
+let is_enabled t = !(t.on)
+
+let canonical labels =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    labels
+
+let key name labels =
+  let buf = Buffer.create 48 in
+  Buffer.add_string buf name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '\x01';
+      Buffer.add_string buf v)
+    labels;
+  Buffer.contents buf
+
+let kind_name = function
+  | I_counter _ -> "counter"
+  | I_gauge _ -> "gauge"
+  | I_histo _ -> "histogram"
+  | I_summary _ -> "summary"
+
+(* Register under (name, labels); an existing series of the same kind
+   is shared, a different kind is a collision. *)
+let register t ~name ~labels ~make =
+  let labels = canonical labels in
+  let k = key name labels in
+  match Hashtbl.find_opt t.tbl k with
+  | Some m -> m.instrument
+  | None ->
+      let m = { m_name = name; m_labels = labels; instrument = make () } in
+      Hashtbl.add t.tbl k m;
+      m.instrument
+
+let collision name got want =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered as a %s, not a %s" name (kind_name got) want)
+
+let counter t ?(labels = []) name =
+  match register t ~name ~labels ~make:(fun () -> I_counter { Counter.v = 0; on = t.on }) with
+  | I_counter c -> c
+  | other -> collision name other "counter"
+
+let gauge t ?(labels = []) name =
+  match
+    register t ~name ~labels ~make:(fun () ->
+        I_gauge { Gauge.v = 0; mx = 0; mn = 0; seen = false; on = t.on })
+  with
+  | I_gauge g -> g
+  | other -> collision name other "gauge"
+
+let histogram t ?(labels = []) ?(max_exponent = 40) name =
+  match
+    register t ~name ~labels ~make:(fun () ->
+        I_histo { Histo.h = Stats.Histogram.log2 ~max_exponent; on = t.on })
+  with
+  | I_histo h -> h
+  | other -> collision name other "histogram"
+
+let summary t ?(labels = []) name =
+  match
+    register t ~name ~labels ~make:(fun () ->
+        I_summary { Summary.w = Stats.Welford.create (); on = t.on })
+  with
+  | I_summary s -> s
+  | other -> collision name other "summary"
+
+let attach_histogram t ?(labels = []) name h =
+  match register t ~name ~labels ~make:(fun () -> I_histo { Histo.h; on = t.on }) with
+  | I_histo _ -> ()
+  | other -> collision name other "histogram"
+
+type value =
+  | Counter_v of int
+  | Gauge_v of { last : int; max : int; min : int }
+  | Histo_v of { count : int; mean : float; p50 : float; p99 : float; max : float }
+  | Summary_v of { count : int; mean : float; std : float; min : float; max : float }
+
+type sample = { name : string; labels : labels; value : value }
+
+(* Exported floats must be finite and deterministic: empty series report
+   zeros rather than nan/infinity. *)
+let finite x = if Float.is_nan x || x = infinity || x = neg_infinity then 0. else x
+
+let value_of = function
+  | I_counter c -> Counter_v c.Counter.v
+  | I_gauge g -> Gauge_v { last = g.Gauge.v; max = Gauge.max_seen g; min = Gauge.min_seen g }
+  | I_histo { Histo.h; _ } ->
+      let count = Stats.Histogram.count h in
+      if count = 0 then Histo_v { count = 0; mean = 0.; p50 = 0.; p99 = 0.; max = 0. }
+      else
+        Histo_v
+          {
+            count;
+            mean = finite (Stats.Histogram.mean h);
+            p50 = finite (Stats.Histogram.percentile h 0.5);
+            p99 = finite (Stats.Histogram.percentile h 0.99);
+            max = finite (Stats.Histogram.max_seen h);
+          }
+  | I_summary { Summary.w; _ } ->
+      let count = Stats.Welford.count w in
+      if count = 0 then Summary_v { count = 0; mean = 0.; std = 0.; min = 0.; max = 0. }
+      else
+        Summary_v
+          {
+            count;
+            mean = finite (Stats.Welford.mean w);
+            std = finite (Stats.Welford.std w);
+            min = finite (Stats.Welford.min w);
+            max = finite (Stats.Welford.max w);
+          }
+
+let compare_labels a b = compare a b
+
+let snapshot t =
+  Hashtbl.fold (fun _ m acc -> m :: acc) t.tbl []
+  |> List.sort (fun a b ->
+         match String.compare a.m_name b.m_name with
+         | 0 -> compare_labels a.m_labels b.m_labels
+         | c -> c)
+  |> List.map (fun m -> { name = m.m_name; labels = m.m_labels; value = value_of m.instrument })
+
+let cardinality t = Hashtbl.length t.tbl
+
+let find_value t ?(labels = []) name =
+  let k = key name (canonical labels) in
+  Option.map (fun m -> value_of m.instrument) (Hashtbl.find_opt t.tbl k)
+
+(* --- export --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x = Printf.sprintf "%.17g" (finite x)
+
+let sample_json buf { name; labels; value } =
+  Buffer.add_string buf "    { \"name\": \"";
+  Buffer.add_string buf (json_escape name);
+  Buffer.add_string buf "\", \"labels\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf " \"%s\": \"%s\"" (json_escape k) (json_escape v)))
+    labels;
+  if labels <> [] then Buffer.add_char buf ' ';
+  Buffer.add_string buf "}, ";
+  (match value with
+  | Counter_v v -> Buffer.add_string buf (Printf.sprintf "\"kind\": \"counter\", \"value\": %d" v)
+  | Gauge_v { last; max; min } ->
+      Buffer.add_string buf
+        (Printf.sprintf "\"kind\": \"gauge\", \"value\": %d, \"max\": %d, \"min\": %d" last max min)
+  | Histo_v { count; mean; p50; p99; max } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"kind\": \"histogram\", \"count\": %d, \"mean\": %s, \"p50\": %s, \"p99\": %s, \
+            \"max\": %s"
+           count (json_float mean) (json_float p50) (json_float p99) (json_float max))
+  | Summary_v { count; mean; std; min; max } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"kind\": \"summary\", \"count\": %d, \"mean\": %s, \"std\": %s, \"min\": %s, \
+            \"max\": %s"
+           count (json_float mean) (json_float std) (json_float min) (json_float max)));
+  Buffer.add_string buf " }"
+
+let to_json t =
+  let samples = snapshot t in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"metrics\": [\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      sample_json buf s)
+    samples;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let samples = snapshot t in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "name,labels,kind,value,count,mean,p50,p99,min,max\n";
+  List.iter
+    (fun { name; labels; value } ->
+      let labels_s =
+        String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+      in
+      let row =
+        match value with
+        | Counter_v v ->
+            [ "counter"; string_of_int v; ""; ""; ""; ""; ""; "" ]
+        | Gauge_v { last; max; min } ->
+            [ "gauge"; string_of_int last; ""; ""; ""; ""; string_of_int min; string_of_int max ]
+        | Histo_v { count; mean; p50; p99; max } ->
+            [
+              "histogram";
+              "";
+              string_of_int count;
+              json_float mean;
+              json_float p50;
+              json_float p99;
+              "";
+              json_float max;
+            ]
+        | Summary_v { count; mean; std; min; max } ->
+            [
+              "summary";
+              "";
+              string_of_int count;
+              json_float mean;
+              json_float std;
+              "";
+              json_float min;
+              json_float max;
+            ]
+      in
+      Buffer.add_string buf
+        (String.concat "," (csv_escape name :: csv_escape labels_s :: row));
+      Buffer.add_char buf '\n')
+    samples;
+  Buffer.contents buf
+
+let write_string ~path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let write_json t ~path = write_string ~path (to_json t)
+let write_csv t ~path = write_string ~path (to_csv t)
+
+let pp ppf t =
+  List.iter
+    (fun { name; labels; value } ->
+      let labels_s =
+        if labels = [] then ""
+        else
+          "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels) ^ "}"
+      in
+      match value with
+      | Counter_v v -> Format.fprintf ppf "%s%s = %d@." name labels_s v
+      | Gauge_v { last; max; min } ->
+          Format.fprintf ppf "%s%s = %d (min %d, max %d)@." name labels_s last min max
+      | Histo_v { count; mean; p50; p99; max } ->
+          Format.fprintf ppf "%s%s: n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g@." name labels_s
+            count mean p50 p99 max
+      | Summary_v { count; mean; std; min; max } ->
+          Format.fprintf ppf "%s%s: n=%d mean=%.4g std=%.4g min=%.4g max=%.4g@." name labels_s
+            count mean std min max)
+    (snapshot t)

@@ -1,1 +1,1 @@
-lib/tmgr/traffic_manager.ml: Array Buffer_pool Devents Eventsim Fifo_queue Netcore Pifo Printf
+lib/tmgr/traffic_manager.ml: Array Buffer_pool Devents Eventsim Fifo_queue Netcore Obs Pifo Printf

@@ -1,1 +1,1 @@
-lib/tmgr/traffic_manager.mli: Devents Eventsim Netcore
+lib/tmgr/traffic_manager.mli: Devents Eventsim Netcore Obs

@@ -27,7 +27,7 @@ let send t ~from_a pkt =
     let epoch = t.epoch in
     let dst = if from_a then t.b else t.a in
     ignore
-      (Scheduler.schedule_after t.sched ~delay:t.delay (fun () ->
+      (Scheduler.schedule_after ~cls:"link" t.sched ~delay:t.delay (fun () ->
            if t.up && t.epoch = epoch then begin
              t.delivered <- t.delivered + 1;
              dst.deliver pkt
@@ -40,7 +40,7 @@ let change_status t up =
     t.up <- up;
     t.epoch <- t.epoch + 1;
     ignore
-      (Scheduler.schedule_after t.sched ~delay:t.detection_delay (fun () ->
+      (Scheduler.schedule_after ~cls:"link" t.sched ~delay:t.detection_delay (fun () ->
            t.a.notify_status ~up;
            t.b.notify_status ~up))
   end

@@ -153,7 +153,7 @@ let rec try_dequeue t port =
                 t.in_flight <- t.in_flight + 1;
                 let tx = Sim_time.tx_time ~bytes:(Packet.len pkt) ~gbps:t.config.port_rate_gbps in
                 ignore
-                  (Scheduler.schedule_after t.sched ~delay:tx (fun () ->
+                  (Scheduler.schedule_after ~cls:"tm.tx" t.sched ~delay:tx (fun () ->
                        port.busy <- false;
                        t.in_flight <- t.in_flight - 1;
                        t.transmitted <- t.transmitted + 1;
@@ -226,6 +226,7 @@ let enqueue t ~port pkt =
       end
 
 let occupancy_bytes t ~port = t.ports.(port).occupancy_bytes
+let occupancy_pkts t ~port = t.ports.(port).occupancy_pkts
 
 let queue_occupancy_bytes t ~port ~qid =
   match t.ports.(port).queues with
@@ -245,3 +246,37 @@ let config t = t.config
 
 let quiescent t =
   t.in_flight = 0 && Array.for_all (fun p -> p.occupancy_pkts = 0) t.ports
+
+let export_metrics ?(labels = []) t reg =
+  if Obs.Metrics.is_enabled reg then begin
+    let counter name v = Obs.Metrics.Counter.set (Obs.Metrics.counter reg ~labels name) v in
+    let gauge ?(labels = labels) name v =
+      Obs.Metrics.Gauge.set (Obs.Metrics.gauge reg ~labels name) v
+    in
+    counter "tm.enqueues" t.enqueues;
+    counter "tm.dequeues" t.dequeues;
+    counter "tm.transmitted" t.transmitted;
+    counter "tm.transmitted_bytes" t.transmitted_bytes;
+    counter "tm.drops" t.drops;
+    counter "tm.egress_drops" t.egress_drops;
+    gauge "tm.buffer_occupancy_bytes" (Buffer_pool.occupancy t.pool);
+    gauge "tm.buffer_hwm_bytes" (Buffer_pool.high_watermark t.pool);
+    counter "tm.buffer_failed_allocs" (Buffer_pool.failed_allocs t.pool);
+    Array.iter
+      (fun p ->
+        let plabels = ("port", string_of_int p.index) :: labels in
+        gauge ~labels:plabels "tm.port_occupancy_bytes" p.occupancy_bytes;
+        gauge ~labels:plabels "tm.port_occupancy_pkts" p.occupancy_pkts;
+        match p.queues with
+        | Fifos queues ->
+            Array.iteri
+              (fun qid q ->
+                gauge
+                  ~labels:(("qid", string_of_int qid) :: plabels)
+                  "tm.queue_hwm_bytes"
+                  (Fifo_queue.high_watermark_bytes q))
+              queues
+        | Pifo_q pifo ->
+            gauge ~labels:plabels "tm.pifo_occupancy_pkts" (Pifo.length pifo))
+      t.ports
+  end

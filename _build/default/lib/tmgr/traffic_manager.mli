@@ -49,6 +49,7 @@ val enqueue : t -> port:int -> Netcore.Packet.t -> bool
     dropped (Overflow fired). *)
 
 val occupancy_bytes : t -> port:int -> int
+val occupancy_pkts : t -> port:int -> int
 val queue_occupancy_bytes : t -> port:int -> qid:int -> int
 val total_occupancy_bytes : t -> int
 val enqueues : t -> int
@@ -62,3 +63,9 @@ val egress_drops : t -> int
 val config : t -> config
 val quiescent : t -> bool
 (** No queued or in-flight packets. *)
+
+val export_metrics : ?labels:Obs.Metrics.labels -> t -> Obs.Metrics.t -> unit
+(** Publish enqueue/dequeue/transmit/drop counters, shared-buffer
+    occupancy and high-water marks, and per-port (and per-queue)
+    occupancy gauges into [reg]. Idempotent; a no-op when [reg] is
+    disabled. *)

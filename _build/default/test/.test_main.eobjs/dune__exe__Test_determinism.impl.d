@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest Apps Evcore Eventsim List Netcore Obs Printf Stats

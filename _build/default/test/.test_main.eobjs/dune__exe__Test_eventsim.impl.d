@@ -1,1 +1,1 @@
-test/test_eventsim.ml: Alcotest Eventsim List Printf QCheck QCheck_alcotest
+test/test_eventsim.ml: Alcotest Eventsim List Option Printf QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Filename List Obs Stats String Sys

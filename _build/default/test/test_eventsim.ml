@@ -50,6 +50,113 @@ let qcheck_heap_sorted =
       in
       drain min_int)
 
+(* Property: under any random interleaving of pushes and pops, every
+   pop returns exactly what a reference model says — the minimum-time
+   element of the current contents, breaking time ties by insertion
+   (schedule) order.  The interleaving is driven by a seeded Stats.Rng
+   so failures replay exactly. *)
+let qcheck_heap_interleaved =
+  QCheck.Test.make ~name:"heap interleaved push/pop: min-time, FIFO on ties" ~count:300
+    QCheck.(pair small_int (int_bound 200))
+    (fun (seed, nops) ->
+      let rng = Stats.Rng.create ~seed in
+      let h = Event_heap.create () in
+      let seq = ref 0 in
+      (* Reference model: the multiset of live (time, seq) pairs. *)
+      let model = ref [] in
+      let ok = ref true in
+      let check_pop () =
+        let expected =
+          match List.sort compare !model with [] -> None | min :: _ -> Some min
+        in
+        let got = Event_heap.pop h in
+        (match (got, expected) with
+        | Some (t, s), Some (et, es) when t = et && s = es ->
+            model := List.filter (( <> ) (et, es)) !model
+        | None, None -> ()
+        | _ -> ok := false);
+        (match got with
+        | Some (t, _) ->
+            if Event_heap.peek_time h <> None
+               && Option.get (Event_heap.peek_time h) < t
+            then ok := false
+        | None -> ())
+      in
+      for _ = 1 to nops do
+        if Stats.Rng.int rng 3 < 2 then begin
+          (* Few distinct times so ties are common. *)
+          let time = Stats.Rng.int rng 8 in
+          Event_heap.push h ~time !seq;
+          model := (time, !seq) :: !model;
+          incr seq
+        end
+        else check_pop ()
+      done;
+      (* Drain the rest: the model must agree to the end. *)
+      while !ok && (not (Event_heap.is_empty h) || !model <> []) do
+        check_pop ()
+      done;
+      !ok)
+
+(* Property: under random interleavings of schedule/cancel against the
+   scheduler, cancelled callbacks never run, live callbacks run in
+   non-decreasing time with FIFO ties, and [pending] counts exactly the
+   live (non-cancelled) events. *)
+let qcheck_scheduler_interleaved =
+  QCheck.Test.make ~name:"scheduler schedule/cancel: cancelled never run, order kept"
+    ~count:200
+    QCheck.(pair small_int (int_bound 60))
+    (fun (seed, n) ->
+      let rng = Stats.Rng.create ~seed in
+      let sched = Scheduler.create () in
+      let ran = ref [] in
+      let handles = ref [] in
+      let cancelled = ref [] in
+      for i = 0 to n - 1 do
+        let at = Stats.Rng.int rng 10 in
+        let h = Scheduler.schedule sched ~at (fun () -> ran := (at, i) :: !ran) in
+        handles := (h, i) :: !handles;
+        (* Cancel a random earlier-or-current handle about a third of
+           the time (double-cancel included on purpose). *)
+        if Stats.Rng.int rng 3 = 0 then begin
+          let victims = !handles in
+          let vh, vi = List.nth victims (Stats.Rng.int rng (List.length victims)) in
+          Scheduler.cancel vh;
+          if not (List.mem vi !cancelled) then cancelled := vi :: !cancelled
+        end
+      done;
+      let live = n - List.length !cancelled in
+      let pending_ok = Scheduler.pending sched = live in
+      Scheduler.run sched;
+      let ran = List.rev !ran in
+      let none_cancelled_ran =
+        List.for_all (fun (_, i) -> not (List.mem i !cancelled)) ran
+      in
+      let all_live_ran = List.length ran = live in
+      let rec ordered = function
+        | (t1, i1) :: ((t2, i2) :: _ as rest) ->
+            (t1 < t2 || (t1 = t2 && i1 < i2)) && ordered rest
+        | _ -> true
+      in
+      pending_ok && none_cancelled_ran && all_live_ran && ordered ran
+      && Scheduler.pending sched = 0)
+
+let test_pending_excludes_cancelled () =
+  let sched = Scheduler.create () in
+  let handles =
+    List.init 5 (fun i -> Scheduler.schedule sched ~at:(10 * (i + 1)) (fun () -> ()))
+  in
+  Alcotest.(check int) "all pending" 5 (Scheduler.pending sched);
+  Scheduler.cancel (List.nth handles 1);
+  Scheduler.cancel (List.nth handles 3);
+  Alcotest.(check int) "cancelled excluded" 3 (Scheduler.pending sched);
+  (* Cancelling twice must not double-count. *)
+  Scheduler.cancel (List.nth handles 1);
+  Alcotest.(check int) "double cancel is idempotent" 3 (Scheduler.pending sched);
+  Scheduler.run sched;
+  Alcotest.(check int) "drained" 0 (Scheduler.pending sched);
+  Alcotest.(check int) "only live ones executed" 3 (Scheduler.executed sched)
+
 let test_scheduler_order () =
   let sched = Scheduler.create () in
   let log = ref [] in
@@ -146,6 +253,9 @@ let suite =
     Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
     Alcotest.test_case "heap FIFO ties" `Quick test_heap_fifo_ties;
     QCheck_alcotest.to_alcotest qcheck_heap_sorted;
+    QCheck_alcotest.to_alcotest qcheck_heap_interleaved;
+    QCheck_alcotest.to_alcotest qcheck_scheduler_interleaved;
+    Alcotest.test_case "pending excludes cancelled" `Quick test_pending_excludes_cancelled;
     Alcotest.test_case "scheduler order" `Quick test_scheduler_order;
     Alcotest.test_case "scheduler cancel" `Quick test_scheduler_cancel;
     Alcotest.test_case "scheduling in the past raises" `Quick test_scheduler_past_raises;

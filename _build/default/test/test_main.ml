@@ -2,7 +2,9 @@ let () =
   Alcotest.run "evpp"
     [
       ("stats", Test_stats.suite);
+      ("obs", Test_obs.suite);
       ("eventsim", Test_eventsim.suite);
+      ("determinism", Test_determinism.suite);
       ("netcore", Test_netcore.suite);
       ("pisa", Test_pisa.suite);
       ("devents", Test_devents.suite);

@@ -1,0 +1,174 @@
+(* Tests for the observability layer (Obs.Metrics). *)
+
+module M = Obs.Metrics
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let test_counter () =
+  let reg = M.create () in
+  let c = M.counter reg "requests" in
+  M.Counter.incr c;
+  M.Counter.add c 4;
+  Alcotest.(check int) "value" 5 (M.Counter.value c);
+  M.Counter.set c 42;
+  Alcotest.(check int) "set is absolute" 42 (M.Counter.value c)
+
+let test_gauge () =
+  let reg = M.create () in
+  let g = M.gauge reg "depth" in
+  M.Gauge.set g 3;
+  M.Gauge.set g 9;
+  M.Gauge.set g 5;
+  Alcotest.(check int) "last" 5 (M.Gauge.value g);
+  Alcotest.(check int) "hwm" 9 (M.Gauge.max_seen g);
+  Alcotest.(check int) "lwm" 3 (M.Gauge.min_seen g)
+
+let test_histogram_summary () =
+  let reg = M.create () in
+  let h = M.histogram reg "latency" in
+  let s = M.summary reg "load" in
+  for i = 1 to 100 do
+    M.Histo.observe h (float_of_int i);
+    M.Summary.observe s (float_of_int i)
+  done;
+  (match M.find_value reg "latency" with
+  | Some (M.Histo_v { count; p50; p99; _ }) ->
+      Alcotest.(check int) "histo count" 100 count;
+      Alcotest.(check bool) "histo p99 above p50" true (p99 >= p50)
+  | _ -> Alcotest.fail "expected Histo_v");
+  match M.find_value reg "load" with
+  | Some (M.Summary_v { count; mean; _ }) ->
+      Alcotest.(check int) "summary count" 100 count;
+      Alcotest.(check (float 1e-6)) "summary mean" 50.5 mean
+  | _ -> Alcotest.fail "expected Summary_v"
+
+let test_registration_idempotent () =
+  let reg = M.create () in
+  let a = M.counter reg ~labels:[ ("port", "1"); ("switch", "0") ] "tx" in
+  (* Same series, labels in a different order: shared instrument. *)
+  let b = M.counter reg ~labels:[ ("switch", "0"); ("port", "1") ] "tx" in
+  M.Counter.incr a;
+  M.Counter.incr b;
+  Alcotest.(check int) "shared series" 2 (M.Counter.value a);
+  Alcotest.(check int) "one series registered" 1 (M.cardinality reg);
+  (* Different labels: a distinct series. *)
+  let c = M.counter reg ~labels:[ ("port", "2") ] "tx" in
+  M.Counter.incr c;
+  Alcotest.(check int) "distinct series" 1 (M.Counter.value c);
+  Alcotest.(check int) "two series registered" 2 (M.cardinality reg)
+
+let test_kind_collision () =
+  let reg = M.create () in
+  ignore (M.counter reg "clash");
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Metrics: \"clash\" already registered as a counter, not a gauge")
+    (fun () -> ignore (M.gauge reg "clash"))
+
+let test_disabled_noop () =
+  let reg = M.create ~enabled:false () in
+  let c = M.counter reg "c" in
+  let g = M.gauge reg "g" in
+  let h = M.histogram reg "h" in
+  M.Counter.incr c;
+  M.Counter.add c 10;
+  M.Gauge.set g 7;
+  M.Histo.observe h 1.0;
+  Alcotest.(check int) "counter untouched" 0 (M.Counter.value c);
+  Alcotest.(check int) "gauge untouched" 0 (M.Gauge.value g);
+  (match M.find_value reg "h" with
+  | Some (M.Histo_v { count; _ }) -> Alcotest.(check int) "histo untouched" 0 count
+  | _ -> Alcotest.fail "expected Histo_v");
+  (* Re-enabling makes the same instruments live again. *)
+  M.enable reg;
+  M.Counter.incr c;
+  Alcotest.(check int) "live after enable" 1 (M.Counter.value c)
+
+let test_snapshot_sorted () =
+  let reg = M.create () in
+  ignore (M.counter reg "zz");
+  ignore (M.counter reg ~labels:[ ("x", "2") ] "aa");
+  ignore (M.counter reg ~labels:[ ("x", "1") ] "aa");
+  let names = List.map (fun s -> s.M.name) (M.snapshot reg) in
+  Alcotest.(check (list string)) "sorted by name then labels" [ "aa"; "aa"; "zz" ] names;
+  match M.snapshot reg with
+  | { M.labels = l1; _ } :: { M.labels = l2; _ } :: _ ->
+      Alcotest.(check (list (pair string string))) "label tiebreak" [ ("x", "1") ] l1;
+      Alcotest.(check (list (pair string string))) "label tiebreak 2" [ ("x", "2") ] l2
+  | _ -> Alcotest.fail "expected 3 samples"
+
+let test_json_export () =
+  let reg = M.create () in
+  let c = M.counter reg ~labels:[ ("sw", "0") ] "pkts" in
+  M.Counter.add c 7;
+  let s = M.summary reg "lat" in
+  M.Summary.observe s 1.5;
+  let json = M.to_json reg in
+  Alcotest.(check bool) "has metrics key" true
+    (contains ~affix:"\"metrics\"" json);
+  Alcotest.(check bool) "has series" true
+    (contains ~affix:"\"pkts\"" json);
+  Alcotest.(check bool) "has label" true
+    (contains ~affix:"\"sw\": \"0\"" json);
+  Alcotest.(check bool) "has value" true
+    (contains ~affix:"7" json);
+  (* nan/inf never leak into the document. *)
+  Alcotest.(check bool) "no nan" false (contains ~affix:"nan" json);
+  Alcotest.(check bool) "no inf" false (contains ~affix:"inf" json)
+
+let test_csv_export () =
+  let reg = M.create () in
+  let c = M.counter reg ~labels:[ ("port", "3") ] "drops" in
+  M.Counter.add c 2;
+  let csv = M.to_csv reg in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + one row" 2 (List.length lines);
+  Alcotest.(check string) "header"
+    "name,labels,kind,value,count,mean,p50,p99,min,max" (List.hd lines);
+  Alcotest.(check bool) "row has series" true
+    (contains ~affix:"drops" (List.nth lines 1))
+
+let test_write_files () =
+  let reg = M.create () in
+  M.Counter.add (M.counter reg "n") 5;
+  let jpath = Filename.temp_file "obs_test" ".json" in
+  let cpath = Filename.temp_file "obs_test" ".csv" in
+  M.write_json reg ~path:jpath;
+  M.write_csv reg ~path:cpath;
+  let read p =
+    let ic = open_in p in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  Alcotest.(check string) "json file matches to_json" (M.to_json reg) (read jpath);
+  Alcotest.(check string) "csv file matches to_csv" (M.to_csv reg) (read cpath);
+  Sys.remove jpath;
+  Sys.remove cpath
+
+let test_attach_histogram () =
+  let reg = M.create () in
+  let native = Stats.Histogram.log2 ~max_exponent:20 in
+  M.attach_histogram reg "component.cycles" native;
+  Stats.Histogram.add native 64.;
+  Stats.Histogram.add native 128.;
+  match M.find_value reg "component.cycles" with
+  | Some (M.Histo_v { count; _ }) -> Alcotest.(check int) "snapshot reads live histogram" 2 count
+  | _ -> Alcotest.fail "expected Histo_v"
+
+let suite =
+  [
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "gauge watermarks" `Quick test_gauge;
+    Alcotest.test_case "histogram and summary" `Quick test_histogram_summary;
+    Alcotest.test_case "registration idempotent" `Quick test_registration_idempotent;
+    Alcotest.test_case "kind collision raises" `Quick test_kind_collision;
+    Alcotest.test_case "disabled recording is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "snapshot deterministically sorted" `Quick test_snapshot_sorted;
+    Alcotest.test_case "json export" `Quick test_json_export;
+    Alcotest.test_case "csv export" `Quick test_csv_export;
+    Alcotest.test_case "write_json/write_csv" `Quick test_write_files;
+    Alcotest.test_case "attach_histogram reads live" `Quick test_attach_histogram;
+  ]

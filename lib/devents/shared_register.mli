@@ -90,3 +90,10 @@ val side_staleness : t -> side -> Stats.Histogram.t
 val max_staleness_cycles : t -> float
 val applied_ops : t -> int
 val total_bits : t -> int
+val name : t -> string
+
+val export_metrics : ?labels:Obs.Metrics.labels -> t -> Obs.Metrics.t -> unit
+(** Publish applied/pending aggregation-op counts, the register's bit
+    footprint, and (in [Aggregated] mode) the observed staleness
+    histograms — overall and per side — into [reg], labelled by
+    register name. Idempotent; a no-op when [reg] is disabled. *)

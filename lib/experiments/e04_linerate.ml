@@ -29,7 +29,7 @@ type point = {
 
 type result = { pkt_bytes : int; duration : Eventsim.Sim_time.t; points : point list }
 
-let run_point ~seed ~pkt_bytes ~duration load =
+let run_point ?metrics ~seed ~pkt_bytes ~duration load =
   let sched = Scheduler.create () in
   let config = Event_switch.default_config Arch.event_pisa_full in
   let spec, _detector =
@@ -43,6 +43,10 @@ let run_point ~seed ~pkt_bytes ~duration load =
     { base with Program.timer = Some (fun _ctx _ev -> ()) }
   in
   let sw = Event_switch.create ~sched ~config ~program () in
+  let obs_labels = [ ("load", Printf.sprintf "%.2f" load) ] in
+  (match metrics with
+  | Some m -> Scheduler.set_metrics ~labels:obs_labels sched m
+  | None -> ());
   for p = 0 to 3 do
     Event_switch.set_port_tx sw ~port:p (fun _ -> ())
   done;
@@ -65,6 +69,11 @@ let run_point ~seed ~pkt_bytes ~duration load =
      finish transmitting (the periodic timer never lets the event queue
      empty, so bound the run explicitly). *)
   Scheduler.run ~until:(duration + Sim_time.us 150) sched;
+  (match metrics with
+  | Some m ->
+      Scheduler.export_metrics ~labels:obs_labels sched m;
+      Event_switch.export_metrics ~labels:obs_labels sw m
+  | None -> ());
   let offered = List.fold_left (fun acc s -> acc + Traffic.sent s) 0 sources in
   let merger = Event_switch.merger sw in
   let dropped =
@@ -84,10 +93,10 @@ let run_point ~seed ~pkt_bytes ~duration load =
     events_dropped = dropped;
   }
 
-let run ?(seed = 42) () =
+let run ?metrics ?(seed = 42) () =
   let pkt_bytes = 64 and duration = Sim_time.us 200 in
   let points =
-    List.map (run_point ~seed ~pkt_bytes ~duration) [ 0.1; 0.3; 0.5; 0.7; 0.9; 1.0 ]
+    List.map (run_point ?metrics ~seed ~pkt_bytes ~duration) [ 0.1; 0.3; 0.5; 0.7; 0.9; 1.0 ]
   in
   { pkt_bytes; duration; points }
 

@@ -35,7 +35,7 @@ type result = { points : point list }
 
 let slots = 64
 
-let run_point ~seed ~mode ~clock_period ~pkt_bytes ?(load = 1.0) ~label () =
+let run_point ?metrics ~seed ~mode ~clock_period ~pkt_bytes ?(load = 1.0) ~label () =
   let sched = Scheduler.create () in
   let base = Event_switch.default_config Arch.event_pisa_full in
   let config = { base with Event_switch.state_mode = mode; clock_period } in
@@ -70,6 +70,10 @@ let run_point ~seed ~mode ~clock_period ~pkt_bytes ?(load = 1.0) ~label () =
     Program.make ~name:"qsize" ~ingress ~enqueue ~dequeue ()
   in
   let sw = Event_switch.create ~sched ~config ~program () in
+  let obs_labels = [ ("point", label) ] in
+  (match metrics with
+  | Some m -> Scheduler.set_metrics ~labels:obs_labels sched m
+  | None -> ());
   for p = 0 to 3 do
     Event_switch.set_port_tx sw ~port:p (fun _ -> ())
   done;
@@ -89,6 +93,12 @@ let run_point ~seed ~mode ~clock_period ~pkt_bytes ?(load = 1.0) ~label () =
            ()));
   Scheduler.run ~until:(Sim_time.us 120) sched;
   let r = Option.get !reg in
+  (match metrics with
+  | Some m ->
+      Scheduler.export_metrics ~labels:obs_labels sched m;
+      Event_switch.export_metrics ~labels:obs_labels sw m;
+      Shared_register.export_metrics ~labels:obs_labels r m
+  | None -> ());
   let h = Shared_register.staleness r in
   let pctile q = if Stats.Histogram.count h = 0 then 0. else Stats.Histogram.percentile h q in
   {
@@ -103,10 +113,10 @@ let run_point ~seed ~mode ~clock_period ~pkt_bytes ?(load = 1.0) ~label () =
     applied_ops = Shared_register.applied_ops r;
   }
 
-let run ?(seed = 42) () =
+let run ?metrics ?(seed = 42) () =
   let agg ?load ~clock ~pkt_bytes label =
-    run_point ~seed ~mode:Shared_register.Aggregated ~clock_period:clock ~pkt_bytes ?load
-      ~label ()
+    run_point ?metrics ~seed ~mode:Shared_register.Aggregated ~clock_period:clock ~pkt_bytes
+      ?load ~label ()
   in
   (* Idle cycles — the aggregation budget — come from load below line
      rate, from larger-than-minimum packets, or from pipeline
@@ -115,7 +125,7 @@ let run ?(seed = 42) () =
      warns about. *)
   let points =
     [
-      run_point ~seed ~mode:Shared_register.Multiport ~clock_period:(Sim_time.ns 5)
+      run_point ?metrics ~seed ~mode:Shared_register.Multiport ~clock_period:(Sim_time.ns 5)
         ~pkt_bytes:64 ~label:"multiport (reference)" ();
       agg ~clock:(Sim_time.ns 5) ~pkt_bytes:64 ~load:0.3 "aggregated, 64B, 30% load";
       agg ~clock:(Sim_time.ns 5) ~pkt_bytes:64 ~load:0.6 "aggregated, 64B, 60% load";

@@ -16,6 +16,9 @@ type result = {
   snappy : variant_result;
 }
 
-val run : ?seed:int -> unit -> result
+val run : ?metrics:Obs.Metrics.t -> ?seed:int -> unit -> result
+(** With [metrics], scheduler profiling plus per-switch series are
+    recorded per variant (labelled [variant=...]). *)
+
 val print : result -> unit
 val name : string
