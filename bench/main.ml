@@ -175,6 +175,26 @@ let run_microbenches () =
     (fun (name, est) -> Printf.printf "  %-40s %12.1f ns/run\n" name est)
     (List.sort compare !rows)
 
+(* Chaos kernel: one packet over a link, with or without a
+   zero-probability perturbation installed — the disabled-faults cost
+   on the per-packet fast path. *)
+let make_link_send ~name ~perturb () =
+  let sched = Eventsim.Scheduler.create () in
+  let delivered = ref 0 in
+  let ep =
+    { Tmgr.Link.deliver = (fun _ -> incr delivered); notify_status = (fun ~up:_ -> ()) }
+  in
+  let link = Tmgr.Link.create ~sched ~delay:10 ~a:ep ~b:ep () in
+  if perturb then
+    Faults.Perturb.attach ~rng:(Stats.Rng.create ~seed:1) Faults.Perturb.none link;
+  let pkt = mk_pkt () in
+  ( Test.make ~name
+      (Staged.stage (fun () ->
+           Tmgr.Link.send link ~from_a:true pkt;
+           Eventsim.Scheduler.run sched)),
+    link,
+    delivered )
+
 (* --quick: the tier-1 smoke pass.  Runs only the event-dispatch kernel
    with and without a disabled metrics registry attached, checks the
    disabled path really records nothing, and trips only on a gross
@@ -211,6 +231,28 @@ let run_quick () =
   assert (Float.is_finite base && base > 0.);
   assert (Float.is_finite off && off > 0.);
   assert (overhead < 0.5);
+  (* Chaos smoke: a zero-probability perturbation must perturb nothing
+     (functional check, exact) and stay cheap on the per-packet path
+     (measured, loose bound as above). *)
+  let bare_test, bare_link, _ = make_link_send ~name:"link-send" ~perturb:false () in
+  let off_test, off_link, off_delivered =
+    make_link_send ~name:"link-send-faults-off" ~perturb:true ()
+  in
+  let bare = estimate bare_test in
+  let faults_off = estimate off_test in
+  assert (!off_delivered > 0);
+  assert (!off_delivered = Tmgr.Link.delivered off_link);
+  assert (Tmgr.Link.perturb_drops off_link = 0);
+  assert (Tmgr.Link.perturb_dups off_link = 0);
+  assert (Tmgr.Link.perturb_delays off_link = 0);
+  assert (Tmgr.Link.lost bare_link = 0 && Tmgr.Link.lost off_link = 0);
+  let chaos_overhead = (faults_off -. bare) /. bare in
+  Printf.printf "link-send:                   %10.1f ns/run\n" bare;
+  Printf.printf "link-send, faults off:       %10.1f ns/run\n" faults_off;
+  Printf.printf "disabled-faults overhead:    %+10.1f%%\n" (100. *. chaos_overhead);
+  assert (Float.is_finite bare && bare > 0.);
+  assert (Float.is_finite faults_off && faults_off > 0.);
+  assert (chaos_overhead < 0.5);
   print_endline "bench --quick OK"
 
 let () =

@@ -39,6 +39,35 @@ let run_cmd name seed metrics_out =
               Printf.sprintf "unknown experiment %S; try: %s" n
                 (String.concat ", " (Experiments.Registry.names ())) ))
 
+let chaos_cmd seed profile metrics_out =
+  match Faults.Profile.of_string profile with
+  | None ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown profile %S; try: %s" profile
+            (String.concat ", " Faults.Profile.names) )
+  | Some profile ->
+      let metrics = Obs.Metrics.create () in
+      let r = Experiments.E21_chaos.run ~metrics ~seed ~profile () in
+      Experiments.E21_chaos.print r;
+      let json = Obs.Metrics.to_json metrics in
+      (match metrics_out with
+      | Some path -> Obs.Metrics.write_json ~path metrics
+      | None -> ());
+      (* The digest makes two invocations byte-comparable without
+         shipping the full snapshot to stdout. *)
+      Printf.printf "\nmetrics series:                      %d\n"
+        (Obs.Metrics.cardinality metrics);
+      Printf.printf "metrics digest:                      %s\n"
+        (Digest.to_hex (Digest.string json));
+      let ok =
+        r.Experiments.E21_chaos.balance = 0
+        && r.Experiments.E21_chaos.final_consistent
+        && r.Experiments.E21_chaos.received > 0
+        && Experiments.E21_chaos.exercised r
+      in
+      if ok then `Ok () else `Error (false, "chaos run failed a degradation check")
+
 let p4_cmd file duration_us =
   let source =
     let ic = open_in file in
@@ -119,6 +148,24 @@ let run_info =
 let list_term = Term.(const list_cmd $ const ())
 let list_info = Cmd.info "list" ~doc:"List available experiments."
 
+let chaos_profile =
+  Arg.(
+    value
+    & opt string "flaky-links"
+    & info [ "profile" ] ~docv:"PROFILE"
+        ~doc:
+          (Printf.sprintf "Fault profile: %s."
+             (String.concat ", " Faults.Profile.names)))
+
+let chaos_term = Term.(ret (const chaos_cmd $ seed $ chaos_profile $ metrics_out))
+
+let chaos_info =
+  Cmd.info "chaos"
+    ~doc:
+      "Run the fault-injection experiment (E21): microburst detection and fast \
+       re-route under a seeded chaos profile. Exits non-zero if a degradation \
+       check fails."
+
 let p4_file =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"P4 source file.")
 
@@ -137,4 +184,9 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ Cmd.v run_info run_term; Cmd.v list_info list_term; Cmd.v p4_info p4_term ]))
+          [
+            Cmd.v run_info run_term;
+            Cmd.v list_info list_term;
+            Cmd.v chaos_info chaos_term;
+            Cmd.v p4_info p4_term;
+          ]))

@@ -45,6 +45,8 @@ type t = {
   mutable program : Program.t option;
   mutable prog_ctx : Program.ctx option;
   mutable subscriptions : bool array; (* by cls index: supported && handler present *)
+  mutable base_subscriptions : bool array; (* install-time mask, for re-registration *)
+  mutable subscription_toggles : int;
   port_tx : (Packet.t -> unit) option array;
   link_up : bool array;
   fired : int array;
@@ -211,6 +213,8 @@ let create ~sched ?(id = 0) ~config ~program () =
       program = None;
       prog_ctx = None;
       subscriptions = Array.make Event.num_classes false;
+      base_subscriptions = Array.make Event.num_classes false;
+      subscription_toggles = 0;
       port_tx = Array.make config.num_ports None;
       link_up = Array.make config.num_ports true;
       fired = Array.make Event.num_classes 0;
@@ -298,6 +302,7 @@ let create ~sched ?(id = 0) ~config ~program () =
       if Arch.supports config.arch cls then
         t.subscriptions.(Event.cls_index cls) <- true)
     (Program.subscriptions prog);
+  t.base_subscriptions <- Array.copy t.subscriptions;
   (* Traffic manager, firing buffer events back into the merger. *)
   let egress =
     match (prog.Program.egress, Arch.supports config.arch Event.Egress_packet) with
@@ -346,6 +351,17 @@ let link_status t ~port ~up =
 
 let control_event t ~opcode ~arg =
   fire t (Event.Control { opcode; arg; time = Scheduler.now t.sched })
+
+let set_subscribed t cls on =
+  let i = Event.cls_index cls in
+  let target = on && t.base_subscriptions.(i) in
+  if t.subscriptions.(i) <> target then begin
+    t.subscriptions.(i) <- target;
+    t.subscription_toggles <- t.subscription_toggles + 1
+  end
+
+let subscribed t cls = t.subscriptions.(Event.cls_index cls)
+let subscription_toggles t = t.subscription_toggles
 
 let on_notification t cb = t.notify_cb <- Some cb
 let id t = t.id

@@ -6,23 +6,33 @@ type 'a t = {
   mutable next_seq : int;
 }
 
+(* Slots at index >= len are dead; they must not keep the last entry
+   that passed through them reachable (payloads are callback closures
+   that can capture packets — pinning them for the life of the sim is a
+   leak).  Dead slots hold this shared inert entry instead.  Its payload
+   is never read: the API only exposes slots below [len].  [entry] is a
+   mixed int/pointer record, so the representation is the same for
+   every ['a] and the cast is safe. *)
+let null_entry : Obj.t entry = { time = min_int; seq = min_int; payload = Obj.repr () }
+let null () : 'a entry = Obj.magic null_entry
+
 let create () = { data = [||]; len = 0; next_seq = 0 }
 let length t = t.len
 let is_empty t = t.len = 0
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow t entry =
+let grow t =
   let cap = Array.length t.data in
   let cap' = if cap = 0 then 16 else cap * 2 in
-  let data = Array.make cap' entry in
+  let data = Array.make cap' (null ()) in
   Array.blit t.data 0 data 0 t.len;
   t.data <- data
 
 let push t ~time payload =
   let entry = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  if t.len = Array.length t.data then grow t entry;
+  if t.len = Array.length t.data then grow t;
   (* Sift up. *)
   let i = ref t.len in
   t.len <- t.len + 1;
@@ -47,6 +57,7 @@ let pop t =
     t.len <- t.len - 1;
     if t.len > 0 then begin
       let last = t.data.(t.len) in
+      t.data.(t.len) <- null ();
       t.data.(0) <- last;
       (* Sift down. *)
       let i = ref 0 in
@@ -64,7 +75,8 @@ let pop t =
         end
         else continue := false
       done
-    end;
+    end
+    else t.data.(0) <- null ();
     Some (top.time, top.payload)
   end
 

@@ -68,6 +68,9 @@ let cancel cell =
 let every ?(cls = "periodic") t ?start ~period f =
   if period <= 0 then invalid_arg "Scheduler.every: period must be positive";
   let first = match start with Some s -> s | None -> t.clock + period in
+  if first < t.clock then
+    invalid_arg
+      (Printf.sprintf "Scheduler.every: start=%d is before now=%d" first t.clock);
   let cell = { cancelled = false; callback = (fun () -> ()); queued = false; cls; live = t.live } in
   let rec fire () =
     if not cell.cancelled then begin

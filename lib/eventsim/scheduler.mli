@@ -31,7 +31,8 @@ val cancel : handle -> unit
 
 val every : ?cls:string -> t -> ?start:Sim_time.t -> period:Sim_time.t -> (unit -> unit) -> handle
 (** Fire at [start] (default: now + period) and then every [period]
-    until cancelled. [cls] defaults to ["periodic"]. *)
+    until cancelled. [cls] defaults to ["periodic"]. A [start] in the
+    past raises [Invalid_argument], exactly like {!schedule}. *)
 
 val run : ?until:Sim_time.t -> t -> unit
 (** Execute events until the queue is empty or the next event is after

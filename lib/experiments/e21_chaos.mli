@@ -1,0 +1,40 @@
+(** E21 — chaos: microburst detection + fast re-route under seeded
+    fault injection.
+
+    Runs the E12 topology (source -> FRR switch -> primary/backup ->
+    detector switch -> sink) for 3 ms while a {!Faults.Engine} applies
+    one of three profiles, then checks graceful degradation: packet
+    conservation to the unit, final routing state consistent with the
+    final link state, traffic still flowing, and the targeted fault
+    class demonstrably exercised. Fully deterministic per seed. *)
+
+type result = {
+  profile : string;
+  seed : int;
+  sent : int;
+  burst_injected : int;
+  cp_injected : int;
+  duplicated : int;
+  received : int;
+  link_lost : int;
+  switch_dropped : int;
+  balance : int;  (** conservation residue; 0 = nothing unaccounted *)
+  flaps : int;
+  stale_notifications : int;
+  overflow_events : int;
+  control_handled : int;
+  subscription_toggles : int;
+  detections : int;
+  failover_latency_ns : float option;
+  final_consistent : bool;
+  faults : (string * Faults.Engine.counts) list;
+}
+
+val run :
+  ?metrics:Obs.Metrics.t -> ?seed:int -> ?profile:Faults.Profile.t -> unit -> result
+
+val exercised : result -> bool
+(** The profile's targeted fault class actually fired and had effect. *)
+
+val print : result -> unit
+val name : string

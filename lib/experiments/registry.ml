@@ -133,6 +133,13 @@ let all =
       paper_artifact = "Sec 3 multi-bit ECN";
       run_and_print = (fun ~metrics:_ ~seed -> E20_ecn.print (E20_ecn.run ~seed ()));
     };
+    {
+      name = E21_chaos.name;
+      experiment_id = "E21";
+      paper_artifact = "Table 1 failure events under fault injection";
+      run_and_print =
+        (fun ~metrics ~seed -> E21_chaos.print (E21_chaos.run ?metrics ~seed ()));
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -1,0 +1,22 @@
+(** Burst-storm generator: at each occurrence of a plan, inject a train
+    of back-to-back packets into a target (typically
+    [Event_switch.inject]), at line rate — the workload shape that
+    drives shared-buffer occupancy into {!Tmgr.Buffer_pool} overflow
+    and fires Buffer Overflow events at handlers. *)
+
+val attach :
+  sched:Eventsim.Scheduler.t ->
+  rng:Stats.Rng.t ->
+  stop:Eventsim.Sim_time.t ->
+  plan:Schedule.plan ->
+  pkts_per_burst:int ->
+  pkt_bytes:int ->
+  rate_gbps:float ->
+  template:(int -> Netcore.Packet.t) ->
+  inject:(Netcore.Packet.t -> unit) ->
+  ?on_packet:(unit -> unit) ->
+  unit ->
+  unit
+(** [template i] builds the [i]-th injected packet (global index across
+    bursts). Packets of one burst are spaced by the serialization time
+    of [pkt_bytes] at [rate_gbps]. *)

@@ -1,0 +1,6 @@
+let attach ~sched ~rng ~stop ~plan ~ops ?(on_op = fun _ -> ()) () =
+  if Array.length ops = 0 then invalid_arg "Faults.Churn: ops must be non-empty";
+  Schedule.drive ~sched ~rng ~stop plan (fun () ->
+      let name, op = ops.(Stats.Rng.int rng (Array.length ops)) in
+      op ();
+      on_op name)

@@ -1,0 +1,15 @@
+(** Control-plane churn: at each occurrence of a plan, run one op drawn
+    uniformly from a labelled set — register writes via control events,
+    handler de/re-registration, config pokes — against a live switch.
+    The ops are plain closures so this module stays independent of the
+    switch layer. *)
+
+val attach :
+  sched:Eventsim.Scheduler.t ->
+  rng:Stats.Rng.t ->
+  stop:Eventsim.Sim_time.t ->
+  plan:Schedule.plan ->
+  ops:(string * (unit -> unit)) array ->
+  ?on_op:(string -> unit) ->
+  unit ->
+  unit

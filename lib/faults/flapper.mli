@@ -1,0 +1,17 @@
+(** Link flap schedules: take a link down at each occurrence of a plan
+    and bring it back after a (possibly jittered) outage. Occurrences
+    while the link is already down are absorbed (counted, no effect) —
+    chaos-rate plans deliberately overlap outages. *)
+
+val attach :
+  sched:Eventsim.Scheduler.t ->
+  rng:Stats.Rng.t ->
+  stop:Eventsim.Sim_time.t ->
+  plan:Schedule.plan ->
+  ?down_for:Eventsim.Sim_time.t ->
+  ?down_jitter:Eventsim.Sim_time.t ->
+  ?on_flap:(effective:bool -> unit) ->
+  Tmgr.Link.t ->
+  unit
+(** Defaults: 50 us outages, no jitter. The final restore is scheduled
+    even when it lands after [stop], so the link ends the run up. *)

@@ -1,0 +1,41 @@
+type config = {
+  drop_p : float;
+  dup_p : float;
+  max_extra_copies : int;
+  delay_p : float;
+  max_extra_delay : Eventsim.Sim_time.t;
+}
+
+let none =
+  { drop_p = 0.; dup_p = 0.; max_extra_copies = 1; delay_p = 0.; max_extra_delay = 0 }
+
+let lossy ?(drop_p = 0.01) ?(dup_p = 0.005) ?(delay_p = 0.02)
+    ?(max_extra_delay = Eventsim.Sim_time.us 5) () =
+  { drop_p; dup_p; max_extra_copies = 1; delay_p; max_extra_delay }
+
+let check_config c =
+  if
+    c.drop_p < 0. || c.dup_p < 0. || c.delay_p < 0.
+    || c.drop_p +. c.dup_p +. c.delay_p > 1.
+  then invalid_arg "Faults.Perturb: probabilities must be >= 0 and sum to <= 1";
+  if c.max_extra_copies < 1 then invalid_arg "Faults.Perturb: max_extra_copies < 1"
+
+let is_none c = c.drop_p = 0. && c.dup_p = 0. && c.delay_p = 0.
+
+let fate ~rng ?(on_decision = fun _ -> ()) config ~from_a:_ _pkt =
+  let u = if is_none config then 1. else Stats.Rng.float rng in
+  let verdict =
+    if u >= 1. then Tmgr.Link.Deliver
+    else if u < config.drop_p then Tmgr.Link.Drop
+    else if u < config.drop_p +. config.dup_p then
+      Tmgr.Link.Duplicate (Stats.Rng.int_in rng 1 config.max_extra_copies)
+    else if u < config.drop_p +. config.dup_p +. config.delay_p && config.max_extra_delay > 0
+    then Tmgr.Link.Delay (Stats.Rng.int_in rng 1 config.max_extra_delay)
+    else Tmgr.Link.Deliver
+  in
+  on_decision verdict;
+  verdict
+
+let attach ~rng ?on_decision config link =
+  check_config config;
+  Tmgr.Link.set_perturb link (fate ~rng ?on_decision config)

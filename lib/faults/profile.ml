@@ -1,0 +1,17 @@
+type t = Flaky_links | Burst_storm | Churn
+
+let all = [ Flaky_links; Burst_storm; Churn ]
+
+let to_string = function
+  | Flaky_links -> "flaky-links"
+  | Burst_storm -> "burst-storm"
+  | Churn -> "churn"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "flaky-links" | "flaky_links" | "flaky" -> Some Flaky_links
+  | "burst-storm" | "burst_storm" | "burst" -> Some Burst_storm
+  | "churn" -> Some Churn
+  | _ -> None
+
+let names = List.map to_string all

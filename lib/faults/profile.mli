@@ -1,0 +1,8 @@
+(** Named chaos profiles for the CLI and experiments. *)
+
+type t = Flaky_links | Burst_storm | Churn
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val names : string list

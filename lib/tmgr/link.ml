@@ -5,6 +5,12 @@ type endpoint = {
   notify_status : up:bool -> unit;
 }
 
+type fate =
+  | Deliver
+  | Drop
+  | Delay of Eventsim.Sim_time.t
+  | Duplicate of int
+
 type t = {
   sched : Scheduler.t;
   delay : int;
@@ -15,34 +21,85 @@ type t = {
   mutable epoch : int; (* bumped on every status change to void in-flight packets *)
   mutable delivered : int;
   mutable lost : int;
+  mutable perturb : (from_a:bool -> Netcore.Packet.t -> fate) option;
+  mutable perturb_drops : int;
+  mutable perturb_dups : int;
+  mutable perturb_delays : int;
+  mutable stale_notifications : int;
 }
 
 let create ~sched ?(delay = Eventsim.Sim_time.us 1) ?(detection_delay = Eventsim.Sim_time.us 10)
     ~a ~b () =
-  { sched; delay; detection_delay; a; b; up = true; epoch = 0; delivered = 0; lost = 0 }
+  {
+    sched;
+    delay;
+    detection_delay;
+    a;
+    b;
+    up = true;
+    epoch = 0;
+    delivered = 0;
+    lost = 0;
+    perturb = None;
+    perturb_drops = 0;
+    perturb_dups = 0;
+    perturb_delays = 0;
+    stale_notifications = 0;
+  }
+
+let set_perturb t f = t.perturb <- Some f
+let clear_perturb t = t.perturb <- None
+
+let deliver_after t dst ~epoch ~extra pkt =
+  ignore
+    (Scheduler.schedule_after ~cls:"link" t.sched ~delay:(t.delay + extra) (fun () ->
+         if t.up && t.epoch = epoch then begin
+           t.delivered <- t.delivered + 1;
+           dst.deliver pkt
+         end
+         else t.lost <- t.lost + 1))
 
 let send t ~from_a pkt =
   if not t.up then t.lost <- t.lost + 1
   else begin
     let epoch = t.epoch in
     let dst = if from_a then t.b else t.a in
-    ignore
-      (Scheduler.schedule_after ~cls:"link" t.sched ~delay:t.delay (fun () ->
-           if t.up && t.epoch = epoch then begin
-             t.delivered <- t.delivered + 1;
-             dst.deliver pkt
-           end
-           else t.lost <- t.lost + 1))
+    let fate = match t.perturb with None -> Deliver | Some f -> f ~from_a pkt in
+    match fate with
+    | Deliver -> deliver_after t dst ~epoch ~extra:0 pkt
+    | Drop ->
+        t.perturb_drops <- t.perturb_drops + 1;
+        t.lost <- t.lost + 1
+    | Delay extra ->
+        let extra = max 0 extra in
+        t.perturb_delays <- t.perturb_delays + 1;
+        deliver_after t dst ~epoch ~extra pkt
+    | Duplicate copies ->
+        let copies = max 0 copies in
+        t.perturb_dups <- t.perturb_dups + copies;
+        deliver_after t dst ~epoch ~extra:0 pkt;
+        for _ = 1 to copies do
+          deliver_after t dst ~epoch ~extra:0 (Netcore.Packet.clone_for_forward pkt)
+        done
   end
 
 let change_status t up =
   if t.up <> up then begin
     t.up <- up;
     t.epoch <- t.epoch + 1;
+    (* Tag the PHY notification with the epoch that produced it.  Under
+       rapid flapping several notifications can be in flight at once;
+       only the one matching the current epoch still describes reality —
+       stale ones are dropped so an endpoint never observes a status
+       that disagrees with [is_up] at delivery time. *)
+    let epoch = t.epoch in
     ignore
       (Scheduler.schedule_after ~cls:"link" t.sched ~delay:t.detection_delay (fun () ->
-           t.a.notify_status ~up;
-           t.b.notify_status ~up))
+           if t.epoch = epoch then begin
+             t.a.notify_status ~up;
+             t.b.notify_status ~up
+           end
+           else t.stale_notifications <- t.stale_notifications + 1))
   end
 
 let fail t = change_status t false
@@ -50,3 +107,7 @@ let restore t = change_status t true
 let is_up t = t.up
 let delivered t = t.delivered
 let lost t = t.lost
+let perturb_drops t = t.perturb_drops
+let perturb_dups t = t.perturb_dups
+let perturb_delays t = t.perturb_delays
+let stale_notifications t = t.stale_notifications

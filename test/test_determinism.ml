@@ -69,9 +69,39 @@ let test_seed_changes_behaviour () =
   let t1, _, _ = run_once ~seed:7 and t2, _, _ = run_once ~seed:8 in
   Alcotest.(check bool) "different seeds diverge" false (t1 = t2)
 
+(* A full chaos run (E21) is the most adversarial determinism case:
+   Poisson flap timelines, per-packet perturbation draws, overlapping
+   outages and churn. Same seed must give byte-identical metrics. *)
+let chaos_once ~seed ~profile =
+  let m = M.create () in
+  let r = Experiments.E21_chaos.run ~metrics:m ~seed ~profile () in
+  (r, M.to_json m)
+
+let test_chaos_identical () =
+  List.iter
+    (fun profile ->
+      let r1, j1 = chaos_once ~seed:42 ~profile in
+      let r2, j2 = chaos_once ~seed:42 ~profile in
+      let name = Faults.Profile.to_string profile in
+      Alcotest.(check string) (name ^ ": byte-identical metrics JSON") j1 j2;
+      Alcotest.(check int)
+        (name ^ ": identical receive count")
+        r1.Experiments.E21_chaos.received r2.Experiments.E21_chaos.received;
+      Alcotest.(check int) (name ^ ": packet conservation") 0 r1.Experiments.E21_chaos.balance;
+      Alcotest.(check bool) (name ^ ": fault class exercised") true
+        (Experiments.E21_chaos.exercised r1))
+    Faults.Profile.all
+
+let test_chaos_seed_diverges () =
+  let _, j1 = chaos_once ~seed:42 ~profile:Faults.Profile.Flaky_links in
+  let _, j2 = chaos_once ~seed:43 ~profile:Faults.Profile.Flaky_links in
+  Alcotest.(check bool) "different seeds diverge" false (j1 = j2)
+
 let suite =
   [
     Alcotest.test_case "same seed, identical trace" `Quick test_trace_identical;
     Alcotest.test_case "same seed, identical metrics" `Quick test_metrics_identical;
     Alcotest.test_case "different seed diverges" `Quick test_seed_changes_behaviour;
+    Alcotest.test_case "chaos run, identical metrics" `Quick test_chaos_identical;
+    Alcotest.test_case "chaos run, seed diverges" `Quick test_chaos_seed_diverges;
   ]

@@ -37,6 +37,39 @@ let test_heap_fifo_ties () =
   let order = List.init 5 (fun _ -> match Event_heap.pop h with Some (_, x) -> x | None -> -1) in
   Alcotest.(check (list int)) "fifo among equal times" [ 1; 2; 3; 4; 5 ] order
 
+let test_heap_releases_payloads () =
+  (* Regression: popped slots (and grow-spare slots) used to keep the
+     old entry, pinning payloads until overwritten. A popped payload
+     with no outside reference must be collectable immediately. *)
+  let h = Event_heap.create () in
+  let weak = Weak.create 1 in
+  (* Push enough to force at least one grow, interleaved with pops so
+     vacated slots exist above [len]. *)
+  for i = 0 to 40 do
+    Event_heap.push h ~time:i (Bytes.create 64)
+  done;
+  let tracked = Bytes.create 64 in
+  Weak.set weak 0 (Some tracked);
+  Event_heap.push h ~time:1000 tracked;
+  while not (Event_heap.is_empty h) do
+    ignore (Event_heap.pop h)
+  done;
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" false (Weak.check weak 0)
+
+let test_heap_grow_no_pin () =
+  (* The slots grow leaves above [len] must not all alias the pushed
+     entry: push one element into a fresh heap (capacity jumps to 16),
+     pop it, and check the payload is collectable. *)
+  let h = Event_heap.create () in
+  let weak = Weak.create 1 in
+  let payload = Bytes.create 64 in
+  Weak.set weak 0 (Some payload);
+  Event_heap.push h ~time:1 payload;
+  ignore (Event_heap.pop h);
+  Gc.full_major ();
+  Alcotest.(check bool) "grow spare slots hold no payload" false (Weak.check weak 0)
+
 let qcheck_heap_sorted =
   QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
     QCheck.(list (int_bound 10_000))
@@ -182,6 +215,21 @@ let test_scheduler_past_raises () =
   Alcotest.check_raises "past" (Invalid_argument "Scheduler.schedule: at=50 is before now=100")
     (fun () -> ignore (Scheduler.schedule sched ~at:50 (fun () -> ())))
 
+let test_every_past_start_raises () =
+  (* Regression: [every ?start] used to bypass the past-guard that
+     [schedule] enforces, silently corrupting the clock. *)
+  let sched = Scheduler.create () in
+  ignore (Scheduler.schedule sched ~at:100 (fun () -> ()));
+  Scheduler.run sched;
+  Alcotest.check_raises "stale start"
+    (Invalid_argument "Scheduler.every: start=50 is before now=100") (fun () ->
+      ignore (Scheduler.every sched ~start:50 ~period:10 (fun () -> ())));
+  (* start = now is fine, like schedule at now. *)
+  let fired = ref 0 in
+  ignore (Scheduler.every sched ~start:100 ~period:10 (fun () -> incr fired));
+  Scheduler.run ~until:130 sched;
+  Alcotest.(check int) "start=now fires" 4 !fired
+
 let test_scheduler_same_instant_reentry () =
   (* A callback scheduling at the current instant runs in the same
      drain, after currently queued same-time events. *)
@@ -252,6 +300,8 @@ let suite =
     Alcotest.test_case "cycles" `Quick test_cycles;
     Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
     Alcotest.test_case "heap FIFO ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap releases payloads" `Quick test_heap_releases_payloads;
+    Alcotest.test_case "heap grow pins nothing" `Quick test_heap_grow_no_pin;
     QCheck_alcotest.to_alcotest qcheck_heap_sorted;
     QCheck_alcotest.to_alcotest qcheck_heap_interleaved;
     QCheck_alcotest.to_alcotest qcheck_scheduler_interleaved;
@@ -259,6 +309,7 @@ let suite =
     Alcotest.test_case "scheduler order" `Quick test_scheduler_order;
     Alcotest.test_case "scheduler cancel" `Quick test_scheduler_cancel;
     Alcotest.test_case "scheduling in the past raises" `Quick test_scheduler_past_raises;
+    Alcotest.test_case "every with stale start raises" `Quick test_every_past_start_raises;
     Alcotest.test_case "same-instant reentry" `Quick test_scheduler_same_instant_reentry;
     Alcotest.test_case "run until" `Quick test_scheduler_until;
     Alcotest.test_case "periodic cancel" `Quick test_periodic_cancel_stops;

@@ -10,6 +10,7 @@ let () =
       ("devents", Test_devents.suite);
       ("consistency", Test_consistency.suite);
       ("tmgr", Test_tmgr.suite);
+      ("faults", Test_faults.suite);
       ("evcore", Test_evcore.suite);
       ("apps", Test_apps.suite);
       ("workloads", Test_workloads.suite);

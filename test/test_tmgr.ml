@@ -243,6 +243,60 @@ let test_link_inflight_lost_on_failure () =
   Alcotest.(check int) "in-flight packet lost" 0 !got;
   Alcotest.(check int) "loss counted" 1 (Link.lost link)
 
+let test_link_stale_notification_dropped () =
+  (* Regression: a flap faster than the detection delay used to deliver
+     the stale "down" notification after the link was already back up.
+     Epoch tagging drops it — the endpoints see only the final state. *)
+  let sched = Scheduler.create () in
+  let status = ref [] in
+  let ep =
+    {
+      Link.deliver = (fun _ -> ());
+      notify_status = (fun ~up -> status := up :: !status);
+    }
+  in
+  let link =
+    Link.create ~sched ~delay:(Sim_time.us 2) ~detection_delay:(Sim_time.us 5) ~a:ep ~b:ep ()
+  in
+  Link.fail link;
+  (* Restore before the 5us PHY detection of the failure fires. *)
+  ignore (Scheduler.schedule sched ~at:(Sim_time.us 1) (fun () -> Link.restore link));
+  Scheduler.run sched;
+  Alcotest.(check (list bool)) "only the final status delivered" [ true; true ] !status;
+  Alcotest.(check int) "stale down suppressed" 1 (Link.stale_notifications link);
+  Alcotest.(check bool) "link up" true (Link.is_up link)
+
+let test_link_perturbations () =
+  let sched = Scheduler.create () in
+  let got = ref 0 in
+  let ep = { Link.deliver = (fun _ -> incr got); notify_status = (fun ~up:_ -> ()) } in
+  let link = Link.create ~sched ~delay:(Sim_time.us 1) ~a:ep ~b:ep () in
+  (* Deterministic perturbation: drop the 1st, duplicate the 2nd twice,
+     delay the 3rd, deliver the rest. *)
+  let n = ref 0 in
+  Link.set_perturb link (fun ~from_a:_ _pkt ->
+      incr n;
+      match !n with
+      | 1 -> Link.Drop
+      | 2 -> Link.Duplicate 2
+      | 3 -> Link.Delay (Sim_time.us 10)
+      | _ -> Link.Deliver);
+  for _ = 1 to 4 do
+    Link.send link ~from_a:true (mk_pkt ())
+  done;
+  Scheduler.run sched;
+  (* 4 sent: 1 dropped, 1 tripled (1+2 copies), 1 delayed, 1 normal =
+     5 deliveries. *)
+  Alcotest.(check int) "deliveries" 5 !got;
+  Alcotest.(check int) "drops" 1 (Link.perturb_drops link);
+  Alcotest.(check int) "dup copies" 2 (Link.perturb_dups link);
+  Alcotest.(check int) "delays" 1 (Link.perturb_delays link);
+  Alcotest.(check int) "delayed past the base latency" (Sim_time.us 11) (Scheduler.now sched);
+  Link.clear_perturb link;
+  Link.send link ~from_a:true (mk_pkt ());
+  Scheduler.run sched;
+  Alcotest.(check int) "perturbation removed" 6 !got
+
 (* --- conservation properties --- *)
 
 let qcheck_tm_conservation =
@@ -305,5 +359,8 @@ let suite =
     Alcotest.test_case "tm occupancy conservation" `Quick test_tm_occupancy_conservation;
     Alcotest.test_case "link delay and failure" `Quick test_link_delay_and_failure;
     Alcotest.test_case "link in-flight loss" `Quick test_link_inflight_lost_on_failure;
+    Alcotest.test_case "link stale notification dropped" `Quick
+      test_link_stale_notification_dropped;
+    Alcotest.test_case "link perturbations" `Quick test_link_perturbations;
     QCheck_alcotest.to_alcotest qcheck_tm_conservation;
   ]
