@@ -1,0 +1,99 @@
+(* Diff two bench baselines written by [main.exe --json FILE].
+
+   Usage: compare.exe OLD.json NEW.json
+
+   Prints a per-kernel delta table and exits non-zero if any kernel
+   regressed by more than 20% — loose enough to ride out OLS noise,
+   tight enough to catch a real hot-path regression.
+
+   The baselines are flat {"results": {"name": ns, ...}} documents, so a
+   full JSON parser would be overkill: scanning for "string": number
+   pairs recovers every kernel (string-valued fields like "schema" are
+   skipped by the number parse). *)
+
+let threshold = 0.20
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* All ("name", float) pairs in [s], in order of appearance. *)
+let pairs s =
+  let acc = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '"' then begin
+      (* Scan the quoted name (baseline names contain no escapes). *)
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && s.[!j] <> '"' do
+        incr j
+      done;
+      let name = String.sub s start (!j - start) in
+      (* Skip whitespace, then require a colon followed by a number. *)
+      let k = ref (!j + 1) in
+      while !k < n && (s.[!k] = ' ' || s.[!k] = '\n' || s.[!k] = '\t') do
+        incr k
+      done;
+      if !k < n && s.[!k] = ':' then begin
+        incr k;
+        while !k < n && (s.[!k] = ' ' || s.[!k] = '\n' || s.[!k] = '\t') do
+          incr k
+        done;
+        let num_start = !k in
+        while
+          !k < n
+          && (match s.[!k] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false)
+        do
+          incr k
+        done;
+        if !k > num_start then
+          match float_of_string_opt (String.sub s num_start (!k - num_start)) with
+          | Some v -> acc := (name, v) :: !acc
+          | None -> ()
+      end;
+      i := !k
+    end
+    else incr i
+  done;
+  List.rev !acc
+
+let () =
+  if Array.length Sys.argv <> 3 then begin
+    prerr_endline "usage: compare OLD.json NEW.json";
+    exit 2
+  end;
+  let old_rows = pairs (read_file Sys.argv.(1)) in
+  let new_rows = pairs (read_file Sys.argv.(2)) in
+  let regressions = ref 0 in
+  Printf.printf "%-42s %12s %12s %9s\n" "kernel" "old ns" "new ns" "delta";
+  List.iter
+    (fun (name, nv) ->
+      match List.assoc_opt name old_rows with
+      | None -> Printf.printf "%-42s %12s %12.1f %9s\n" name "-" nv "new"
+      | Some ov ->
+          let delta = (nv -. ov) /. ov in
+          let flag =
+            if delta > threshold then begin
+              incr regressions;
+              "  << REGRESSION"
+            end
+            else ""
+          in
+          Printf.printf "%-42s %12.1f %12.1f %+8.1f%%%s\n" name ov nv (100. *. delta) flag)
+    new_rows;
+  List.iter
+    (fun (name, ov) ->
+      if not (List.mem_assoc name new_rows) then
+        Printf.printf "%-42s %12.1f %12s %9s\n" name ov "-" "gone")
+    old_rows;
+  if !regressions > 0 then begin
+    Printf.printf "\n%d kernel(s) regressed by more than %.0f%%\n" !regressions
+      (100. *. threshold);
+    exit 1
+  end
+  else print_endline "\nno regressions above threshold"

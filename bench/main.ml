@@ -22,8 +22,8 @@ let mk_pkt () =
    live switch.  [metrics] optionally attaches a registry to the
    scheduler; with a disabled registry this measures the cost of the
    instrumentation branches alone. *)
-let make_event_dispatch ~name ?metrics () =
-  let sched = Eventsim.Scheduler.create () in
+let make_event_dispatch ~name ?metrics ?backend () =
+  let sched = Eventsim.Scheduler.create ?backend () in
   let config = Evcore.Event_switch.default_config Evcore.Arch.event_pisa_full in
   let count = ref 0 in
   let program _ctx =
@@ -85,26 +85,47 @@ let bench_shared_register =
 
 (* Figure 4 kernel: a full packet traversal (inject -> pipeline ->
    TM -> transmit) including enqueue/dequeue events. *)
-let bench_packet_path =
-  let sched = Eventsim.Scheduler.create () in
+let make_packet_path ~name ?backend () =
+  let sched = Eventsim.Scheduler.create ?backend () in
   let config = Evcore.Event_switch.default_config Evcore.Arch.event_pisa_full in
   let spec, _ =
     Apps.Microburst.program ~threshold_bytes:1_000_000 ~out_port:(fun _ -> 1) ()
   in
   let sw = Evcore.Event_switch.create ~sched ~config ~program:spec () in
   Evcore.Event_switch.set_port_tx sw ~port:1 (fun _ -> ());
-  Test.make ~name:"fig4/packet-traversal"
+  Test.make ~name
     (Staged.stage (fun () ->
          Evcore.Event_switch.inject sw ~port:0 (mk_pkt ());
          Eventsim.Scheduler.run sched))
 
-(* Substrate + application-experiment kernels. *)
-let bench_scheduler =
-  let sched = Eventsim.Scheduler.create () in
-  Test.make ~name:"substrate/scheduler-event"
+let bench_packet_path = make_packet_path ~name:"fig4/packet-traversal" ()
+
+let bench_packet_path_heap =
+  make_packet_path ~name:"fig4/packet-traversal-heap" ~backend:Eventsim.Sched_backend.Heap ()
+
+(* Substrate + application-experiment kernels.
+
+   The scheduler kernel measures one schedule+dispatch cycle against a
+   queue that also holds parked far-future work (512 background timers),
+   the shape every real experiment produces: the binary heap pays
+   O(log n) sift per hot event for that depth, the wheel keeps parked
+   timers in their overflow page untouched. *)
+let make_scheduler_event ~name ~backend =
+  let sched = Eventsim.Scheduler.create ~backend () in
+  for i = 0 to 511 do
+    Eventsim.Scheduler.post sched ~at:(Eventsim.Sim_time.ms 100 + i) (fun () -> ())
+  done;
+  Test.make ~name
     (Staged.stage (fun () ->
-         ignore (Eventsim.Scheduler.schedule_after sched ~delay:10 (fun () -> ()));
+         Eventsim.Scheduler.post_after sched ~delay:10 (fun () -> ());
          ignore (Eventsim.Scheduler.step sched)))
+
+let bench_scheduler_heap =
+  make_scheduler_event ~name:"substrate/scheduler-event-heap" ~backend:Eventsim.Sched_backend.Heap
+
+let bench_scheduler_wheel =
+  make_scheduler_event ~name:"substrate/scheduler-event-wheel"
+    ~backend:Eventsim.Sched_backend.Wheel
 
 let bench_pifo =
   let pifo = Tmgr.Pifo.create () in
@@ -149,7 +170,9 @@ let benchmarks =
       bench_resmodel;
       bench_shared_register;
       bench_packet_path;
-      bench_scheduler;
+      bench_packet_path_heap;
+      bench_scheduler_heap;
+      bench_scheduler_wheel;
       bench_pifo;
       bench_lpm;
       bench_frame;
@@ -171,9 +194,23 @@ let run_microbenches () =
       | Some [ est ] -> rows := (name, est) :: !rows
       | Some _ | None -> ())
     results;
-  List.iter
-    (fun (name, est) -> Printf.printf "  %-40s %12.1f ns/run\n" name est)
-    (List.sort compare !rows)
+  let rows = List.sort compare !rows in
+  List.iter (fun (name, est) -> Printf.printf "  %-40s %12.1f ns/run\n" name est) rows;
+  rows
+
+(* Persist the OLS estimates as a flat JSON baseline that
+   [compare.exe old new] can diff across commits. *)
+let write_json ~path rows =
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"evpp-bench/1\",\n  \"results\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "    %S: %.1f%s\n" name est (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "\nbaseline written to %s (%d kernels)\n" path n
 
 (* Chaos kernel: one packet over a link, with or without a
    zero-probability perturbation installed — the disabled-faults cost
@@ -253,19 +290,48 @@ let run_quick () =
   assert (Float.is_finite bare && bare > 0.);
   assert (Float.is_finite faults_off && faults_off > 0.);
   assert (chaos_overhead < 0.5);
+  (* Backend smoke: heap and wheel run the same event-dispatch kernel.
+     The wheel is the default backend, so it must stay in the heap's
+     ballpark — trip if it drifts past 1.5x. *)
+  let heap =
+    estimate
+      (make_event_dispatch ~name:"event-dispatch-heap" ~backend:Eventsim.Sched_backend.Heap ())
+  in
+  let wheel =
+    estimate
+      (make_event_dispatch ~name:"event-dispatch-wheel" ~backend:Eventsim.Sched_backend.Wheel ())
+  in
+  Printf.printf "event-dispatch, heap:        %10.1f ns/run\n" heap;
+  Printf.printf "event-dispatch, wheel:       %10.1f ns/run\n" wheel;
+  assert (Float.is_finite heap && heap > 0.);
+  assert (Float.is_finite wheel && wheel > 0.);
+  assert (wheel <= 1.5 *. heap);
   print_endline "bench --quick OK"
+
+let json_path () =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = "--json" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
 
 let () =
   if Array.exists (( = ) "--quick") Sys.argv then run_quick ()
-  else begin
-    let seed =
-      match Sys.getenv_opt "EVPP_SEED" with Some s -> int_of_string s | None -> 42
-    in
-    Printf.printf "Event-Driven Packet Processing — paper reproduction harness (seed %d)\n" seed;
-    List.iter
-      (fun (e : Experiments.Registry.entry) ->
-        e.Experiments.Registry.run_and_print ~metrics:None ~seed)
-      Experiments.Registry.all;
-    run_microbenches ();
-    print_newline ()
-  end
+  else
+    match json_path () with
+    | Some path ->
+        (* Baseline mode: microbenches only, estimates persisted. *)
+        write_json ~path (run_microbenches ())
+    | None ->
+        let seed =
+          match Sys.getenv_opt "EVPP_SEED" with Some s -> int_of_string s | None -> 42
+        in
+        Printf.printf "Event-Driven Packet Processing — paper reproduction harness (seed %d)\n"
+          seed;
+        List.iter
+          (fun (e : Experiments.Registry.entry) ->
+            e.Experiments.Registry.run_and_print ~metrics:None ~seed)
+          Experiments.Registry.all;
+        ignore (run_microbenches ());
+        print_newline ()

@@ -7,7 +7,20 @@ let list_cmd () =
         Printf.printf "%-18s %-4s %s\n" e.name e.experiment_id e.paper_artifact)
       all)
 
-let run_cmd name seed metrics_out =
+let set_backend name =
+  match Eventsim.Sched_backend.of_string name with
+  | Some b ->
+      Eventsim.Sched_backend.default := b;
+      None
+  | None ->
+      Some
+        (Printf.sprintf "unknown scheduler backend %S; try: %s" name
+           (String.concat ", " Eventsim.Sched_backend.names))
+
+let run_cmd backend name seed metrics_out =
+  match set_backend backend with
+  | Some err -> `Error (false, err)
+  | None ->
   let metrics =
     match metrics_out with None -> None | Some _ -> Some (Obs.Metrics.create ())
   in
@@ -39,7 +52,10 @@ let run_cmd name seed metrics_out =
               Printf.sprintf "unknown experiment %S; try: %s" n
                 (String.concat ", " (Experiments.Registry.names ())) ))
 
-let chaos_cmd seed profile metrics_out =
+let chaos_cmd backend seed profile metrics_out =
+  match set_backend backend with
+  | Some err -> `Error (false, err)
+  | None ->
   match Faults.Profile.of_string profile with
   | None ->
       `Error
@@ -68,7 +84,10 @@ let chaos_cmd seed profile metrics_out =
       in
       if ok then `Ok () else `Error (false, "chaos run failed a degradation check")
 
-let p4_cmd file duration_us =
+let p4_cmd backend file duration_us =
+  match set_backend backend with
+  | Some err -> `Error (false, err)
+  | None ->
   let source =
     let ic = open_in file in
     let n = in_channel_length ic in
@@ -140,7 +159,19 @@ let metrics_out =
           "Record simulator metrics (scheduler, event switch, traffic manager) \
            during the run and write a JSON snapshot to $(docv).")
 
-let run_term = Term.(ret (const run_cmd $ name_arg $ seed $ metrics_out))
+let sched_backend =
+  Arg.(
+    value
+    & opt string (Eventsim.Sched_backend.to_string !Eventsim.Sched_backend.default)
+    & info [ "sched-backend" ] ~docv:"BACKEND"
+        ~doc:
+          (Printf.sprintf
+             "Scheduler event-queue backend: %s. Both fire events in the same \
+              order, so outputs are byte-identical; the choice is a \
+              performance knob."
+             (String.concat ", " Eventsim.Sched_backend.names)))
+
+let run_term = Term.(ret (const run_cmd $ sched_backend $ name_arg $ seed $ metrics_out))
 
 let run_info =
   Cmd.info "run" ~doc:"Run one experiment (or all when no name is given)."
@@ -157,7 +188,7 @@ let chaos_profile =
           (Printf.sprintf "Fault profile: %s."
              (String.concat ", " Faults.Profile.names)))
 
-let chaos_term = Term.(ret (const chaos_cmd $ seed $ chaos_profile $ metrics_out))
+let chaos_term = Term.(ret (const chaos_cmd $ sched_backend $ seed $ chaos_profile $ metrics_out))
 
 let chaos_info =
   Cmd.info "chaos"
@@ -172,7 +203,7 @@ let p4_file =
 let p4_duration =
   Arg.(value & opt int 1000 & info [ "duration-us" ] ~doc:"Traffic duration in microseconds.")
 
-let p4_term = Term.(ret (const p4_cmd $ p4_file $ p4_duration))
+let p4_term = Term.(ret (const p4_cmd $ sched_backend $ p4_file $ p4_duration))
 
 let p4_info =
   Cmd.info "p4" ~doc:"Load an event-driven P4 program and run it under generic traffic."

@@ -31,16 +31,15 @@ let submit t f =
   let j = if t.jitter > 0 then Stats.Rng.int t.rng t.jitter else 0 in
   let exec_at = max (now + t.latency + j) t.next_free in
   t.next_free <- exec_at + t.min_gap;
-  ignore
-    (Scheduler.schedule ~cls:"control" t.sched ~at:exec_at (fun () ->
-         t.ops <- t.ops + 1;
-         f ()))
+  Scheduler.post ~cls:"control" t.sched ~at:exec_at (fun () ->
+      t.ops <- t.ops + 1;
+      f ())
 
 let periodic t ~period f = Scheduler.every ~cls:"control" t.sched ~period (fun () -> submit t f)
 
 let notify t f =
   t.notifications <- t.notifications + 1;
-  ignore (Scheduler.schedule_after ~cls:"control" t.sched ~delay:t.latency f)
+  Scheduler.post_after ~cls:"control" t.sched ~delay:t.latency f
 
 let ops t = t.ops
 let notifications t = t.notifications

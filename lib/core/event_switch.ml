@@ -188,9 +188,8 @@ let process_carrier t (carrier : Event_merger.carrier) ~exit_time =
       let decision = handler (get_ctx t) pkt in
       (* The decision takes effect when the carrier exits the
          pipeline. *)
-      ignore
-        (Scheduler.schedule ~cls:"switch.decision" t.sched ~at:exit_time (fun () ->
-             apply_decision t pkt decision)));
+      Scheduler.post ~cls:"switch.decision" t.sched ~at:exit_time (fun () ->
+          apply_decision t pkt decision));
   List.iter (handle_event t) carrier.Event_merger.events
 
 let create ~sched ?(id = 0) ~config ~program () =

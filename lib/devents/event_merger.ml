@@ -44,30 +44,13 @@ type t = {
   pkt_queues : Netcore.Packet.t Event_queue.t array;
   event_queues : Event.t Event_queue.t array; (* indexed by Event.cls_index *)
   mutable admission_armed : bool;
+  mutable admit_cb : unit -> unit; (* persistent; posted once per carrier *)
   mutable empty_carriers : int;
   mutable piggybacked : int;
 }
 
 let kind_index = function Ingress -> 0 | Recirculated -> 1 | Generated -> 2
 let kind_of_index = function 0 -> Ingress | 1 -> Recirculated | _ -> Generated
-
-let create ~sched ~pipeline ?(config = default_config) ~process () =
-  if config.max_events_per_carrier <= 0 then
-    invalid_arg "Event_merger: max_events_per_carrier must be positive";
-  {
-    sched;
-    pipeline;
-    config;
-    process;
-    pkt_queues =
-      Array.init 3 (fun _ -> Event_queue.create ~capacity:config.packet_queue_capacity);
-    event_queues =
-      Array.init Event.num_classes (fun _ ->
-          Event_queue.create ~capacity:config.event_queue_capacity);
-    admission_armed = false;
-    empty_carriers = 0;
-    piggybacked = 0;
-  }
 
 let packets_waiting t = Array.fold_left (fun acc q -> acc + Event_queue.length q) 0 t.pkt_queues
 
@@ -104,7 +87,7 @@ let rec arm t =
   if (not t.admission_armed) && has_work t then begin
     t.admission_armed <- true;
     let at = Pipeline.earliest_admission t.pipeline in
-    ignore (Scheduler.schedule ~cls:"merger.admit" t.sched ~at (fun () -> admit t))
+    Scheduler.post ~cls:"merger.admit" t.sched ~at t.admit_cb
   end
 
 and admit t =
@@ -121,6 +104,29 @@ and admit t =
     end;
     arm t
   end
+
+let create ~sched ~pipeline ?(config = default_config) ~process () =
+  if config.max_events_per_carrier <= 0 then
+    invalid_arg "Event_merger: max_events_per_carrier must be positive";
+  let t =
+    {
+      sched;
+      pipeline;
+      config;
+      process;
+      pkt_queues =
+        Array.init 3 (fun _ -> Event_queue.create ~capacity:config.packet_queue_capacity);
+      event_queues =
+        Array.init Event.num_classes (fun _ ->
+            Event_queue.create ~capacity:config.event_queue_capacity);
+      admission_armed = false;
+      admit_cb = (fun () -> ());
+      empty_carriers = 0;
+      piggybacked = 0;
+    }
+  in
+  t.admit_cb <- (fun () -> admit t);
+  t
 
 let offer_packet t kind pkt =
   let ok = Event_queue.push t.pkt_queues.(kind_index kind) pkt in

@@ -7,6 +7,8 @@ type timer = {
   period : int; (* 0 for one-shot *)
   mutable count : int;
   mutable cancelled : bool;
+  mutable scheduled : int; (* nominal (unquantised) next firing instant *)
+  mutable cb : unit -> unit; (* the one closure this timer ever allocates *)
 }
 
 type t = {
@@ -40,36 +42,38 @@ let fire t timer ~scheduled =
          })
   end
 
-let rec arm_periodic t timer ~scheduled =
-  let at = quantise t scheduled in
-  ignore
-    (Scheduler.schedule ~cls:"timer" t.sched ~at (fun () ->
-         if not timer.cancelled then begin
-           fire t timer ~scheduled;
-           arm_periodic t timer ~scheduled:(scheduled + timer.period)
-         end))
-
 let fresh t ~period =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let timer = { id; period; count = 0; cancelled = false } in
+  let timer = { id; period; count = 0; cancelled = false; scheduled = 0; cb = (fun () -> ()) } in
   Hashtbl.replace t.timers id timer;
   timer
 
 let add_periodic t ~period =
   if period <= 0 then invalid_arg "Timer_unit.add_periodic: period must be positive";
   let timer = fresh t ~period in
-  arm_periodic t timer ~scheduled:(Scheduler.now t.sched + period);
+  timer.scheduled <- Scheduler.now t.sched + period;
+  (* One closure for the timer's whole life: it re-posts itself with the
+     advanced nominal instant instead of allocating a fresh closure per
+     firing. Posts are fire-and-forget, so the scheduler recycles the
+     cell too — a steady periodic timer allocates nothing per tick. *)
+  timer.cb <-
+    (fun () ->
+      if not timer.cancelled then begin
+        fire t timer ~scheduled:timer.scheduled;
+        timer.scheduled <- timer.scheduled + timer.period;
+        Scheduler.post ~cls:"timer" t.sched ~at:(quantise t timer.scheduled) timer.cb
+      end);
+  Scheduler.post ~cls:"timer" t.sched ~at:(quantise t timer.scheduled) timer.cb;
   timer.id
 
 let add_oneshot t ~delay =
   if delay < 0 then invalid_arg "Timer_unit.add_oneshot: negative delay";
   let timer = fresh t ~period:0 in
   let scheduled = Scheduler.now t.sched + delay in
-  ignore
-    (Scheduler.schedule ~cls:"timer" t.sched ~at:(quantise t scheduled) (fun () ->
-         fire t timer ~scheduled;
-         Hashtbl.remove t.timers timer.id));
+  Scheduler.post ~cls:"timer" t.sched ~at:(quantise t scheduled) (fun () ->
+      fire t timer ~scheduled;
+      Hashtbl.remove t.timers timer.id);
   timer.id
 
 let cancel t id =

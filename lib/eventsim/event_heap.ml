@@ -50,35 +50,45 @@ let push t ~time payload =
 
 let peek_time t = if t.len = 0 then None else Some t.data.(0).time
 
+(* Remove the root of a non-empty heap and restore the heap property. *)
+let pop_root t =
+  let top = t.data.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    let last = t.data.(t.len) in
+    t.data.(t.len) <- null ();
+    t.data.(0) <- last;
+    (* Sift down. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.len && before t.data.(l) t.data.(!smallest) then smallest := l;
+      if r < t.len && before t.data.(r) t.data.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = t.data.(!i) in
+        t.data.(!i) <- t.data.(!smallest);
+        t.data.(!smallest) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end
+  else t.data.(0) <- null ();
+  top
+
 let pop t =
   if t.len = 0 then None
-  else begin
-    let top = t.data.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      let last = t.data.(t.len) in
-      t.data.(t.len) <- null ();
-      t.data.(0) <- last;
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.len && before t.data.(l) t.data.(!smallest) then smallest := l;
-        if r < t.len && before t.data.(r) t.data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.data.(!i) in
-          t.data.(!i) <- t.data.(!smallest);
-          t.data.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end
-    else t.data.(0) <- null ();
+  else
+    let top = pop_root t in
     Some (top.time, top.payload)
-  end
+
+let drain_upto t ~limit f =
+  while t.len > 0 && t.data.(0).time <= limit do
+    let top = pop_root t in
+    f ~time:top.time top.payload
+  done
 
 let clear t =
   t.len <- 0;

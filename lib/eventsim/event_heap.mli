@@ -17,4 +17,9 @@ val peek_time : 'a t -> int option
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the earliest element with its time. *)
 
+val drain_upto : 'a t -> limit:int -> (time:int -> 'a -> unit) -> unit
+(** Fire every element with [time <= limit] through [f], in (time, seq)
+    order, re-checking the root after each callback so elements pushed
+    by [f] at already-reached times are included. *)
+
 val clear : 'a t -> unit

@@ -1,0 +1,12 @@
+type t = Heap | Wheel
+
+let to_string = function Heap -> "heap" | Wheel -> "wheel"
+
+let of_string = function
+  | "heap" -> Some Heap
+  | "wheel" -> Some Wheel
+  | _ -> None
+
+let names = [ "heap"; "wheel" ]
+let all = [ Heap; Wheel ]
+let default = ref Wheel

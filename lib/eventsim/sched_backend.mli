@@ -1,0 +1,23 @@
+(** Scheduler event-queue backend selector.
+
+    [Heap] is the binary min-heap ({!Event_heap}): O(log n) per event,
+    allocation per push. [Wheel] is the hierarchical timing wheel
+    ({!Timing_wheel}): amortised O(1) per event with internally recycled
+    nodes. Both produce the exact same firing order — non-decreasing
+    time, FIFO among ties — so simulations are byte-identical under
+    either backend; the choice is purely a performance knob. *)
+
+type t = Heap | Wheel
+
+val to_string : t -> string
+val of_string : string -> t option
+val names : string list
+val all : t list
+
+val default : t ref
+(** Backend used by [Scheduler.create] when none is passed explicitly.
+    Initially {!Wheel}. Mutable so a CLI flag (e.g. [evsim
+    --sched-backend]) can steer every scheduler an experiment creates
+    without threading a parameter through each [run] signature. Set it
+    before creating schedulers; changing it never affects schedulers
+    that already exist. *)

@@ -2,11 +2,31 @@ type cell = {
   mutable cancelled : bool;
   mutable callback : unit -> unit;
   mutable queued : bool;
-  cls : string;
+  mutable cls : string;
   live : int ref; (* the owning scheduler's live-event count *)
+  pooled : bool; (* fire-and-forget cell, recycled after firing *)
+  mutable free_next : cell; (* free-list link, meaningful while recycled *)
 }
 
 type handle = cell
+
+let noop () = ()
+
+(* Free-list terminator. [cell] is monomorphic, so a plain shared record
+   works; its fields are never mutated (alloc/release test identity
+   first). *)
+let rec nil_cell =
+  {
+    cancelled = true;
+    callback = noop;
+    queued = false;
+    cls = "";
+    live = ref 0;
+    pooled = false;
+    free_next = nil_cell;
+  }
+
+type queue = QHeap of cell Event_heap.t | QWheel of cell Timing_wheel.t
 
 type prof = {
   reg : Obs.Metrics.t;
@@ -18,31 +38,81 @@ type prof = {
 }
 
 type t = {
-  heap : cell Event_heap.t;
+  queue : queue;
+  backend : Sched_backend.t;
   mutable clock : Sim_time.t;
   mutable executed : int;
   live : int ref;
   mutable depth_hwm : int;
+  mutable free : cell; (* pool of recycled fire-and-forget cells *)
   mutable prof : prof option;
 }
 
-let create () =
+let create ?backend () =
+  let backend =
+    match backend with Some b -> b | None -> !Sched_backend.default
+  in
+  let queue =
+    match backend with
+    | Sched_backend.Heap -> QHeap (Event_heap.create ())
+    | Sched_backend.Wheel -> QWheel (Timing_wheel.create ())
+  in
   {
-    heap = Event_heap.create ();
+    queue;
+    backend;
     clock = 0;
     executed = 0;
     live = ref 0;
     depth_hwm = 0;
+    free = nil_cell;
     prof = None;
   }
 
 let now t = t.clock
+let backend t = t.backend
+
+(* {2 Cell pool}
+
+   Only [post]/[post_after] cells are pooled: they expose no handle, so
+   no stale [cancel] can reach a recycled cell. [schedule]/[every] cells
+   escape to the caller and are left to the GC. Recycled cells drop
+   their callback and class so a parked cell never pins a closure (and
+   transitively a packet) across the pool. *)
+
+let alloc_cell t ~cls f =
+  let c = t.free in
+  if c == nil_cell then
+    {
+      cancelled = false;
+      callback = f;
+      queued = false;
+      cls;
+      live = t.live;
+      pooled = true;
+      free_next = nil_cell;
+    }
+  else begin
+    t.free <- c.free_next;
+    c.free_next <- nil_cell;
+    c.cancelled <- false;
+    c.callback <- f;
+    c.cls <- cls;
+    c
+  end
+
+let release_cell t c =
+  c.callback <- noop;
+  c.cls <- "";
+  c.free_next <- t.free;
+  t.free <- c
 
 let enqueue_cell t ~time cell =
   cell.queued <- true;
   incr t.live;
   if !(t.live) > t.depth_hwm then t.depth_hwm <- !(t.live);
-  Event_heap.push t.heap ~time cell;
+  (match t.queue with
+  | QHeap h -> Event_heap.push h ~time cell
+  | QWheel w -> Timing_wheel.push w ~time cell);
   match t.prof with
   | Some p when Obs.Metrics.is_enabled p.reg -> Obs.Metrics.Gauge.set p.depth !(t.live)
   | Some _ | None -> ()
@@ -51,13 +121,33 @@ let schedule ?(cls = "callback") t ~at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Scheduler.schedule: at=%d is before now=%d" at t.clock);
-  let cell = { cancelled = false; callback = f; queued = false; cls; live = t.live } in
+  let cell =
+    {
+      cancelled = false;
+      callback = f;
+      queued = false;
+      cls;
+      live = t.live;
+      pooled = false;
+      free_next = nil_cell;
+    }
+  in
   enqueue_cell t ~time:at cell;
   cell
 
 let schedule_after ?cls t ~delay f =
   if delay < 0 then invalid_arg "Scheduler.schedule_after: negative delay";
   schedule ?cls t ~at:(t.clock + delay) f
+
+let post ?(cls = "callback") t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Scheduler.post: at=%d is before now=%d" at t.clock);
+  enqueue_cell t ~time:at (alloc_cell t ~cls f)
+
+let post_after ?cls t ~delay f =
+  if delay < 0 then invalid_arg "Scheduler.post_after: negative delay";
+  post ?cls t ~at:(t.clock + delay) f
 
 let cancel cell =
   if not cell.cancelled then begin
@@ -71,7 +161,17 @@ let every ?(cls = "periodic") t ?start ~period f =
   if first < t.clock then
     invalid_arg
       (Printf.sprintf "Scheduler.every: start=%d is before now=%d" first t.clock);
-  let cell = { cancelled = false; callback = (fun () -> ()); queued = false; cls; live = t.live } in
+  let cell =
+    {
+      cancelled = false;
+      callback = noop;
+      queued = false;
+      cls;
+      live = t.live;
+      pooled = false;
+      free_next = nil_cell;
+    }
+  in
   let rec fire () =
     if not cell.cancelled then begin
       f ();
@@ -95,21 +195,38 @@ let cls_counter p cls =
       Hashtbl.add p.by_cls cls c;
       c
 
+(* Execute one popped cell. Pooled cells are released back to the pool
+   before their callback runs, so a [post] made inside the callback can
+   reuse the very same cell. *)
+let fire t cell =
+  cell.queued <- false;
+  if not cell.cancelled then begin
+    decr t.live;
+    t.executed <- t.executed + 1;
+    (match t.prof with
+    | Some p when Obs.Metrics.is_enabled p.reg ->
+        Obs.Metrics.Counter.incr (cls_counter p cell.cls)
+    | Some _ | None -> ());
+    if cell.pooled then begin
+      let f = cell.callback in
+      release_cell t cell;
+      f ()
+    end
+    else cell.callback ()
+  end
+  else if cell.pooled then release_cell t cell
+
 let step t =
-  match Event_heap.pop t.heap with
+  let popped =
+    match t.queue with
+    | QHeap h -> Event_heap.pop h
+    | QWheel w -> Timing_wheel.pop w
+  in
+  match popped with
   | None -> false
   | Some (time, cell) ->
       t.clock <- max t.clock time;
-      cell.queued <- false;
-      if not cell.cancelled then begin
-        decr t.live;
-        t.executed <- t.executed + 1;
-        (match t.prof with
-        | Some p when Obs.Metrics.is_enabled p.reg ->
-            Obs.Metrics.Counter.incr (cls_counter p cell.cls)
-        | Some _ | None -> ());
-        cell.callback ()
-      end;
+      fire t cell;
       true
 
 let run ?until t =
@@ -118,18 +235,23 @@ let run ?until t =
     | Some p when p.wall && Obs.Metrics.is_enabled p.reg -> Some (Sys.time (), t.clock)
     | Some _ | None -> None
   in
-  let continue = ref true in
-  while !continue do
-    match (Event_heap.peek_time t.heap, until) with
-    | None, _ -> continue := false
-    | Some time, Some limit when time > limit -> continue := false
-    | Some _, _ -> ignore (step t)
-  done;
+  let executed0 = t.executed in
+  let limit = match until with Some l -> l | None -> max_int in
+  let dispatch ~time cell =
+    t.clock <- max t.clock time;
+    fire t cell
+  in
+  (match t.queue with
+  | QHeap h -> Event_heap.drain_upto h ~limit dispatch
+  | QWheel w -> Timing_wheel.drain_upto w ~limit dispatch);
   (match until with Some limit when limit > t.clock -> t.clock <- limit | Some _ | None -> ());
   match (t.prof, wall0) with
   | Some p, Some (w0, sim0) ->
       let sim_s = Sim_time.to_sec (t.clock - sim0) in
-      if sim_s > 0. then
+      (* Observing a wall/sim ratio is only meaningful when the run
+         actually dispatched work; a zero-event run measures nothing
+         but [Sys.time] granularity. *)
+      if t.executed > executed0 && sim_s > 0. then
         Obs.Metrics.Summary.observe p.wall_per_sim ((Sys.time () -. w0) /. sim_s)
   | (Some _ | None), _ -> ()
 

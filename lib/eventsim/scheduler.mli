@@ -14,14 +14,31 @@
 type t
 type handle
 
-val create : unit -> t
+val create : ?backend:Sched_backend.t -> unit -> t
+(** [backend] selects the event-queue implementation (defaults to
+    [!Sched_backend.default]). Both backends fire callbacks in exactly
+    the same order; see {!Sched_backend}. *)
+
 val now : t -> Sim_time.t
+
+val backend : t -> Sched_backend.t
+(** The backend this scheduler was created with. *)
 
 val schedule : ?cls:string -> t -> at:Sim_time.t -> (unit -> unit) -> handle
 (** Scheduling in the past raises [Invalid_argument]. [cls] defaults to
     ["callback"]. *)
 
 val schedule_after : ?cls:string -> t -> delay:Sim_time.t -> (unit -> unit) -> handle
+
+val post : ?cls:string -> t -> at:Sim_time.t -> (unit -> unit) -> unit
+(** Fire-and-forget {!schedule}: no handle, so the event cannot be
+    cancelled — which lets the scheduler recycle its internal cell
+    through a free list instead of allocating one per event. Use it on
+    hot paths that never cancel. Past times raise [Invalid_argument]
+    like {!schedule}. *)
+
+val post_after : ?cls:string -> t -> delay:Sim_time.t -> (unit -> unit) -> unit
+(** Fire-and-forget {!schedule_after}; see {!post}. *)
 
 val cancel : handle -> unit
 (** Cancelling an already-run or cancelled handle is a no-op. For a
@@ -36,7 +53,8 @@ val every : ?cls:string -> t -> ?start:Sim_time.t -> period:Sim_time.t -> (unit 
 
 val run : ?until:Sim_time.t -> t -> unit
 (** Execute events until the queue is empty or the next event is after
-    [until]; with [until], the clock is left at [until]. *)
+    [until]; with [until], the clock is left at [until]. The loop drains
+    same-timestamp batches without re-peeking the queue per event. *)
 
 val step : t -> bool
 (** Run the single earliest event; [false] if the queue was empty. *)

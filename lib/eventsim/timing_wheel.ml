@@ -1,0 +1,333 @@
+(* Hierarchical timing wheel (Varghese & Lauck), keyed on Sim_time
+   picoseconds.
+
+   Four levels of 256 slots each, with 8 bits of time per level: level
+   [l] buckets times by bits [8l .. 8l+7] relative to the wheel position
+   [base].  An event lands at the lowest level whose page (the bits
+   above the level's own 8) matches [base]'s — i.e. level 0 holds the
+   next 256 ps at 1 ps resolution, level 1 the next ~65 ns at 256 ps
+   resolution, level 2 the next ~16.7 us, level 3 the next ~4.3 ms.
+   Events further than 2^32 ps (~4.3 ms) ahead of [base] overflow into a
+   binary heap and are pulled back into the wheel when [base] reaches
+   their 2^32 page; a cold far-future timer therefore costs two O(log
+   n_overflow) heap ops, while everything on the hot path is amortised
+   O(1): insertion is an append to an intrusive singly-linked slot list,
+   and each event is re-filed at most [levels - 1] times before firing.
+
+   Determinism: firing order is exactly (time, schedule seq) like
+   {!Event_heap}, without storing a sequence number.  Slot lists are
+   FIFO, and every redistribution (advance_to flush, overflow drain)
+   happens exactly when [base] enters the destination page — before any
+   direct insertion into it could have occurred, because a time's level
+   under [level_of] only decreases as [base] advances.  So append order
+   within a slot is schedule order among equal times, always.
+
+   Layout is optimised for the dispatch loop: the 4x256 slot heads and
+   tails are flat 1024-entry arrays indexed [(level lsl 8) lor slot],
+   slot occupancy is 32 words of 32 bits (flat, [(level lsl 3) lor
+   word]) with a single 32-bit summary int marking non-empty words, so
+   "first occupied slot of a level" is two count-trailing-zeros.  All
+   indices are mask-derived, which justifies the unsafe accesses.
+
+   Nodes are recycled through an internal free list; a steady-state
+   push/pop cycle allocates nothing.  Dead nodes never pin their old
+   payload (cleared on release), mirroring the Event_heap null-entry
+   discipline. *)
+
+type 'a node = {
+  mutable time : int;
+  mutable payload : 'a;
+  mutable next : 'a node;
+}
+
+(* Shared inert node used as list terminator and free-list end.  [node]
+   is a mixed int/pointer record, so its representation is the same for
+   every ['a] and the cast is safe (same trick as Event_heap's
+   null_entry).  Its fields are never mutated: append/release always
+   check for it first. *)
+let nil_node : Obj.t node =
+  let rec n = { time = min_int; payload = Obj.repr (); next = n } in
+  n
+
+let nil () : 'a node = Obj.magic nil_node
+let is_nil (n : 'a node) = n == (Obj.magic nil_node : 'a node)
+
+let levels = 4
+let slot_mask = 255
+
+type 'a t = {
+  heads : 'a node array; (* 1024: [(level lsl 8) lor slot] *)
+  tails : 'a node array;
+  occ : int array; (* 32 words of 32 bits: [(level lsl 3) lor word] *)
+  mutable sums : int; (* bit [(level lsl 3) lor word] set iff occ word <> 0 *)
+  mutable base : int; (* wheel position; never ahead of the earliest event *)
+  mutable wheel_len : int; (* events resident in the wheel levels *)
+  overflow : 'a Event_heap.t; (* events >= 2^32 ps ahead of [base] *)
+  mutable free : 'a node;
+}
+
+let create () =
+  {
+    heads = Array.make (levels * 256) (nil ());
+    tails = Array.make (levels * 256) (nil ());
+    occ = Array.make (levels * 8) 0;
+    sums = 0;
+    base = 0;
+    wheel_len = 0;
+    overflow = Event_heap.create ();
+    free = nil ();
+  }
+
+let length t = t.wheel_len + Event_heap.length t.overflow
+let is_empty t = t.wheel_len = 0 && Event_heap.is_empty t.overflow
+let position t = t.base
+
+(* {2 Occupancy bitmaps} *)
+
+(* [li] is the flat head/tail index [(l lsl 8) lor slot]; the matching
+   occupancy word index is [li lsr 5] and the bit within it [li land
+   31]. *)
+let set_bit t li =
+  let w = li lsr 5 in
+  Array.unsafe_set t.occ w (Array.unsafe_get t.occ w lor (1 lsl (li land 31)));
+  t.sums <- t.sums lor (1 lsl w)
+
+let clear_bit t li =
+  let w = li lsr 5 in
+  let word = Array.unsafe_get t.occ w land lnot (1 lsl (li land 31)) in
+  Array.unsafe_set t.occ w word;
+  if word = 0 then t.sums <- t.sums land lnot (1 lsl w)
+
+let ctz32 x =
+  let x = ref (x land (-x)) in
+  let n = ref 0 in
+  if !x land 0xffff = 0 then begin
+    x := !x lsr 16;
+    n := !n + 16
+  end;
+  if !x land 0xff = 0 then begin
+    x := !x lsr 8;
+    n := !n + 8
+  end;
+  if !x land 0xf = 0 then begin
+    x := !x lsr 4;
+    n := !n + 4
+  end;
+  if !x land 0x3 = 0 then begin
+    x := !x lsr 2;
+    n := !n + 2
+  end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
+(* Flat head index of the first occupied slot of level [l], or -1.
+   Slots before the current position are necessarily empty (their
+   events already fired), so the lowest set bit is the first upcoming
+   slot. *)
+let first_occupied t l =
+  let m = (t.sums lsr (l lsl 3)) land 0xff in
+  if m = 0 then -1
+  else
+    let w = (l lsl 3) + ctz32 m in
+    (w lsl 5) + ctz32 (Array.unsafe_get t.occ w)
+
+(* {2 Node pool and slot lists} *)
+
+let alloc_node t ~time payload =
+  let n = t.free in
+  if is_nil n then { time; payload; next = nil () }
+  else begin
+    t.free <- n.next;
+    n.next <- nil ();
+    n.time <- time;
+    n.payload <- payload;
+    n
+  end
+
+let release_node t n =
+  n.payload <- Obj.magic ();
+  n.time <- 0;
+  n.next <- t.free;
+  t.free <- n
+
+(* Append to the slot list at flat index [li] (always in [0, 1024)). *)
+let append t li n =
+  if is_nil (Array.unsafe_get t.heads li) then begin
+    Array.unsafe_set t.heads li n;
+    Array.unsafe_set t.tails li n;
+    set_bit t li
+  end
+  else begin
+    (Array.unsafe_get t.tails li).next <- n;
+    Array.unsafe_set t.tails li n
+  end
+
+(* {2 Insertion} *)
+
+(* Lowest level whose page (the bits above the level's own 8) contains
+   both [time] and the wheel position. Every resident node sits at
+   [level_of] of its own time w.r.t. the CURRENT base: [advance_to]
+   re-files the affected slot whenever the position enters a new page,
+   so the invariant survives movement. *)
+let level_of t time =
+  if time lsr 8 = t.base lsr 8 then 0
+  else if time lsr 16 = t.base lsr 16 then 1
+  else if time lsr 24 = t.base lsr 24 then 2
+  else 3
+
+let insert_node t n =
+  let l = level_of t n.time in
+  append t ((l lsl 8) lor ((n.time lsr (l lsl 3)) land slot_mask)) n;
+  t.wheel_len <- t.wheel_len + 1
+
+let push t ~time payload =
+  if time < t.base then
+    invalid_arg
+      (Printf.sprintf "Timing_wheel.push: time=%d is before wheel position %d"
+         time t.base);
+  if time lsr 32 <> t.base lsr 32 then Event_heap.push t.overflow ~time payload
+  else insert_node t (alloc_node t ~time payload)
+
+(* {2 Peeking (non-destructive)} *)
+
+let slot_min_time t li =
+  let n = ref (Array.unsafe_get t.heads li) in
+  let m = ref max_int in
+  while not (is_nil !n) do
+    if !n.time < !m then m := !n.time;
+    n := !n.next
+  done;
+  !m
+
+(* Earliest queued time, or -1.  Level priority is exact: a level-l
+   resident is inside [base]'s level-l page while every level-(l+1)
+   resident is outside it (hence later), and overflow events are beyond
+   the whole wheel span. *)
+let next_time t =
+  if t.wheel_len = 0 then
+    match Event_heap.peek_time t.overflow with None -> -1 | Some x -> x
+  else
+    (* Unrolled over the four levels to keep this straight-line (a local
+       recursive helper would allocate a closure on every peek). *)
+    let li = first_occupied t 0 in
+    if li >= 0 then ((t.base lsr 8) lsl 8) lor (li land slot_mask)
+    else
+      let li = first_occupied t 1 in
+      if li >= 0 then slot_min_time t li
+      else
+        let li = first_occupied t 2 in
+        if li >= 0 then slot_min_time t li
+        else
+          let li = first_occupied t 3 in
+          if li >= 0 then slot_min_time t li else -1
+
+let peek_time t =
+  let x = next_time t in
+  if x < 0 then None else Some x
+
+(* {2 Advancing: cascades and the overflow drain} *)
+
+(* Pull every overflow event belonging to [base]'s 2^32 page into the
+   wheel.  Heap pop order is (time, push seq), so equal-time events are
+   appended in schedule order, preserving FIFO ties. *)
+let drain_overflow t =
+  let continue = ref true in
+  while !continue do
+    match Event_heap.peek_time t.overflow with
+    | Some time when time lsr 32 = t.base lsr 32 -> (
+        match Event_heap.pop t.overflow with
+        | Some (time, payload) -> insert_node t (alloc_node t ~time payload)
+        | None -> assert false)
+    | Some _ | None -> continue := false
+  done
+
+(* Advance the wheel position to [tm], the KNOWN earliest queued time,
+   re-filing the slot containing [tm] down until its node reaches level
+   0 — no occupancy scans needed.  Because [tm] is the minimum, no
+   occupied slot precedes its slot at any level, so flushing exactly
+   that slot is the flush-at-page-entry the FIFO ordering proof relies
+   on.  [base] never exceeds [tm], so a later push at [time >= clock]
+   can never land behind the wheel. *)
+let rec advance_to t tm =
+  let l = level_of t tm in
+  if l = 0 then t.base <- tm
+  else begin
+    let sh = l lsl 3 in
+    let li = (l lsl 8) lor ((tm lsr sh) land slot_mask) in
+    let span_start = (tm lsr sh) lsl sh in
+    if span_start > t.base then t.base <- span_start;
+    let n = ref (Array.unsafe_get t.heads li) in
+    Array.unsafe_set t.heads li (nil ());
+    Array.unsafe_set t.tails li (nil ());
+    clear_bit t li;
+    while not (is_nil !n) do
+      let next = !n.next in
+      !n.next <- nil ();
+      t.wheel_len <- t.wheel_len - 1;
+      insert_node t !n;
+      n := next
+    done;
+    advance_to t tm
+  end
+
+(* {2 Removal} *)
+
+let pop t =
+  let tm = next_time t in
+  if tm < 0 then None
+  else begin
+    if t.wheel_len = 0 then begin
+      (* Everything queued lives in the overflow: jump to its minimum's
+         page and refill the wheel. *)
+      t.base <- tm;
+      drain_overflow t
+    end;
+    advance_to t tm;
+    let li = tm land slot_mask in
+    let n = Array.unsafe_get t.heads li in
+    Array.unsafe_set t.heads li n.next;
+    if is_nil n.next then begin
+      Array.unsafe_set t.tails li (nil ());
+      clear_bit t li
+    end;
+    n.next <- nil ();
+    t.wheel_len <- t.wheel_len - 1;
+    let payload = n.payload in
+    release_node t n;
+    Some (tm, payload)
+  end
+
+let drain_upto t ~limit f =
+  let continue = ref true in
+  while !continue do
+    let tm = next_time t in
+    if tm < 0 || tm > limit then continue := false
+    else begin
+      if t.wheel_len = 0 then begin
+        t.base <- tm;
+        drain_overflow t
+      end;
+      advance_to t tm;
+      let li = tm land slot_mask in
+      let heads = t.heads in
+      (* Drain the whole slot without re-peeking: a level-0 slot holds a
+         single absolute time, and same-instant events scheduled by [f]
+         are appended to this very list, so they run in this drain in
+         FIFO order. *)
+      let more = ref true in
+      while !more do
+        let n = Array.unsafe_get heads li in
+        if is_nil n then more := false
+        else begin
+          Array.unsafe_set heads li n.next;
+          n.next <- nil ();
+          t.wheel_len <- t.wheel_len - 1;
+          let payload = n.payload in
+          release_node t n;
+          f ~time:tm payload
+        end
+      done;
+      Array.unsafe_set t.tails li (nil ());
+      clear_bit t li
+    end
+  done

@@ -1,0 +1,44 @@
+(** Hierarchical timing wheel: the O(1) scheduler queue backend.
+
+    Four levels of 256 slots, 1 ps resolution at level 0, covering a
+    2^32 ps (~4.3 ms) window ahead of the wheel position; events beyond
+    the window sit in an overflow heap until the wheel reaches their
+    page. Firing order is identical to {!Event_heap}: non-decreasing
+    time, FIFO among same-time events (slot lists preserve push order;
+    cascades and overflow drains happen before any direct insertion into
+    the destination page could occur).
+
+    Not thread-safe. Times are {!Sim_time} picoseconds and must be
+    non-negative. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Queue [payload] at [time].
+
+    @raise Invalid_argument if [time] is before {!position} (the wheel
+    cannot travel backwards). *)
+
+val peek_time : 'a t -> int option
+(** Earliest queued time, without removing or advancing anything. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event as [(time, payload)], advancing
+    the wheel position to [time]. *)
+
+val drain_upto : 'a t -> limit:int -> (time:int -> 'a -> unit) -> unit
+(** Fire every event with [time <= limit] through [f], in order,
+    including events that [f] itself pushes at already-reached times.
+    Same-timestamp events drain from their slot in one pass without
+    re-peeking the structure per event. The wheel position never
+    advances past the earliest remaining event, so it never exceeds
+    [limit]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val position : 'a t -> int
+(** Current wheel position: the lower bound below which [push] refuses
+    new events. Advances as events fire. *)

@@ -16,10 +16,20 @@ let create ?capacity () =
 
 let before a b = a.rank < b.rank || (a.rank = b.rank && a.seq < b.seq)
 
-let grow t entry =
+(* Slots at index >= len are dead; they must not keep the last entry
+   that passed through them reachable (values are packets — pinning
+   them for the life of the PIFO is a leak).  Dead slots hold this
+   shared inert entry instead; its value is never read because the API
+   only exposes slots below [len].  [entry] is a mixed int/pointer
+   record, so the representation is the same for every ['a] and the
+   cast is safe — same discipline as [Event_heap.null_entry]. *)
+let null_entry : Obj.t entry = { rank = min_int; seq = min_int; value = Obj.repr () }
+let null () : 'a entry = Obj.magic null_entry
+
+let grow t =
   let cap = Array.length t.data in
   let cap' = if cap = 0 then 16 else cap * 2 in
-  let data = Array.make cap' entry in
+  let data = Array.make cap' (null ()) in
   Array.blit t.data 0 data 0 t.len;
   t.data <- data
 
@@ -64,7 +74,7 @@ let worst_index t =
   !worst
 
 let do_push t entry =
-  if t.len = Array.length t.data then grow t entry;
+  if t.len = Array.length t.data then grow t;
   t.data.(t.len) <- entry;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
@@ -73,9 +83,11 @@ let remove_at t i =
   t.len <- t.len - 1;
   if i < t.len then begin
     t.data.(i) <- t.data.(t.len);
+    t.data.(t.len) <- null ();
     sift_down t i;
     sift_up t i
   end
+  else t.data.(i) <- null ()
 
 let push_evict t ~rank value =
   let entry = { rank; seq = t.next_seq; value } in

@@ -36,6 +36,11 @@ type port = {
   mutable busy : bool;
   mutable occupancy_bytes : int;
   mutable occupancy_pkts : int;
+  (* The wire carries at most one packet per port ([busy]), so a single
+     slot plus one persistent completion closure covers every
+     transmission — no closure allocation per packet. *)
+  mutable tx_pkt : Packet.t option;
+  mutable tx_done : unit -> unit;
 }
 
 type t = {
@@ -66,25 +71,14 @@ let make_port config index =
                | None -> Fifo_queue.create ()))
     | Pifo_sched -> Pifo_q (Pifo.create ~capacity:config.pifo_capacity ())
   in
-  { index; queues; busy = false; occupancy_bytes = 0; occupancy_pkts = 0 }
-
-let create ~sched ~config ~emit ~events ?egress () =
-  if config.num_ports <= 0 then invalid_arg "Traffic_manager.create: num_ports";
   {
-    sched;
-    config;
-    pool = Buffer_pool.create ~capacity_bytes:config.buffer_bytes;
-    ports = Array.init config.num_ports (make_port config);
-    emit;
-    events;
-    egress;
-    enqueues = 0;
-    dequeues = 0;
-    transmitted = 0;
-    transmitted_bytes = 0;
-    drops = 0;
-    egress_drops = 0;
-    in_flight = 0;
+    index;
+    queues;
+    busy = false;
+    occupancy_bytes = 0;
+    occupancy_pkts = 0;
+    tx_pkt = None;
+    tx_done = (fun () -> ());
   }
 
 let buffer_event t port (pkt : Packet.t) ~meta_slots =
@@ -150,24 +144,51 @@ let rec try_dequeue t port =
                 try_dequeue t port
             | Some pkt ->
                 port.busy <- true;
+                port.tx_pkt <- Some pkt;
                 t.in_flight <- t.in_flight + 1;
                 let tx = Sim_time.tx_time ~bytes:(Packet.len pkt) ~gbps:t.config.port_rate_gbps in
-                ignore
-                  (Scheduler.schedule_after ~cls:"tm.tx" t.sched ~delay:tx (fun () ->
-                       port.busy <- false;
-                       t.in_flight <- t.in_flight - 1;
-                       t.transmitted <- t.transmitted + 1;
-                       t.transmitted_bytes <- t.transmitted_bytes + Packet.len pkt;
-                       t.events
-                         (Event.Transmitted
-                            {
-                              port = port.index;
-                              pkt_len = Packet.len pkt;
-                              flow_id = pkt.Packet.meta.Packet.flow_id;
-                              time = Scheduler.now t.sched;
-                            });
-                       t.emit ~port:port.index pkt;
-                       try_dequeue t port))))
+                Scheduler.post_after ~cls:"tm.tx" t.sched ~delay:tx port.tx_done))
+
+and finish_tx t port =
+  let pkt = match port.tx_pkt with Some p -> p | None -> assert false in
+  port.tx_pkt <- None;
+  port.busy <- false;
+  t.in_flight <- t.in_flight - 1;
+  t.transmitted <- t.transmitted + 1;
+  t.transmitted_bytes <- t.transmitted_bytes + Packet.len pkt;
+  t.events
+    (Event.Transmitted
+       {
+         port = port.index;
+         pkt_len = Packet.len pkt;
+         flow_id = pkt.Packet.meta.Packet.flow_id;
+         time = Scheduler.now t.sched;
+       });
+  t.emit ~port:port.index pkt;
+  try_dequeue t port
+
+let create ~sched ~config ~emit ~events ?egress () =
+  if config.num_ports <= 0 then invalid_arg "Traffic_manager.create: num_ports";
+  let t =
+    {
+      sched;
+      config;
+      pool = Buffer_pool.create ~capacity_bytes:config.buffer_bytes;
+      ports = Array.init config.num_ports (make_port config);
+      emit;
+      events;
+      egress;
+      enqueues = 0;
+      dequeues = 0;
+      transmitted = 0;
+      transmitted_bytes = 0;
+      drops = 0;
+      egress_drops = 0;
+      in_flight = 0;
+    }
+  in
+  Array.iter (fun port -> port.tx_done <- (fun () -> finish_tx t port)) t.ports;
+  t
 
 let reject t port pkt =
   t.drops <- t.drops + 1;

@@ -83,9 +83,8 @@ let replay ~sched ~flows ~rate_pps_per_flow ~send () =
       let duration =
         int_of_float (float_of_int fd.packets /. rate_pps_per_flow *. 1e12)
       in
-      ignore
-        (Eventsim.Scheduler.schedule sched
-           ~at:(fd.start + duration)
-           (fun () -> Traffic.stop_now t));
+      Eventsim.Scheduler.post sched
+        ~at:(fd.start + duration)
+        (fun () -> Traffic.stop_now t);
       t)
     flows

@@ -40,9 +40,8 @@ let replay t ~sched ?(time_offset = 0) ~send () =
   List.iter
     (fun entry ->
       incr scheduled;
-      ignore
-        (Eventsim.Scheduler.schedule sched ~at:(entry.at + time_offset) (fun () ->
-             send ~port:entry.port (packet_of entry))))
+      Eventsim.Scheduler.post sched ~at:(entry.at + time_offset) (fun () ->
+          send ~port:entry.port (packet_of entry)))
     (entries t);
   !scheduled
 

@@ -20,8 +20,8 @@ let mk_pkt ~payload_len i =
 (* A seeded random workload through a live event switch: random
    injection times, sizes and input ports, with detections and
    transmissions recorded in the trace. *)
-let run_once ~seed =
-  let sched = Scheduler.create () in
+let run_once ?backend ~seed () =
+  let sched = Scheduler.create ?backend () in
   let trace = Trace.create ~limit:50_000 () in
   Trace.enable trace;
   let reg = M.create () in
@@ -54,20 +54,37 @@ let run_once ~seed =
   (Trace.records trace, M.to_json reg, M.to_csv reg)
 
 let test_trace_identical () =
-  let t1, _, _ = run_once ~seed:7 and t2, _, _ = run_once ~seed:7 in
+  let t1, _, _ = run_once ~seed:7 () and t2, _, _ = run_once ~seed:7 () in
   Alcotest.(check bool) "trace non-trivial" true (List.length t1 > 50);
   Alcotest.(check (list (pair int string))) "byte-identical trace" t1 t2
 
 let test_metrics_identical () =
-  let _, j1, c1 = run_once ~seed:7 and _, j2, c2 = run_once ~seed:7 in
+  let _, j1, c1 = run_once ~seed:7 () and _, j2, c2 = run_once ~seed:7 () in
   Alcotest.(check string) "byte-identical metrics JSON" j1 j2;
   Alcotest.(check string) "byte-identical metrics CSV" c1 c2
 
 let test_seed_changes_behaviour () =
   (* Sanity check that the workload actually depends on the seed —
      otherwise the two tests above would pass vacuously. *)
-  let t1, _, _ = run_once ~seed:7 and t2, _, _ = run_once ~seed:8 in
+  let t1, _, _ = run_once ~seed:7 () and t2, _, _ = run_once ~seed:8 () in
   Alcotest.(check bool) "different seeds diverge" false (t1 = t2)
+
+(* The two scheduler backends must be observationally identical: same
+   seed, different backend, byte-identical trace and metrics. *)
+let test_backends_identical () =
+  let th, jh, ch = run_once ~backend:Eventsim.Sched_backend.Heap ~seed:7 () in
+  let tw, jw, cw = run_once ~backend:Eventsim.Sched_backend.Wheel ~seed:7 () in
+  Alcotest.(check (list (pair int string))) "heap/wheel identical trace" th tw;
+  Alcotest.(check string) "heap/wheel identical metrics JSON" jh jw;
+  Alcotest.(check string) "heap/wheel identical metrics CSV" ch cw
+
+(* Run [f] with the process-wide default backend forced to [backend] —
+   this is what [evsim --sched-backend] does, and it covers code that
+   creates schedulers internally (experiments, chaos). *)
+let with_default_backend backend f =
+  let saved = !Eventsim.Sched_backend.default in
+  Eventsim.Sched_backend.default := backend;
+  Fun.protect ~finally:(fun () -> Eventsim.Sched_backend.default := saved) f
 
 (* A full chaos run (E21) is the most adversarial determinism case:
    Poisson flap timelines, per-packet perturbation draws, overlapping
@@ -92,6 +109,20 @@ let test_chaos_identical () =
         (Experiments.E21_chaos.exercised r1))
     Faults.Profile.all
 
+let test_chaos_backends_identical () =
+  (* E21 chaos under heap vs wheel: the most adversarial parity check —
+     flap timelines, perturbation draws, churn — must not depend on the
+     queue implementation at all. *)
+  let run backend =
+    with_default_backend backend (fun () ->
+        chaos_once ~seed:42 ~profile:Faults.Profile.Burst_storm)
+  in
+  let r1, j1 = run Eventsim.Sched_backend.Heap in
+  let r2, j2 = run Eventsim.Sched_backend.Wheel in
+  Alcotest.(check string) "heap/wheel identical chaos metrics" j1 j2;
+  Alcotest.(check int) "heap/wheel identical receive count"
+    r1.Experiments.E21_chaos.received r2.Experiments.E21_chaos.received
+
 let test_chaos_seed_diverges () =
   let _, j1 = chaos_once ~seed:42 ~profile:Faults.Profile.Flaky_links in
   let _, j2 = chaos_once ~seed:43 ~profile:Faults.Profile.Flaky_links in
@@ -102,6 +133,8 @@ let suite =
     Alcotest.test_case "same seed, identical trace" `Quick test_trace_identical;
     Alcotest.test_case "same seed, identical metrics" `Quick test_metrics_identical;
     Alcotest.test_case "different seed diverges" `Quick test_seed_changes_behaviour;
+    Alcotest.test_case "heap vs wheel, identical run" `Quick test_backends_identical;
+    Alcotest.test_case "heap vs wheel, identical chaos" `Quick test_chaos_backends_identical;
     Alcotest.test_case "chaos run, identical metrics" `Quick test_chaos_identical;
     Alcotest.test_case "chaos run, seed diverges" `Quick test_chaos_seed_diverges;
   ]

@@ -3,6 +3,8 @@
 module Sim_time = Eventsim.Sim_time
 module Scheduler = Eventsim.Scheduler
 module Event_heap = Eventsim.Event_heap
+module Timing_wheel = Eventsim.Timing_wheel
+module Sched_backend = Eventsim.Sched_backend
 module Trace = Eventsim.Trace
 
 let test_time_units () =
@@ -82,6 +84,255 @@ let qcheck_heap_sorted =
         | Some (time, ()) -> time >= last && drain time
       in
       drain min_int)
+
+let test_wheel_ordering () =
+  let w = Timing_wheel.create () in
+  Timing_wheel.push w ~time:30 "c";
+  Timing_wheel.push w ~time:10 "a";
+  Timing_wheel.push w ~time:20 "b";
+  Alcotest.(check (option int)) "peek" (Some 10) (Timing_wheel.peek_time w);
+  let order =
+    List.init 3 (fun _ -> match Timing_wheel.pop w with Some (_, x) -> x | None -> "?")
+  in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] order;
+  Alcotest.(check bool) "empty" true (Timing_wheel.is_empty w)
+
+let test_wheel_fifo_ties () =
+  let w = Timing_wheel.create () in
+  List.iter (fun x -> Timing_wheel.push w ~time:5 x) [ 1; 2; 3; 4; 5 ];
+  let order =
+    List.init 5 (fun _ -> match Timing_wheel.pop w with Some (_, x) -> x | None -> -1)
+  in
+  Alcotest.(check (list int)) "fifo among equal times" [ 1; 2; 3; 4; 5 ] order
+
+let test_wheel_spans_levels () =
+  (* Times chosen to land on every wheel level and in the overflow heap
+     (beyond the 2^32 ps window), pushed out of order. *)
+  let times =
+    [ 3; 700; 100_000; 40_000_000; 4_000_000_000; (1 lsl 33) + 5; (1 lsl 45) + 1 ]
+  in
+  let w = Timing_wheel.create () in
+  List.iteri (fun i time -> Timing_wheel.push w ~time i) (List.rev times);
+  Alcotest.(check int) "length counts overflow" (List.length times) (Timing_wheel.length w);
+  let popped = ref [] in
+  let rec drain () =
+    match Timing_wheel.pop w with
+    | Some (time, _) ->
+        popped := time :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "global order across levels and overflow" times
+    (List.rev !popped)
+
+let test_wheel_overflow_fifo () =
+  (* Same-time events in the overflow must still fire in push order once
+     the wheel reaches their page. *)
+  let w = Timing_wheel.create () in
+  let far = (1 lsl 34) + 17 in
+  List.iter (fun x -> Timing_wheel.push w ~time:far x) [ 1; 2; 3 ];
+  Timing_wheel.push w ~time:5 0;
+  let order =
+    List.init 4 (fun _ -> match Timing_wheel.pop w with Some (_, x) -> x | None -> -1)
+  in
+  Alcotest.(check (list int)) "overflow keeps FIFO ties" [ 0; 1; 2; 3 ] order
+
+let test_wheel_past_push_raises () =
+  let w = Timing_wheel.create () in
+  Timing_wheel.push w ~time:100 ();
+  ignore (Timing_wheel.pop w);
+  Alcotest.(check int) "position advanced" 100 (Timing_wheel.position w);
+  Alcotest.check_raises "behind position"
+    (Invalid_argument "Timing_wheel.push: time=50 is before wheel position 100")
+    (fun () -> Timing_wheel.push w ~time:50 ())
+
+let test_wheel_releases_payloads () =
+  (* Recycled nodes must not pin the last payload that passed through
+     them — same discipline as the heap's null-entry regression. *)
+  let w = Timing_wheel.create () in
+  let weak = Weak.create 1 in
+  let tracked = Bytes.create 64 in
+  Weak.set weak 0 (Some tracked);
+  Timing_wheel.push w ~time:7 tracked;
+  Timing_wheel.push w ~time:(1 lsl 40) (Bytes.create 64);
+  ignore (Timing_wheel.pop w);
+  ignore (Timing_wheel.pop w);
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" false (Weak.check weak 0)
+
+let test_wheel_drain_reentry () =
+  (* drain_upto runs same-instant pushes made by the callback in the
+     same batch, and leaves beyond-limit pushes queued. *)
+  let w = Timing_wheel.create () in
+  let log = ref [] in
+  Timing_wheel.push w ~time:10 `First;
+  Timing_wheel.push w ~time:10 `Second;
+  Timing_wheel.drain_upto w ~limit:50 (fun ~time x ->
+      match x with
+      | `First ->
+          log := (time, "first") :: !log;
+          Timing_wheel.push w ~time `Nested;
+          Timing_wheel.push w ~time:200 `Late
+      | `Second -> log := (time, "second") :: !log
+      | `Nested -> log := (time, "nested") :: !log
+      | `Late -> log := (time, "late") :: !log);
+  Alcotest.(check (list (pair int string)))
+    "same-instant reentry order"
+    [ (10, "first"); (10, "second"); (10, "nested") ]
+    (List.rev !log);
+  Alcotest.(check (option int)) "beyond-limit event kept" (Some 200)
+    (Timing_wheel.peek_time w)
+
+(* Property: the wheel agrees with the heap (the reference) on every
+   pop under random interleavings of pushes and pops, including FIFO
+   order among time ties and times spread far enough to exercise all
+   levels and the overflow. *)
+let qcheck_wheel_matches_heap =
+  QCheck.Test.make ~name:"wheel pops exactly match heap (order and ties)" ~count:300
+    QCheck.(pair small_int (int_bound 300))
+    (fun (seed, nops) ->
+      let rng = Stats.Rng.create ~seed in
+      let h = Event_heap.create () in
+      let w = Timing_wheel.create () in
+      let seq = ref 0 in
+      let floor = ref 0 in
+      let ok = ref true in
+      for _ = 1 to nops do
+        if Stats.Rng.int rng 3 < 2 then begin
+          (* Mix of near (dense, tie-heavy), mid (cascading) and far
+             (overflow) horizons, always >= the popped floor. *)
+          let delta =
+            match Stats.Rng.int rng 4 with
+            | 0 -> Stats.Rng.int rng 4
+            | 1 -> Stats.Rng.int rng 1000
+            | 2 -> Stats.Rng.int rng 100_000_000
+            | _ -> (1 lsl 33) + Stats.Rng.int rng 1000
+          in
+          let time = !floor + delta in
+          Event_heap.push h ~time !seq;
+          Timing_wheel.push w ~time !seq;
+          incr seq
+        end
+        else begin
+          (match (Event_heap.pop h, Timing_wheel.pop w) with
+          | Some (ht, hx), Some (wt, wx) ->
+              if ht <> wt || hx <> wx then ok := false;
+              floor := max !floor ht
+          | None, None -> ()
+          | _ -> ok := false);
+          if Event_heap.length h <> Timing_wheel.length w then ok := false
+        end
+      done;
+      (* Drain both to the end. *)
+      let continue = ref true in
+      while !ok && !continue do
+        match (Event_heap.pop h, Timing_wheel.pop w) with
+        | Some (ht, hx), Some (wt, wx) -> if ht <> wt || hx <> wx then ok := false
+        | None, None -> continue := false
+        | _ -> ok := false
+      done;
+      !ok)
+
+(* Satellite: backend parity at the scheduler level. A random program
+   of schedule / post / every / cancel, replayed against a Heap-backed
+   and a Wheel-backed scheduler, must fire the same (time, id) sequence
+   and agree on the pending/executed counters throughout. *)
+let qcheck_backend_parity =
+  QCheck.Test.make ~name:"scheduler backends fire identically (heap vs wheel)"
+    ~count:150
+    QCheck.(pair small_int (int_bound 80))
+    (fun (seed, n) ->
+      let replay backend =
+        let rng = Stats.Rng.create ~seed in
+        let sched = Scheduler.create ~backend () in
+        let fired = ref [] in
+        let handles = ref [] in
+        for i = 0 to n - 1 do
+          let record id () = fired := (Scheduler.now sched, id) :: !fired in
+          (match Stats.Rng.int rng 4 with
+          | 0 ->
+              let at = Stats.Rng.int rng 12 in
+              handles := Scheduler.schedule sched ~at (record i) :: !handles
+          | 1 ->
+              let at = Stats.Rng.int rng 12 in
+              Scheduler.post sched ~at (record i)
+          | 2 ->
+              let period = 1 + Stats.Rng.int rng 5 in
+              handles := Scheduler.every sched ~period (record i) :: !handles
+          | _ ->
+              if !handles <> [] then
+                Scheduler.cancel
+                  (List.nth !handles (Stats.Rng.int rng (List.length !handles))));
+          ignore (Stats.Rng.int rng 2)
+        done;
+        let pending_before = Scheduler.pending sched in
+        Scheduler.run ~until:60 sched;
+        List.iter Scheduler.cancel !handles;
+        (List.rev !fired, pending_before, Scheduler.executed sched, Scheduler.now sched)
+      in
+      replay Sched_backend.Heap = replay Sched_backend.Wheel)
+
+let test_post_pool_reuse () =
+  (* post/post_after recycle their cells; a post made from inside a
+     posted callback (the self-rescheduling pattern) must be safe and
+     keep counters exact. *)
+  let sched = Scheduler.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then Scheduler.post_after sched ~delay:10 tick
+  in
+  Scheduler.post sched ~at:0 tick;
+  Scheduler.post sched ~at:0 (fun () -> incr count);
+  Scheduler.run sched;
+  (* tick at 0 then rescheduled at 10/20/30 (stopping at 5 counting the
+     same-instant anonymous post, which runs second). *)
+  Alcotest.(check int) "all firings ran" 5 !count;
+  Alcotest.(check int) "executed counter" 5 (Scheduler.executed sched);
+  Alcotest.(check int) "nothing pending" 0 (Scheduler.pending sched);
+  Alcotest.check_raises "past post raises"
+    (Invalid_argument "Scheduler.post: at=1 is before now=30") (fun () ->
+      Scheduler.post sched ~at:1 (fun () -> ()))
+
+let test_wheel_run_until_then_schedule () =
+  (* Regression for the base/clock invariant: [run ~until] moves the
+     clock past the last event without moving the wheel position, so a
+     later schedule at [now] must still be accepted and fire — including
+     across the 2^32 ps overflow boundary. *)
+  let sched = Scheduler.create ~backend:Sched_backend.Wheel () in
+  let log = ref [] in
+  Scheduler.post sched ~at:10 (fun () -> log := 10 :: !log);
+  Scheduler.run ~until:(5 * (1 lsl 32)) sched;
+  Alcotest.(check int) "clock at until" (5 * (1 lsl 32)) (Scheduler.now sched);
+  Scheduler.post sched ~at:(Scheduler.now sched) (fun () ->
+      log := Scheduler.now sched :: !log);
+  Scheduler.post_after sched ~delay:7 (fun () -> log := Scheduler.now sched :: !log);
+  Scheduler.run sched;
+  Alcotest.(check (list int))
+    "events across the gap fire"
+    [ 10; 5 * (1 lsl 32); (5 * (1 lsl 32)) + 7 ]
+    (List.rev !log)
+
+let test_zero_event_run_records_no_wall () =
+  (* Satellite: a [run ~until] that dispatches nothing must not observe
+     a wall/sim sample (it would only measure Sys.time granularity). *)
+  let module M = Obs.Metrics in
+  let sched = Scheduler.create () in
+  let reg = M.create () in
+  Scheduler.set_metrics sched reg;
+  Scheduler.run ~until:(Sim_time.ms 1) sched;
+  (match M.find_value reg "scheduler.wall_s_per_sim_s" with
+  | Some (M.Summary_v { count; _ }) ->
+      Alcotest.(check int) "no samples from empty run" 0 count
+  | _ -> Alcotest.fail "wall summary not registered");
+  (* A run that does dispatch work records exactly one sample. *)
+  Scheduler.post sched ~at:(Sim_time.ms 2) (fun () -> ());
+  Scheduler.run ~until:(Sim_time.ms 3) sched;
+  match M.find_value reg "scheduler.wall_s_per_sim_s" with
+  | Some (M.Summary_v { count; _ }) ->
+      Alcotest.(check int) "one sample from real run" 1 count
+  | _ -> Alcotest.fail "wall summary not registered"
 
 (* Property: under any random interleaving of pushes and pops, every
    pop returns exactly what a reference model says — the minimum-time
@@ -302,6 +553,20 @@ let suite =
     Alcotest.test_case "heap FIFO ties" `Quick test_heap_fifo_ties;
     Alcotest.test_case "heap releases payloads" `Quick test_heap_releases_payloads;
     Alcotest.test_case "heap grow pins nothing" `Quick test_heap_grow_no_pin;
+    Alcotest.test_case "wheel ordering" `Quick test_wheel_ordering;
+    Alcotest.test_case "wheel FIFO ties" `Quick test_wheel_fifo_ties;
+    Alcotest.test_case "wheel spans levels and overflow" `Quick test_wheel_spans_levels;
+    Alcotest.test_case "wheel overflow FIFO" `Quick test_wheel_overflow_fifo;
+    Alcotest.test_case "wheel rejects past pushes" `Quick test_wheel_past_push_raises;
+    Alcotest.test_case "wheel releases payloads" `Quick test_wheel_releases_payloads;
+    Alcotest.test_case "wheel drain reentry" `Quick test_wheel_drain_reentry;
+    QCheck_alcotest.to_alcotest qcheck_wheel_matches_heap;
+    QCheck_alcotest.to_alcotest qcheck_backend_parity;
+    Alcotest.test_case "post pool reuse" `Quick test_post_pool_reuse;
+    Alcotest.test_case "wheel run-until then schedule" `Quick
+      test_wheel_run_until_then_schedule;
+    Alcotest.test_case "zero-event run records no wall sample" `Quick
+      test_zero_event_run_records_no_wall;
     QCheck_alcotest.to_alcotest qcheck_heap_sorted;
     QCheck_alcotest.to_alcotest qcheck_heap_interleaved;
     QCheck_alcotest.to_alcotest qcheck_scheduler_interleaved;

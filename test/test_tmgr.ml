@@ -79,6 +79,38 @@ let test_pifo_bounded_eviction () =
   Alcotest.(check (list string)) "contents" [ "e"; "j" ]
     (List.init 2 (fun _ -> Option.get (Pifo.pop p)))
 
+let test_pifo_releases_payloads () =
+  (* Regression: vacated heap slots (and the spare slots [grow] leaves
+     above [len]) used to keep their last entry reachable, pinning
+     packets for the life of the PIFO.  A popped payload with no outside
+     reference must be collectable immediately. *)
+  let p = Pifo.create () in
+  let weak = Weak.create 1 in
+  (* Force at least one grow (fresh capacity is 16). *)
+  for i = 0 to 40 do
+    ignore (Pifo.push p ~rank:i (Bytes.create 64))
+  done;
+  let tracked = Bytes.create 64 in
+  Weak.set weak 0 (Some tracked);
+  ignore (Pifo.push p ~rank:1000 tracked);
+  while not (Pifo.is_empty p) do
+    ignore (Pifo.pop p)
+  done;
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" false (Weak.check weak 0)
+
+let test_pifo_grow_no_pin () =
+  (* The single-element case: push one entry (grow fills 16 slots), pop
+     it, and the payload must not stay pinned by the spare slots. *)
+  let p = Pifo.create () in
+  let weak = Weak.create 1 in
+  let payload = Bytes.create 64 in
+  Weak.set weak 0 (Some payload);
+  ignore (Pifo.push p ~rank:1 payload);
+  ignore (Pifo.pop p);
+  Gc.full_major ();
+  Alcotest.(check bool) "grow spare slots hold no payload" false (Weak.check weak 0)
+
 let tm_fixture ?(config = Traffic_manager.default_config) () =
   let sched = Scheduler.create () in
   let emitted = ref [] in
@@ -350,6 +382,8 @@ let suite =
     Alcotest.test_case "pifo ordering" `Quick test_pifo_ordering;
     QCheck_alcotest.to_alcotest qcheck_pifo_sorted;
     Alcotest.test_case "pifo bounded eviction" `Quick test_pifo_bounded_eviction;
+    Alcotest.test_case "pifo releases payloads" `Quick test_pifo_releases_payloads;
+    Alcotest.test_case "pifo grow pins nothing" `Quick test_pifo_grow_no_pin;
     Alcotest.test_case "tm basic flow" `Quick test_tm_basic_flow;
     Alcotest.test_case "tm serialization backlog" `Quick test_tm_serialisation_backlog;
     Alcotest.test_case "tm overflow" `Quick test_tm_overflow;
