@@ -17,10 +17,53 @@ let set_backend name =
         (Printf.sprintf "unknown scheduler backend %S; try: %s" name
            (String.concat ", " Eventsim.Sched_backend.names))
 
-let run_cmd backend name seed metrics_out =
+let set_resil_policy name =
+  match Resil.Policy.of_string name with
+  | Some p ->
+      Resil.Policy.default := p;
+      None
+  | None ->
+      Some
+        (Printf.sprintf "unknown resilience policy %S; try: %s" name
+           (String.concat ", " Resil.Policy.names))
+
+let set_shed_watermark = function
+  | None -> None
+  | Some w when w > 0 ->
+      Resil.Shedder.default_watermark := Some w;
+      None
+  | Some w -> Some (Printf.sprintf "--shed-watermark must be positive, got %d" w)
+
+let configure ~backend ~policy ~watermark =
   match set_backend backend with
+  | Some _ as e -> e
+  | None -> (
+      match set_resil_policy policy with
+      | Some _ as e -> e
+      | None -> set_shed_watermark watermark)
+
+(* Convert stray exceptions from command bodies — notably a fail-fast
+   supervisor abort — into a clean usage-style failure instead of
+   Cmdliner's internal-error backtrace. *)
+let guarded f =
+  match f () with
+  | r -> r
+  | exception Resil.Supervisor.Failed (name, exn) ->
+      `Error
+        ( false,
+          Printf.sprintf
+            "handler %S failed and --resil-policy is fail-fast (inner: %s); rerun \
+             with --resil-policy quarantine to recover instead"
+            name (Printexc.to_string exn) )
+  | exception Sys_error msg -> `Error (false, msg)
+  | exception Failure msg -> `Error (false, msg)
+  | exception exn -> `Error (false, Printexc.to_string exn)
+
+let run_cmd backend policy watermark name seed metrics_out =
+  match configure ~backend ~policy ~watermark with
   | Some err -> `Error (false, err)
   | None ->
+  guarded @@ fun () ->
   let metrics =
     match metrics_out with None -> None | Some _ -> Some (Obs.Metrics.create ())
   in
@@ -52,10 +95,11 @@ let run_cmd backend name seed metrics_out =
               Printf.sprintf "unknown experiment %S; try: %s" n
                 (String.concat ", " (Experiments.Registry.names ())) ))
 
-let chaos_cmd backend seed profile metrics_out =
-  match set_backend backend with
+let chaos_cmd backend policy watermark seed profile metrics_out =
+  match configure ~backend ~policy ~watermark with
   | Some err -> `Error (false, err)
   | None ->
+  guarded @@ fun () ->
   match Faults.Profile.of_string profile with
   | None ->
       `Error
@@ -171,7 +215,35 @@ let sched_backend =
               performance knob."
              (String.concat ", " Eventsim.Sched_backend.names)))
 
-let run_term = Term.(ret (const run_cmd $ sched_backend $ name_arg $ seed $ metrics_out))
+let resil_policy =
+  Arg.(
+    value
+    & opt string (Resil.Policy.to_string !Resil.Policy.default)
+    & info [ "resil-policy" ] ~docv:"POLICY"
+        ~doc:
+          (Printf.sprintf
+             "Handler supervision policy: %s. $(b,fail-fast) re-raises handler \
+              faults (the unsupervised behaviour), $(b,drop-event) absorbs each \
+              fault at the cost of its event, $(b,quarantine) unsubscribes the \
+              tripped handler and re-enables it after exponential backoff."
+             (String.concat ", " Resil.Policy.names)))
+
+let shed_watermark =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shed-watermark" ] ~docv:"DEPTH"
+        ~doc:
+          "Enable graceful event shedding: once the event-merger backlog \
+           reaches $(docv) entries, telemetry event classes are shed first, \
+           control classes at 2x$(docv), packet classes at 4x$(docv). Off by \
+           default.")
+
+let run_term =
+  Term.(
+    ret
+      (const run_cmd $ sched_backend $ resil_policy $ shed_watermark $ name_arg $ seed
+     $ metrics_out))
 
 let run_info =
   Cmd.info "run" ~doc:"Run one experiment (or all when no name is given)."
@@ -188,7 +260,11 @@ let chaos_profile =
           (Printf.sprintf "Fault profile: %s."
              (String.concat ", " Faults.Profile.names)))
 
-let chaos_term = Term.(ret (const chaos_cmd $ sched_backend $ seed $ chaos_profile $ metrics_out))
+let chaos_term =
+  Term.(
+    ret
+      (const chaos_cmd $ sched_backend $ resil_policy $ shed_watermark $ seed
+     $ chaos_profile $ metrics_out))
 
 let chaos_info =
   Cmd.info "chaos"

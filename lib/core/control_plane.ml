@@ -10,10 +10,11 @@ type t = {
   mutable next_free : int;
   mutable ops : int;
   mutable notifications : int;
+  guard : (Resil.Supervisor.t * Resil.Supervisor.key) option;
 }
 
 let create ~sched ?(latency = Sim_time.us 200) ?(op_rate_per_sec = 100_000.)
-    ?(jitter = Sim_time.us 50) ~rng () =
+    ?(jitter = Sim_time.us 50) ?sup ~rng () =
   if op_rate_per_sec <= 0. then invalid_arg "Control_plane.create: op rate must be positive";
   {
     sched;
@@ -24,6 +25,10 @@ let create ~sched ?(latency = Sim_time.us 200) ?(op_rate_per_sec = 100_000.)
     next_free = 0;
     ops = 0;
     notifications = 0;
+    guard =
+      (match sup with
+      | None -> None
+      | Some s -> Some (s, Resil.Supervisor.register s ~name:"cp.op" ()));
   }
 
 let submit t f =
@@ -33,7 +38,9 @@ let submit t f =
   t.next_free <- exec_at + t.min_gap;
   Scheduler.post ~cls:"control" t.sched ~at:exec_at (fun () ->
       t.ops <- t.ops + 1;
-      f ())
+      match t.guard with
+      | None -> f ()
+      | Some (s, key) -> ignore (Resil.Supervisor.protect s key f : bool))
 
 let periodic t ~period f = Scheduler.every ~cls:"control" t.sched ~period (fun () -> submit t f)
 

@@ -16,9 +16,14 @@ val create :
   ?latency:Eventsim.Sim_time.t ->
   ?op_rate_per_sec:float ->
   ?jitter:Eventsim.Sim_time.t ->
+  ?sup:Resil.Supervisor.t ->
   rng:Stats.Rng.t ->
   unit ->
   t
+(** With [?sup] the agent registers a ["cp.op"] supervision key and
+    every submitted operation runs under the guard, so a crashing
+    control-plane callback is subject to the same policy as a
+    data-plane handler. *)
 
 val submit : t -> (unit -> unit) -> unit
 (** Enqueue an operation: it executes on the device after channel

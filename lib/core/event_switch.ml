@@ -17,6 +17,8 @@ type config = {
   tm_config : Tmgr.Traffic_manager.config;
   timer_resolution : Eventsim.Sim_time.t;
   seed : int;
+  resil : Resil.Supervisor.config;
+  shed_watermark : int option;
 }
 
 let default_config arch =
@@ -30,6 +32,8 @@ let default_config arch =
     tm_config = Traffic_manager.default_config;
     timer_resolution = Sim_time.ns 100;
     seed = 42;
+    resil = Resil.Supervisor.default_config ();
+    shed_watermark = !Resil.Shedder.default_watermark;
   }
 
 type t = {
@@ -56,6 +60,10 @@ type t = {
   mutable unrouted : int;
   mutable recirculations : int;
   mutable cp_injections : int;
+  sup : Resil.Supervisor.t;
+  notify_key : Resil.Supervisor.key;
+  mutable sup_keys : Resil.Supervisor.key array; (* by cls index; filled after [t] *)
+  mutable supervised_drops : int;
   notifications : (int * string) Queue.t;
   mutable notification_count : int;
   mutable notify_cb : (time:int -> string -> unit) option;
@@ -76,6 +84,12 @@ let fire t ev =
   count_fired t cls;
   if t.subscriptions.(Event.cls_index cls) then ignore (Event_merger.offer_event (get_merger t) ev)
 
+(* Run one metadata handler under its supervision key. [false] when
+   the handler is absent, quarantined, or failed this invocation (the
+   event is then not counted as handled). *)
+let run_handler t cls f ctx arg =
+  Resil.Supervisor.call_unit t.sup t.sup_keys.(Event.cls_index cls) f ctx arg
+
 let handle_event t ev =
   let ctx = get_ctx t in
   let program = get_program t in
@@ -83,60 +97,50 @@ let handle_event t ev =
     match ev with
     | Event.Enqueue b -> (
         match program.Program.enqueue with
-        | Some f ->
-            f ctx b;
-            true
+        | Some f -> run_handler t Event.Buffer_enqueue f ctx b
         | None -> false)
     | Event.Dequeue b -> (
         match program.Program.dequeue with
-        | Some f ->
-            f ctx b;
-            true
+        | Some f -> run_handler t Event.Buffer_dequeue f ctx b
         | None -> false)
     | Event.Overflow b -> (
         match program.Program.overflow with
-        | Some f ->
-            f ctx b;
-            true
+        | Some f -> run_handler t Event.Buffer_overflow f ctx b
         | None -> false)
     | Event.Underflow u -> (
         match program.Program.underflow with
-        | Some f ->
-            f ctx u;
-            true
+        | Some f -> run_handler t Event.Buffer_underflow f ctx u
         | None -> false)
     | Event.Transmitted x -> (
         match program.Program.transmitted with
-        | Some f ->
-            f ctx x;
-            true
+        | Some f -> run_handler t Event.Packet_transmitted f ctx x
         | None -> false)
     | Event.Timer x -> (
         match program.Program.timer with
-        | Some f ->
-            f ctx x;
-            true
+        | Some f -> run_handler t Event.Timer_expiration f ctx x
         | None -> false)
     | Event.Link_change l -> (
         match program.Program.link_change with
-        | Some f ->
-            f ctx l;
-            true
+        | Some f -> run_handler t Event.Link_status_change f ctx l
         | None -> false)
     | Event.Control c -> (
         match program.Program.control with
-        | Some f ->
-            f ctx c;
-            true
+        | Some f -> run_handler t Event.Control_plane f ctx c
         | None -> false)
     | Event.User u -> (
         match program.Program.user with
-        | Some f ->
-            f ctx u;
-            true
+        | Some f -> run_handler t Event.User_event f ctx u
         | None -> false)
   in
   if ran then count_handled t (Event.cls_of ev)
+
+let set_subscribed t cls on =
+  let i = Event.cls_index cls in
+  let target = on && t.base_subscriptions.(i) in
+  if t.subscriptions.(i) <> target then begin
+    t.subscriptions.(i) <- target;
+    t.subscription_toggles <- t.subscription_toggles + 1
+  end
 
 let transmit t ~port pkt =
   match t.port_tx.(port) with
@@ -184,12 +188,18 @@ let process_carrier t (carrier : Event_merger.carrier) ~exit_time =
             ( Option.value program.Program.generated ~default:program.Program.ingress,
               Event.Generated_packet )
       in
-      count_handled t cls;
-      let decision = handler (get_ctx t) pkt in
-      (* The decision takes effect when the carrier exits the
-         pipeline. *)
-      Scheduler.post ~cls:"switch.decision" t.sched ~at:exit_time (fun () ->
-          apply_decision t pkt decision));
+      let key = t.sup_keys.(Event.cls_index cls) in
+      match Resil.Supervisor.call t.sup key handler (get_ctx t) pkt with
+      | Some decision ->
+          count_handled t cls;
+          (* The decision takes effect when the carrier exits the
+             pipeline. *)
+          Scheduler.post ~cls:"switch.decision" t.sched ~at:exit_time (fun () ->
+              apply_decision t pkt decision)
+      | None ->
+          (* Handler quarantined or crashed: the packet has no decision
+             and is lost — accounted so conservation still balances. *)
+          t.supervised_drops <- t.supervised_drops + 1);
   List.iter (handle_event t) carrier.Event_merger.events
 
 let create ~sched ?(id = 0) ~config ~program () =
@@ -198,6 +208,11 @@ let create ~sched ?(id = 0) ~config ~program () =
     Pisa.Pipeline.create ~sched ~clock_period:config.clock_period ~depth:config.pipeline_depth ()
   in
   let alloc = Pisa.Register_alloc.create ~clock:(Pisa.Pipeline.clock pipeline) () in
+  (* The supervisor's master RNG seed is derived from the switch seed so
+     backoff jitter is reproducible but independent of the program's
+     stream. *)
+  let sup = Resil.Supervisor.create ~sched ~config:config.resil ~seed:(config.seed lxor 0x5eed) () in
+  let notify_key = Resil.Supervisor.register sup ~name:"notify-monitor" () in
   let t =
     {
       sched;
@@ -223,16 +238,39 @@ let create ~sched ?(id = 0) ~config ~program () =
       unrouted = 0;
       recirculations = 0;
       cp_injections = 0;
+      sup;
+      notify_key;
+      sup_keys = [||];
+      supervised_drops = 0;
       notifications = Queue.create ();
       notification_count = 0;
       notify_cb = None;
     }
   in
+  (* One supervision key per event class, in class-index order (the
+     order fixes each key's split RNG). Quarantining a metadata class
+     also drops its subscription, so events stop queueing for a handler
+     that cannot run; packet classes have no subscription mask and are
+     gated inside the guard instead. *)
+  t.sup_keys <-
+    Array.of_list
+      (List.map
+         (fun cls ->
+           Resil.Supervisor.register sup ~name:(Event.cls_name cls)
+             ~on_disable:(fun () -> set_subscribed t cls false)
+             ~on_enable:(fun () -> set_subscribed t cls true)
+             ())
+         Event.all_classes);
   let merger =
     Event_merger.create ~sched ~pipeline ~config:config.merger_config
       ~process:(fun carrier ~exit_time -> process_carrier t carrier ~exit_time)
       ()
   in
+  (match config.shed_watermark with
+  | Some w ->
+      Event_merger.set_shedder merger
+        (Resil.Shedder.create ~config:(Event_merger.shed_config ~watermark:w) ())
+  | None -> ());
   t.merger <- Some merger;
   let timer_unit =
     Timer_unit.create ~sched ~resolution:config.timer_resolution ~sink:(fun ev -> fire t ev) ()
@@ -286,10 +324,14 @@ let create ~sched ?(id = 0) ~config ~program () =
           t.notification_count <- t.notification_count + 1;
           Queue.push (time, msg) t.notifications;
           if Queue.length t.notifications > 10_000 then ignore (Queue.pop t.notifications);
-          match t.notify_cb with Some cb -> cb ~time msg | None -> ());
+          match t.notify_cb with
+          | Some cb ->
+              ignore (Resil.Supervisor.protect sup t.notify_key (fun () -> cb ~time msg) : bool)
+          | None -> ());
       port_occupancy_bytes = (fun port -> Traffic_manager.occupancy_bytes (get_tm t) ~port);
       link_is_up = (fun port -> t.link_up.(port));
       now = (fun () -> Scheduler.now sched);
+      consume_budget = (fun n -> Resil.Supervisor.consume sup n);
     }
   in
   let prog = program ctx in
@@ -306,11 +348,18 @@ let create ~sched ?(id = 0) ~config ~program () =
   let egress =
     match (prog.Program.egress, Arch.supports config.arch Event.Egress_packet) with
     | Some f, true ->
+        let key = t.sup_keys.(Event.cls_index Event.Egress_packet) in
         Some
           (fun ~port pkt ->
             count_fired t Event.Egress_packet;
-            count_handled t Event.Egress_packet;
-            f ctx ~port pkt)
+            (* A quarantined or crashing egress handler yields no packet;
+               the TM then counts the drop (egress_drops), so the loss is
+               accounted exactly once. *)
+            match Resil.Supervisor.call sup key (fun ctx pkt -> f ctx ~port pkt) ctx pkt with
+            | Some result ->
+                count_handled t Event.Egress_packet;
+                result
+            | None -> None)
     | Some _, false | None, _ -> None
   in
   let tm_config =
@@ -351,14 +400,6 @@ let link_status t ~port ~up =
 let control_event t ~opcode ~arg =
   fire t (Event.Control { opcode; arg; time = Scheduler.now t.sched })
 
-let set_subscribed t cls on =
-  let i = Event.cls_index cls in
-  let target = on && t.base_subscriptions.(i) in
-  if t.subscriptions.(i) <> target then begin
-    t.subscriptions.(i) <- target;
-    t.subscription_toggles <- t.subscription_toggles + 1
-  end
-
 let subscribed t cls = t.subscriptions.(Event.cls_index cls)
 let subscription_toggles t = t.subscription_toggles
 
@@ -381,6 +422,55 @@ let recirculations t = t.recirculations
 let cp_injections t = t.cp_injections
 let notification_count t = t.notification_count
 let notifications t = List.of_seq (Queue.to_seq t.notifications)
+let supervisor t = t.sup
+let handler_key t cls = t.sup_keys.(Event.cls_index cls)
+let supervised_drops t = t.supervised_drops
+
+(* Register the switch's standard runtime invariants with a checker.
+   Conservation is asserted as the monotone inequality (accounted ≤
+   offered) because packets legitimately sit in flight between sweeps;
+   exact balance only holds at quiescence and is checked by the
+   experiments themselves. *)
+let invariant_checks t inv =
+  let ix = Event.cls_index in
+  Resil.Invariants.add inv ~name:"packet-conservation" (fun () ->
+      let merger = get_merger t in
+      let offered =
+        t.fired.(ix Event.Ingress_packet)
+        + t.fired.(ix Event.Recirculated_packet)
+        + t.fired.(ix Event.Generated_packet)
+      in
+      let accounted =
+        t.handled.(ix Event.Ingress_packet)
+        + t.handled.(ix Event.Recirculated_packet)
+        + t.handled.(ix Event.Generated_packet)
+        + t.supervised_drops
+        + Event_merger.packet_drops merger
+        + Event_merger.packets_shed merger
+      in
+      if accounted > offered then
+        Some (Printf.sprintf "accounted packets %d exceed offered %d" accounted offered)
+      else None);
+  Resil.Invariants.add inv ~name:"buffer-occupancy" (fun () ->
+      let tm = get_tm t in
+      let cap = (Traffic_manager.config tm).Traffic_manager.buffer_bytes in
+      let occ = Traffic_manager.total_occupancy_bytes tm in
+      if occ > cap then Some (Printf.sprintf "buffer occupancy %dB exceeds capacity %dB" occ cap)
+      else None);
+  let last = ref 0 in
+  Resil.Invariants.add inv ~name:"timer-monotonicity" (fun () ->
+      match t.timer_unit with
+      | None -> None
+      | Some tu ->
+          let at = Timer_unit.last_fire_time tu in
+          let now = Scheduler.now t.sched in
+          if at < !last then
+            Some (Printf.sprintf "timer fire time went backwards (%d after %d)" at !last)
+          else if at > now then Some (Printf.sprintf "timer fired in the future (%d > %d)" at now)
+          else begin
+            last := at;
+            None
+          end)
 
 let export_metrics ?(labels = []) t reg =
   if Obs.Metrics.is_enabled reg then begin
@@ -405,9 +495,16 @@ let export_metrics ?(labels = []) t reg =
     counter "switch.recirculations" t.recirculations;
     counter "switch.cp_injections" t.cp_injections;
     counter "switch.notifications" t.notification_count;
+    counter "switch.supervised_drops" t.supervised_drops;
     counter "merger.empty_carriers" (Event_merger.empty_carriers merger);
     counter "merger.piggybacked_events" (Event_merger.piggybacked_events merger);
     counter "merger.packet_drops" (Event_merger.packet_drops merger);
+    counter "merger.shed_events" (Event_merger.events_shed merger);
+    counter "merger.shed_packets" (Event_merger.packets_shed merger);
+    (match Event_merger.shedder merger with
+    | Some s -> Resil.Shedder.export_metrics ~labels s reg
+    | None -> ());
+    Resil.Supervisor.export_metrics ~labels t.sup reg;
     gauge "merger.events_waiting" (Event_merger.events_waiting merger);
     gauge "merger.packets_waiting" (Event_merger.packets_waiting merger);
     List.iter

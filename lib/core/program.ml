@@ -23,6 +23,7 @@ type ctx = {
   port_occupancy_bytes : int -> int;
   link_is_up : int -> bool;
   now : unit -> int;
+  consume_budget : int -> unit;
 }
 
 let shared_register ctx ~name ~entries ~width =

@@ -57,6 +57,11 @@ type ctx = {
   port_occupancy_bytes : int -> int;  (** TM occupancy of a port *)
   link_is_up : int -> bool;
   now : unit -> int;
+  consume_budget : int -> unit;
+      (** Report [n] steps of work against the supervisor's per-handler
+          watchdog budget; an over-budget handler raises (and is then
+          handled per the switch's {!Resil.Policy.t}). A no-op outside
+          a supervised invocation. *)
 }
 
 val shared_register :

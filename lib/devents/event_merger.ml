@@ -47,6 +47,9 @@ type t = {
   mutable admit_cb : unit -> unit; (* persistent; posted once per carrier *)
   mutable empty_carriers : int;
   mutable piggybacked : int;
+  mutable shedder : Resil.Shedder.t option;
+  mutable shed_events : int;
+  mutable shed_packets : int;
 }
 
 let kind_index = function Ingress -> 0 | Recirculated -> 1 | Generated -> 2
@@ -123,20 +126,91 @@ let create ~sched ~pipeline ?(config = default_config) ~process () =
       admit_cb = (fun () -> ());
       empty_carriers = 0;
       piggybacked = 0;
+      shedder = None;
+      shed_events = 0;
+      shed_packets = 0;
     }
   in
   t.admit_cb <- (fun () -> admit t);
   t
 
+let kind_cls_index = function
+  | Ingress -> Event.cls_index Event.Ingress_packet
+  | Recirculated -> Event.cls_index Event.Recirculated_packet
+  | Generated -> Event.cls_index Event.Generated_packet
+
+(* With no shedder installed (the default) offers are untouched, so the
+   seed behaviour is byte-identical. *)
+let shed t ~cls =
+  match t.shedder with
+  | None -> false
+  | Some s -> Resil.Shedder.offer s ~depth:(packets_waiting t + events_waiting t) ~cls
+
 let offer_packet t kind pkt =
-  let ok = Event_queue.push t.pkt_queues.(kind_index kind) pkt in
-  if ok then arm t;
-  ok
+  if shed t ~cls:(kind_cls_index kind) then begin
+    t.shed_packets <- t.shed_packets + 1;
+    false
+  end
+  else begin
+    let ok = Event_queue.push t.pkt_queues.(kind_index kind) pkt in
+    if ok then arm t;
+    ok
+  end
 
 let offer_event t ev =
-  let ok = Event_queue.push t.event_queues.(Event.cls_index (Event.cls_of ev)) ev in
-  if ok then arm t;
-  ok
+  if shed t ~cls:(Event.cls_index (Event.cls_of ev)) then begin
+    t.shed_events <- t.shed_events + 1;
+    true
+  end
+  else begin
+    let ok = Event_queue.push t.event_queues.(Event.cls_index (Event.cls_of ev)) ev in
+    if ok then arm t;
+    ok
+  end
+
+let set_shedder t s = t.shedder <- Some s
+let shedder t = t.shedder
+let events_shed t = t.shed_events
+let packets_shed t = t.shed_packets
+
+(* The canonical watermark ladder, mapping §4's staleness trade-off to
+   overload tiers: telemetry-ish aggregation events go first at [w],
+   control-ish events at [2w], packets only at [4w]. Overflow and
+   link-change events are never shed — losing them hides the very
+   conditions degradation is supposed to surface. *)
+let shed_config ~watermark =
+  if watermark <= 0 then invalid_arg "Event_merger.shed_config: watermark must be positive";
+  let ix = Event.cls_index in
+  {
+    Resil.Shedder.tiers =
+      [
+        {
+          Resil.Shedder.name = "telemetry";
+          classes =
+            [
+              ix Event.Packet_transmitted;
+              ix Event.Buffer_enqueue;
+              ix Event.Buffer_dequeue;
+              ix Event.User_event;
+            ];
+          high = watermark;
+          low = max 1 (watermark / 2);
+        };
+        {
+          Resil.Shedder.name = "control";
+          classes = [ ix Event.Buffer_underflow; ix Event.Timer_expiration; ix Event.Control_plane ];
+          high = 2 * watermark;
+          low = watermark;
+        };
+        {
+          Resil.Shedder.name = "packets";
+          classes =
+            [ ix Event.Ingress_packet; ix Event.Recirculated_packet; ix Event.Generated_packet ];
+          high = 4 * watermark;
+          low = 2 * watermark;
+        };
+      ];
+  }
 
 let empty_carriers t = t.empty_carriers
 let piggybacked_events t = t.piggybacked

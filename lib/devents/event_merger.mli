@@ -44,11 +44,32 @@ val create :
 
 val offer_packet : t -> packet_kind -> Netcore.Packet.t -> bool
 (** [false] when the input queue for that kind overflowed (packet lost,
-    counted). *)
+    counted) or the shedder refused it (counted in {!packets_shed}). *)
 
 val offer_event : t -> Event.t -> bool
 (** [false] when that class's event queue overflowed (event lost,
-    counted). *)
+    counted). A shed event returns [true] — it was deliberately
+    absorbed, not lost to overflow — and is counted in
+    {!events_shed}. *)
+
+(** {1 Graceful degradation}
+
+    With a {!Resil.Shedder} installed, every offer consults the current
+    backlog (packets + events waiting) against the shedder's watermark
+    tiers and discards whole classes under overload. No shedder (the
+    default) means no behavioural change. *)
+
+val shed_config : watermark:int -> Resil.Shedder.config
+(** The standard three-tier ladder over a base [watermark] [w]:
+    telemetry events (transmitted / enqueue / dequeue / user) shed at
+    depth [w], control-ish events (underflow / timer / control-plane)
+    at [2w], packets (ingress / recirculated / generated) at [4w].
+    Overflow and link-change events are never shed. *)
+
+val set_shedder : t -> Resil.Shedder.t -> unit
+val shedder : t -> Resil.Shedder.t option
+val events_shed : t -> int
+val packets_shed : t -> int
 
 val packets_waiting : t -> int
 val events_waiting : t -> int

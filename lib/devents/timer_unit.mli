@@ -23,3 +23,8 @@ val cancel : t -> timer_id -> unit
 val active : t -> int
 val fired : t -> int
 (** Total Timer events emitted. *)
+
+val last_fire_time : t -> Eventsim.Sim_time.t
+(** Instant of the most recent firing (0 before any) — must be
+    non-decreasing and never ahead of the scheduler clock; the runtime
+    invariant checker asserts this timer-monotonicity property. *)

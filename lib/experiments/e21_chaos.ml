@@ -14,7 +14,10 @@
    - burst-storm: line-rate packet bursts injected at switch A,
      overflowing switch B's shared buffer;
    - churn: control-plane register writes, handler de/re-registration
-     and CP packet injections against both switches.
+     and CP packet injections against both switches;
+   - handler-faults: injected crashes into the detector's dequeue
+     handler and watchdog-busting slowdowns into its enqueue handler,
+     exercising the supervision layer's quarantine/backoff path.
 
    Graceful-degradation claims checked: packet conservation holds to
    the unit under every profile (nothing is silently created or lost),
@@ -56,6 +59,8 @@ type result = {
   control_handled : int;
   subscription_toggles : int;
   detections : int;
+  handler_trips : int;
+  handler_recoveries : int;
   failover_latency_ns : float option;
   final_consistent : bool;
       (** routing state agrees with primary-link state after the dust settles *)
@@ -102,9 +107,11 @@ let switch_drops sw =
   let merger = Event_switch.merger sw in
   Event_switch.program_drops sw + Event_switch.unrouted sw
   + Event_switch.unsupported_actions sw
+  + Event_switch.supervised_drops sw
   + Tmgr.Traffic_manager.drops tm
   + Tmgr.Traffic_manager.egress_drops tm
   + Devents.Event_merger.packet_drops merger
+  + Devents.Event_merger.packets_shed merger
 
 let run ?metrics ?(seed = 42) ?(profile = Faults.Profile.Flaky_links) () =
   let sched = Scheduler.create () in
@@ -206,7 +213,23 @@ let run ?metrics ?(seed = 42) ?(profile = Faults.Profile.Flaky_links) () =
         ~plan:
           (Faults.Schedule.Periodic
              { start = Sim_time.us 100; period = Sim_time.us 50; jitter = Sim_time.us 25 })
-        ~ops);
+        ~ops
+  | Faults.Profile.Handler_faults ->
+      (* Crash the detector's dequeue handler and slow its enqueue
+         handler past the watchdog budget; under the default Quarantine
+         policy both should trip, back off and recover repeatedly
+         within the 3 ms run. *)
+      Faults.Engine.add_handler_crash engine ~name:"handler-crash"
+        ~plan:
+          (Faults.Schedule.Periodic
+             { start = Sim_time.us 200; period = Sim_time.us 300; jitter = Sim_time.us 50 })
+        (Event_switch.handler_key sw_b Event.Buffer_dequeue);
+      Faults.Engine.add_handler_slowdown engine ~name:"handler-slow"
+        ~plan:
+          (Faults.Schedule.Periodic
+             { start = Sim_time.us 350; period = Sim_time.us 400; jitter = Sim_time.us 80 })
+        ~steps:1_000_000
+        (Event_switch.handler_key sw_b Event.Buffer_enqueue));
   Scheduler.run sched;
   (match metrics with
   | Some m ->
@@ -257,6 +280,12 @@ let run ?metrics ?(seed = 42) ?(profile = Faults.Profile.Flaky_links) () =
       Event_switch.handled sw_a Event.Control_plane + Event_switch.handled sw_b Event.Control_plane;
     subscription_toggles = Event_switch.subscription_toggles sw_b;
     detections = Apps.Microburst.detection_count det;
+    handler_trips =
+      Resil.Supervisor.trips (Event_switch.supervisor sw_a)
+      + Resil.Supervisor.trips (Event_switch.supervisor sw_b);
+    handler_recoveries =
+      Resil.Supervisor.recoveries (Event_switch.supervisor sw_a)
+      + Resil.Supervisor.recoveries (Event_switch.supervisor sw_b);
     failover_latency_ns =
       Option.map (fun t -> Sim_time.to_ns t) (Apps.Fast_reroute.failover_time frr);
     final_consistent = Apps.Fast_reroute.using_backup frr = not (Link.is_up primary);
@@ -268,6 +297,7 @@ let exercised r =
   | "flaky-links" -> r.flaps > 0 && r.link_lost > 0
   | "burst-storm" -> r.burst_injected > 0 && r.overflow_events > 0
   | "churn" -> r.control_handled > 0 && r.subscription_toggles > 0 && r.cp_injected > 0
+  | "handler-faults" -> r.handler_trips > 0 && r.handler_recoveries > 0
   | _ -> false
 
 let print r =
@@ -299,6 +329,8 @@ let print r =
     (Printf.sprintf "%d / %d" r.flaps r.stale_notifications);
   Report.kv "overflow events / detections"
     (Printf.sprintf "%d / %d" r.overflow_events r.detections);
+  Report.kv "handler trips / backoff recoveries"
+    (Printf.sprintf "%d / %d" r.handler_trips r.handler_recoveries);
   (match r.failover_latency_ns with
   | Some l -> Report.kv "first failover" (Report.ns l)
   | None -> ());

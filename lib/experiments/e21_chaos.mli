@@ -25,6 +25,8 @@ type result = {
   control_handled : int;
   subscription_toggles : int;
   detections : int;
+  handler_trips : int;  (** supervisor quarantine trips, both switches *)
+  handler_recoveries : int;  (** successful backoff re-enables *)
   failover_latency_ns : float option;
   final_consistent : bool;
   faults : (string * Faults.Engine.counts) list;

@@ -140,6 +140,13 @@ let all =
       run_and_print =
         (fun ~metrics ~seed -> E21_chaos.print (E21_chaos.run ?metrics ~seed ()));
     };
+    {
+      name = E22_resilience.name;
+      experiment_id = "E22";
+      paper_artifact = "Sec 4 robustness (supervision + degradation)";
+      run_and_print =
+        (fun ~metrics ~seed -> E22_resilience.print (E22_resilience.run ?metrics ~seed ()));
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -70,6 +70,20 @@ let add_burst_storm t ~name ~plan ~pkts_per_burst ~pkt_bytes ~rate_gbps ~templat
     ~on_packet:(fun () -> c.c_injected <- c.c_injected + 1)
     ()
 
+let add_handler_fault t ~name ~plan ~kind key =
+  let c = cell t name in
+  let rng = Stats.Rng.split t.rng in
+  Handler_fault.attach ~sched:t.sched ~rng ~stop:t.stop ~plan ~kind ~key
+    ~on:(fun ~armed ->
+      if armed then c.c_injected <- c.c_injected + 1 else c.c_absorbed <- c.c_absorbed + 1)
+    ()
+
+let add_handler_crash t ~name ~plan key =
+  add_handler_fault t ~name ~plan ~kind:Handler_fault.Crash key
+
+let add_handler_slowdown t ~name ~plan ~steps key =
+  add_handler_fault t ~name ~plan ~kind:(Handler_fault.Slowdown steps) key
+
 let add_churn t ~name ~plan ~ops =
   let c = cell t name in
   let rng = Stats.Rng.split t.rng in

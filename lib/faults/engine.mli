@@ -56,6 +56,17 @@ val add_churn :
   t -> name:string -> plan:Schedule.plan -> ops:(string * (unit -> unit)) array -> unit
 (** Register a {!Churn} process under fault class [name]. *)
 
+val add_handler_crash :
+  t -> name:string -> plan:Schedule.plan -> Resil.Supervisor.key -> unit
+(** Register a {!Handler_fault} crash injector on a supervised handler.
+    Occurrences that find the handler quarantined (so the fault cannot
+    take effect) are counted [absorbed]. *)
+
+val add_handler_slowdown :
+  t -> name:string -> plan:Schedule.plan -> steps:int -> Resil.Supervisor.key -> unit
+(** Like {!add_handler_crash} but each armed invocation burns [steps]
+    watchdog steps, exercising the budget-exhaustion trap. *)
+
 val stats : t -> (string * counts) list
 (** Per-fault-class counters, sorted by class name (deterministic). *)
 

@@ -1,0 +1,15 @@
+type kind = Crash | Slowdown of int
+
+let attach ~sched ~rng ~stop ~plan ~kind ~key ~on () =
+  Schedule.drive ~sched ~rng ~stop plan (fun () ->
+      (* A fault aimed at a handler that is already quarantined (or
+         permanently failed) cannot take effect — the supervisor will
+         not run the handler — so it is reported un-armed and the
+         engine counts it absorbed. *)
+      let armed = Resil.Supervisor.active key in
+      if armed then begin
+        match kind with
+        | Crash -> Resil.Supervisor.inject_crash key ~n:1
+        | Slowdown steps -> Resil.Supervisor.inject_slowdown key ~steps ~n:1
+      end;
+      on ~armed)

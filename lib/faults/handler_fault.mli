@@ -1,0 +1,28 @@
+(** Handler-level fault injectors: the chaos-side counterpart of the
+    supervision layer.
+
+    At each occurrence of the plan, the next invocation of the target
+    handler (identified by its {!Resil.Supervisor.key}) is armed to
+    either raise ([Crash]) or burn watchdog budget ([Slowdown]) — so
+    the supervisor's trap, quarantine and backoff paths are exercised
+    under a deterministic seeded timeline. *)
+
+type kind =
+  | Crash  (** next invocation raises {!Resil.Supervisor.Injected_crash} *)
+  | Slowdown of int
+      (** next invocation consumes this many watchdog steps before the
+          handler body runs *)
+
+val attach :
+  sched:Eventsim.Scheduler.t ->
+  rng:Stats.Rng.t ->
+  stop:Eventsim.Sim_time.t ->
+  plan:Schedule.plan ->
+  kind:kind ->
+  key:Resil.Supervisor.key ->
+  on:(armed:bool -> unit) ->
+  unit ->
+  unit
+(** [on ~armed] fires at every plan occurrence; [armed = false] means
+    the target was quarantined / permanently failed at that instant and
+    the fault could not take effect (the engine counts it absorbed). *)

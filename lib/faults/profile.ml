@@ -1,17 +1,19 @@
-type t = Flaky_links | Burst_storm | Churn
+type t = Flaky_links | Burst_storm | Churn | Handler_faults
 
-let all = [ Flaky_links; Burst_storm; Churn ]
+let all = [ Flaky_links; Burst_storm; Churn; Handler_faults ]
 
 let to_string = function
   | Flaky_links -> "flaky-links"
   | Burst_storm -> "burst-storm"
   | Churn -> "churn"
+  | Handler_faults -> "handler-faults"
 
 let of_string s =
   match String.lowercase_ascii s with
   | "flaky-links" | "flaky_links" | "flaky" -> Some Flaky_links
   | "burst-storm" | "burst_storm" | "burst" -> Some Burst_storm
   | "churn" -> Some Churn
+  | "handler-faults" | "handler_faults" | "handlers" -> Some Handler_faults
   | _ -> None
 
 let names = List.map to_string all

@@ -1,6 +1,6 @@
 (** Named chaos profiles for the CLI and experiments. *)
 
-type t = Flaky_links | Burst_storm | Churn
+type t = Flaky_links | Burst_storm | Churn | Handler_faults
 
 val all : t list
 val to_string : t -> string

@@ -1,0 +1,98 @@
+type tier = { name : string; classes : int list; high : int; low : int }
+type config = { tiers : tier list }
+
+(* Process-wide default watermark; [None] means shedding stays off
+   unless a config is passed explicitly. Set by [evsim
+   --shed-watermark]; consumed by [Event_switch.default_config]. *)
+let default_watermark : int option ref = ref None
+
+type t = {
+  tiers : tier array; (* ascending watermark = shed order *)
+  cls_tier : int array; (* class index -> tier index, -1 = never shed *)
+  mutable level : int; (* tiers [0, level) are currently shedding *)
+  activations : int array;
+  shed : int array; (* per tier *)
+  mutable shed_total : int;
+}
+
+let create ~(config : config) () =
+  let tiers = Array.of_list config.tiers in
+  Array.iteri
+    (fun i tier ->
+      if tier.high <= 0 then invalid_arg "Shedder.create: watermark must be positive";
+      if tier.low < 0 || tier.low >= tier.high then
+        invalid_arg "Shedder.create: low watermark must be in [0, high)";
+      if i > 0 && tier.high < tiers.(i - 1).high then
+        invalid_arg "Shedder.create: tiers must have ascending watermarks")
+    tiers;
+  let max_cls =
+    Array.fold_left
+      (fun acc tier -> List.fold_left max acc tier.classes)
+      (-1) tiers
+  in
+  let cls_tier = Array.make (max_cls + 1) (-1) in
+  Array.iteri
+    (fun i tier ->
+      List.iter
+        (fun c ->
+          if c < 0 then invalid_arg "Shedder.create: negative class index";
+          if cls_tier.(c) <> -1 then invalid_arg "Shedder.create: class in two tiers";
+          cls_tier.(c) <- i)
+        tier.classes)
+    tiers;
+  {
+    tiers;
+    cls_tier;
+    level = 0;
+    activations = Array.make (Array.length tiers) 0;
+    shed = Array.make (Array.length tiers) 0;
+    shed_total = 0;
+  }
+
+(* Move the shed level to match the observed backlog, with hysteresis:
+   a tier starts shedding when depth reaches its high watermark and
+   stops only once depth falls below its low watermark. *)
+let update t ~depth =
+  let n = Array.length t.tiers in
+  while t.level < n && depth >= t.tiers.(t.level).high do
+    t.activations.(t.level) <- t.activations.(t.level) + 1;
+    t.level <- t.level + 1
+  done;
+  while t.level > 0 && depth < t.tiers.(t.level - 1).low do
+    t.level <- t.level - 1
+  done
+
+let offer t ~depth ~cls =
+  update t ~depth;
+  if t.level = 0 then false
+  else
+    let tier = if cls < Array.length t.cls_tier then t.cls_tier.(cls) else -1 in
+    if tier >= 0 && tier < t.level then begin
+      t.shed.(tier) <- t.shed.(tier) + 1;
+      t.shed_total <- t.shed_total + 1;
+      true
+    end
+    else false
+
+let level t = t.level
+let shed_total t = t.shed_total
+
+let tier_stats t =
+  Array.to_list
+    (Array.mapi
+       (fun i tier -> (tier.name, t.activations.(i), t.shed.(i)))
+       t.tiers)
+
+let export_metrics ?(labels = []) t reg =
+  if Obs.Metrics.is_enabled reg then begin
+    Obs.Metrics.Gauge.set (Obs.Metrics.gauge reg ~labels "resil.shed.level") t.level;
+    Obs.Metrics.Counter.set (Obs.Metrics.counter reg ~labels "resil.shed.total") t.shed_total;
+    Array.iteri
+      (fun i tier ->
+        let labels = ("tier", tier.name) :: labels in
+        Obs.Metrics.Counter.set
+          (Obs.Metrics.counter reg ~labels "resil.shed.activations")
+          t.activations.(i);
+        Obs.Metrics.Counter.set (Obs.Metrics.counter reg ~labels "resil.shed.events") t.shed.(i))
+      t.tiers
+  end

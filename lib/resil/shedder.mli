@@ -1,0 +1,51 @@
+(** Graceful event shedding under overload.
+
+    When a queue's backlog crosses configurable watermarks, whole event
+    classes are shed in priority {e tiers} — aggregation/telemetry
+    events first, packet events last — modeling the paper's §4
+    bounded-staleness trade-off as an explicit overload-protection
+    knob: under pressure the system serves stale aggregates rather
+    than stalling or failing.
+
+    Tiers are ordered by ascending [high] watermark (= shed order) and
+    recover with hysteresis (a tier stops shedding only once the
+    backlog falls below its [low] watermark). Classes are abstract
+    [int] indices so the module stays independent of the event type;
+    the event merger maps [Devents.Event.cls_index] onto them. *)
+
+type tier = {
+  name : string;
+  classes : int list;  (** class indices shed while this tier is active *)
+  high : int;  (** backlog depth at which the tier starts shedding *)
+  low : int;  (** backlog depth below which it stops (hysteresis) *)
+}
+
+type config = { tiers : tier list }
+
+val default_watermark : int option ref
+(** Process-wide base watermark; [None] (the default) disables
+    shedding. Set by [evsim --shed-watermark], consumed by
+    [Event_switch.default_config] via [Event_merger.shed_config]. *)
+
+type t
+
+val create : config:config -> unit -> t
+(** Validates tier ordering, watermark sanity and class disjointness. *)
+
+val offer : t -> depth:int -> cls:int -> bool
+(** [offer t ~depth ~cls] updates the shed level against the current
+    backlog [depth] and returns [true] if an event of class [cls]
+    should be shed now. Deterministic: purely a function of the
+    observed depth sequence. *)
+
+val level : t -> int
+(** Number of tiers currently shedding. *)
+
+val shed_total : t -> int
+
+val tier_stats : t -> (string * int * int) list
+(** Per tier: (name, activations, events shed). *)
+
+val export_metrics : ?labels:Obs.Metrics.labels -> t -> Obs.Metrics.t -> unit
+(** [resil.shed.level] gauge, [resil.shed.total] and per-tier
+    activation / shed counters. Idempotent; no-op when disabled. *)

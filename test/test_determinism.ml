@@ -111,17 +111,22 @@ let test_chaos_identical () =
 
 let test_chaos_backends_identical () =
   (* E21 chaos under heap vs wheel: the most adversarial parity check —
-     flap timelines, perturbation draws, churn — must not depend on the
-     queue implementation at all. *)
-  let run backend =
-    with_default_backend backend (fun () ->
-        chaos_once ~seed:42 ~profile:Faults.Profile.Burst_storm)
-  in
-  let r1, j1 = run Eventsim.Sched_backend.Heap in
-  let r2, j2 = run Eventsim.Sched_backend.Wheel in
-  Alcotest.(check string) "heap/wheel identical chaos metrics" j1 j2;
-  Alcotest.(check int) "heap/wheel identical receive count"
-    r1.Experiments.E21_chaos.received r2.Experiments.E21_chaos.received
+     flap timelines, perturbation draws, churn, and (handler-faults)
+     quarantine/backoff timers — must not depend on the queue
+     implementation at all. *)
+  List.iter
+    (fun profile ->
+      let run backend =
+        with_default_backend backend (fun () -> chaos_once ~seed:42 ~profile)
+      in
+      let name = Faults.Profile.to_string profile in
+      let r1, j1 = run Eventsim.Sched_backend.Heap in
+      let r2, j2 = run Eventsim.Sched_backend.Wheel in
+      Alcotest.(check string) (name ^ ": heap/wheel identical chaos metrics") j1 j2;
+      Alcotest.(check int)
+        (name ^ ": heap/wheel identical receive count")
+        r1.Experiments.E21_chaos.received r2.Experiments.E21_chaos.received)
+    [ Faults.Profile.Burst_storm; Faults.Profile.Handler_faults ]
 
 let test_chaos_seed_diverges () =
   let _, j1 = chaos_once ~seed:42 ~profile:Faults.Profile.Flaky_links in

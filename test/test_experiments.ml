@@ -13,7 +13,8 @@ let test_registry_complete () =
     [
       "table1"; "table2"; "table3"; "fig4-linerate"; "fig3-staleness"; "microburst"; "cms-reset";
       "hula"; "liveness"; "flowrate"; "aqm"; "frr"; "policer"; "netcache"; "tofino-emulation";
-      "int-telemetry"; "ablations"; "migration"; "p4-equivalence"; "wfq"; "ecn";
+      "int-telemetry"; "ablations"; "migration"; "p4-equivalence"; "wfq"; "ecn"; "chaos";
+      "resilience";
     ]
 
 let test_registry_names_unique () =
@@ -65,6 +66,16 @@ let test_e13_shape () =
         (t1000.Experiments.E13_policer.error_vs_cir > 0.2)
   | _ -> Alcotest.fail "expected 4 points"
 
+let test_e22_shape () =
+  let r = Experiments.E22_resilience.run () in
+  Alcotest.(check bool) "E22 acceptance claims hold" true (Experiments.E22_resilience.passes r);
+  let q = Experiments.E22_resilience.find_leg r "quarantine" in
+  Alcotest.(check bool) "invariant checker actually swept" true
+    (q.Experiments.E22_resilience.invariant_passes > 0);
+  let d = Experiments.E22_resilience.find_leg r "drop-event" in
+  Alcotest.(check bool) "drop-event completes without trips" true
+    (d.Experiments.E22_resilience.completed && d.Experiments.E22_resilience.trips = 0)
+
 let suite =
   [
     Alcotest.test_case "registry complete" `Quick test_registry_complete;
@@ -74,4 +85,5 @@ let suite =
     Alcotest.test_case "E6 shape claims" `Quick test_e6_shape;
     Alcotest.test_case "E9 shape claims" `Quick test_e9_shape;
     Alcotest.test_case "E13 shape claims" `Quick test_e13_shape;
+    Alcotest.test_case "E22 shape claims" `Quick test_e22_shape;
   ]

@@ -263,6 +263,40 @@ let test_engine_accounting () =
        (function Obs.Metrics.Counter_v 1 -> true | _ -> false)
        (Obs.Metrics.find_value m ~labels:[ ("fault", "flap") ] "faults.injected"))
 
+let test_engine_handler_fault_absorbed_when_quarantined () =
+  (* A handler-fault occurrence that finds its target already
+     quarantined cannot take effect: it must land in the engine's
+     [absorbed] channel, like a flap inside an outage. *)
+  let sched = Scheduler.create () in
+  let sup =
+    Resil.Supervisor.create ~sched
+      ~config:
+        {
+          (Resil.Supervisor.default_config ()) with
+          Resil.Supervisor.policy = Resil.Policy.Quarantine;
+          base_backoff = Sim_time.us 200;
+          backoff_jitter = 0;
+        }
+      ~seed:7 ()
+  in
+  let key = Resil.Supervisor.register sup ~name:"h" () in
+  let engine = Faults.Engine.create ~sched ~seed:42 ~stop:(Sim_time.us 400) () in
+  Faults.Engine.add_handler_crash engine ~name:"hcrash"
+    ~plan:(Schedule.Trace [ Sim_time.us 10; Sim_time.us 30; Sim_time.us 50 ])
+    key;
+  (* Invoke the guarded handler just after the first arming: it crashes
+     and quarantines the key for 200us, so the two later occurrences
+     find it inactive. *)
+  ignore
+    (Scheduler.schedule sched ~at:(Sim_time.us 15) (fun () ->
+         ignore (Resil.Supervisor.protect sup key (fun () -> ()))));
+  Scheduler.run sched;
+  let c = List.assoc "hcrash" (Faults.Engine.stats engine) in
+  Alcotest.(check int) "first arming injected" 1 c.Faults.Engine.injected;
+  Alcotest.(check int) "quarantined occurrences absorbed" 2 c.Faults.Engine.absorbed;
+  Alcotest.(check int) "exactly one crash delivered" 1 (Resil.Supervisor.crashes sup);
+  Alcotest.(check int) "one backoff recovery" 1 (Resil.Supervisor.recoveries sup)
+
 let suite =
   [
     Alcotest.test_case "schedule trace" `Quick test_schedule_trace;
@@ -277,4 +311,6 @@ let suite =
     Alcotest.test_case "burst" `Quick test_burst;
     Alcotest.test_case "churn" `Quick test_churn;
     Alcotest.test_case "engine accounting" `Quick test_engine_accounting;
+    Alcotest.test_case "handler fault absorbed when quarantined" `Quick
+      test_engine_handler_fault_absorbed_when_quarantined;
   ]

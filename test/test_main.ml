@@ -11,6 +11,7 @@ let () =
       ("consistency", Test_consistency.suite);
       ("tmgr", Test_tmgr.suite);
       ("faults", Test_faults.suite);
+      ("resil", Test_resil.suite);
       ("evcore", Test_evcore.suite);
       ("apps", Test_apps.suite);
       ("workloads", Test_workloads.suite);

@@ -257,7 +257,6 @@ control Timer(t) {
   Alcotest.(check int) "one notification" 1 (Event_switch.notification_count sw)
 
 let test_runtime_error_reported () =
-  let sched = Scheduler.create () in
   let spec =
     Loader.load {|
 control Ingress() {
@@ -266,12 +265,35 @@ control Ingress() {
 }
 |}
   in
+  (* Under fail-fast supervision the runtime error surfaces to the
+     caller, wrapped with the offending handler's name. *)
+  let sched = Scheduler.create () in
+  let config =
+    let base = Event_switch.default_config Arch.event_pisa_full in
+    {
+      base with
+      Event_switch.resil =
+        { (Resil.Supervisor.default_config ()) with Resil.Supervisor.policy = Resil.Policy.Fail_fast };
+    }
+  in
+  let sw = Event_switch.create ~sched ~config ~program:spec () in
+  Event_switch.inject sw ~port:0 (mk_pkt ());
+  (match Scheduler.run sched with
+  | exception
+      Resil.Supervisor.Failed ("ingress-packet", P4dsl.Interp.Runtime_error ("division by zero", _))
+    -> ()
+  | exception e -> Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e)
+  | () -> Alcotest.fail "expected a runtime error");
+  (* Under the default quarantine policy the same fault is contained:
+     counted as a crash, and the decision-less packet as a supervised
+     drop. *)
+  let sched = Scheduler.create () in
   let config = Event_switch.default_config Arch.event_pisa_full in
   let sw = Event_switch.create ~sched ~config ~program:spec () in
   Event_switch.inject sw ~port:0 (mk_pkt ());
-  match Scheduler.run sched with
-  | exception P4dsl.Interp.Runtime_error ("division by zero", _) -> ()
-  | () -> Alcotest.fail "expected a runtime error"
+  Scheduler.run sched;
+  Alcotest.(check int) "crash counted" 1 (Resil.Supervisor.crashes (Event_switch.supervisor sw));
+  Alcotest.(check int) "packet accounted as supervised drop" 1 (Event_switch.supervised_drops sw)
 
 let qcheck_expr_eval_matches_ocaml =
   (* Arithmetic on random small ints matches OCaml's semantics. *)
