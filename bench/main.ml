@@ -161,9 +161,27 @@ let bench_meter =
          now := !now + 800_000;
          ignore (Pisa.Meter.mark meter ~now_ps:!now ~bytes:1000)))
 
+(* E23 kernel: one full (short) fat-tree scale run per iteration, at a
+   given shard count — the sequential-vs-sharded throughput curve as
+   whole-simulation wall time. The simulated work is identical at
+   every shard count (conformance guarantees it), so the estimates are
+   directly comparable; on a single-core host the sharded entries
+   price the synchronization overhead rather than any speedup. *)
+let make_e23_run ~shards =
+  let topo = Experiments.E23_scale.topo () in
+  Test.make ~name:(Printf.sprintf "e23/scale-run-%dshard" shards)
+    (Staged.stage (fun () ->
+         let cfg =
+           Experiments.E23_scale.scenario ~shards ~record_trace:false ~seed:42
+             ~until:Experiments.E23_scale.golden_until ()
+         in
+         ignore (Parsim.run cfg topo : Parsim.result)))
+
+let bench_e23_shards = List.map (fun shards -> make_e23_run ~shards) [ 1; 2; 4 ]
+
 let benchmarks =
   Test.make_grouped ~name:"evpp"
-    [
+    ([
       bench_event_dispatch;
       bench_event_dispatch_metrics_off;
       bench_cms;
@@ -178,6 +196,7 @@ let benchmarks =
       bench_frame;
       bench_meter;
     ]
+    @ bench_e23_shards)
 
 let run_microbenches () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in

@@ -59,8 +59,21 @@ let guarded f =
   | exception Failure msg -> `Error (false, msg)
   | exception exn -> `Error (false, Printexc.to_string exn)
 
-let run_cmd backend policy watermark name seed metrics_out =
+(* --shards N narrows E23's sweep to {1, N}: the sequential reference
+   plus the requested sharding, which is what the conformance check
+   needs. Other experiments are single-switch and ignore it. *)
+let set_shards = function
+  | None -> None
+  | Some n when n >= 1 ->
+      Experiments.E23_scale.default_shard_counts := if n = 1 then [ 1 ] else [ 1; n ];
+      None
+  | Some n -> Some (Printf.sprintf "--shards must be positive, got %d" n)
+
+let run_cmd backend policy watermark shards name seed metrics_out =
   match configure ~backend ~policy ~watermark with
+  | Some err -> `Error (false, err)
+  | None ->
+  match set_shards shards with
   | Some err -> `Error (false, err)
   | None ->
   guarded @@ fun () ->
@@ -95,11 +108,27 @@ let run_cmd backend policy watermark name seed metrics_out =
               Printf.sprintf "unknown experiment %S; try: %s" n
                 (String.concat ", " (Experiments.Registry.names ())) ))
 
-let chaos_cmd backend policy watermark seed profile metrics_out =
+let chaos_cmd backend policy watermark shards seed profile metrics_out =
   match configure ~backend ~policy ~watermark with
   | Some err -> `Error (false, err)
   | None ->
   guarded @@ fun () ->
+  match shards with
+  | Some n when n < 1 -> `Error (false, Printf.sprintf "--shards must be positive, got %d" n)
+  | Some n when n > 1 ->
+      (* Sharded chaos: the E23 fat tree under per-shard fault engines
+         (intra-shard links only — cross-shard links cannot fail). *)
+      let r = Experiments.E23_scale.chaos ~shards:n ~seed () in
+      Experiments.E23_scale.print_chaos r;
+      (match metrics_out with
+      | Some path ->
+          let reg = Obs.Metrics.create () in
+          Obs.Metrics.Counter.set (Obs.Metrics.counter reg "e23.chaos.injected") r.injected;
+          Obs.Metrics.write_json ~path reg
+      | None -> ());
+      if Experiments.E23_scale.chaos_passed r then `Ok ()
+      else `Error (false, "sharded chaos run failed a degradation check")
+  | _ -> (
   match Faults.Profile.of_string profile with
   | None ->
       `Error
@@ -126,7 +155,7 @@ let chaos_cmd backend policy watermark seed profile metrics_out =
         && r.Experiments.E21_chaos.received > 0
         && Experiments.E21_chaos.exercised r
       in
-      if ok then `Ok () else `Error (false, "chaos run failed a degradation check")
+      if ok then `Ok () else `Error (false, "chaos run failed a degradation check"))
 
 let p4_cmd backend file duration_us =
   match set_backend backend with
@@ -239,11 +268,23 @@ let shed_watermark =
            control classes at 2x$(docv), packet classes at 4x$(docv). Off by \
            default.")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Parallel shard count for the sharded experiments. On $(b,run), the \
+           $(b,scale) experiment (E23) compares the sequential run against an \
+           $(docv)-shard run (default sweep: 1, 2, 4). On $(b,chaos) with \
+           $(docv) > 1, runs the sharded fat-tree chaos scenario with one \
+           fault engine per shard instead of E21.")
+
 let run_term =
   Term.(
     ret
-      (const run_cmd $ sched_backend $ resil_policy $ shed_watermark $ name_arg $ seed
-     $ metrics_out))
+      (const run_cmd $ sched_backend $ resil_policy $ shed_watermark $ shards_arg $ name_arg
+     $ seed $ metrics_out))
 
 let run_info =
   Cmd.info "run" ~doc:"Run one experiment (or all when no name is given)."
@@ -263,7 +304,7 @@ let chaos_profile =
 let chaos_term =
   Term.(
     ret
-      (const chaos_cmd $ sched_backend $ resil_policy $ shed_watermark $ seed
+      (const chaos_cmd $ sched_backend $ resil_policy $ shed_watermark $ shards_arg $ seed
      $ chaos_profile $ metrics_out))
 
 let chaos_info =

@@ -1,8 +1,21 @@
 module Link = Tmgr.Link
 
-type t = { sched : Eventsim.Scheduler.t; mutable links : Link.t list }
+type t = {
+  sched : Eventsim.Scheduler.t;
+  mutable links : Link.t list;
+  (* Switch ports already wired to a link; [==] on the switch because
+     ids are caller-chosen and may collide. *)
+  mutable occupied : (Event_switch.t * int) list;
+}
 
-let create ~sched = { sched; links = [] }
+let create ~sched = { sched; links = []; occupied = [] }
+
+let claim_port t sw port ~who =
+  if List.exists (fun (s, p) -> s == sw && p = port) t.occupied then
+    invalid_arg
+      (Printf.sprintf "%s: switch %d port %d is already connected" who (Event_switch.id sw)
+         port);
+  t.occupied <- (sw, port) :: t.occupied
 
 let switch_endpoint sw port =
   {
@@ -18,6 +31,13 @@ let register t link =
   link
 
 let connect_switches t ~a:(sw_a, port_a) ~b:(sw_b, port_b) ?delay ?detection_delay () =
+  claim_port t sw_a port_a ~who:"Network.connect_switches";
+  (* Claim both sides before wiring so a failed [b] claim leaves no
+     half-connected [a]. *)
+  (try claim_port t sw_b port_b ~who:"Network.connect_switches"
+   with exn ->
+     t.occupied <- List.filter (fun (s, p) -> not (s == sw_a && p = port_a)) t.occupied;
+     raise exn);
   let link =
     Link.create ~sched:t.sched ?delay ?detection_delay ~a:(switch_endpoint sw_a port_a)
       ~b:(switch_endpoint sw_b port_b) ()
@@ -27,6 +47,7 @@ let connect_switches t ~a:(sw_a, port_a) ~b:(sw_b, port_b) ?delay ?detection_del
   register t link
 
 let connect_host t ~host ~switch:(sw, port) ?delay ?detection_delay () =
+  claim_port t sw port ~who:"Network.connect_host";
   let link =
     Link.create ~sched:t.sched ?delay ?detection_delay ~a:(host_endpoint host)
       ~b:(switch_endpoint sw port) ()

@@ -15,7 +15,10 @@ val connect_switches :
   unit ->
   Tmgr.Link.t
 (** Connect port [snd a] of switch [fst a] to port [snd b] of switch
-    [fst b]. Returns the link for failure injection. *)
+    [fst b]. Returns the link for failure injection. Wiring a switch
+    port that this network already connected (to a switch or a host)
+    raises [Invalid_argument] — a double-wired port would silently
+    overwrite the first link's transmit side. *)
 
 val connect_host :
   t ->

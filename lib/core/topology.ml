@@ -1,0 +1,214 @@
+module Sim_time = Eventsim.Sim_time
+
+type link = {
+  link_id : int;
+  a : int * int;
+  b : int * int;
+  delay : Sim_time.t;
+  detection_delay : Sim_time.t option;
+}
+
+type attachment = { host : int; switch : int; port : int; host_delay : Sim_time.t }
+
+type t = {
+  switches : int;
+  hosts : int;
+  links : link list;
+  attachments : attachment list;
+}
+
+let validate t =
+  if t.switches < 1 then invalid_arg "Topology.validate: no switches";
+  if t.hosts < 0 then invalid_arg "Topology.validate: negative host count";
+  let seen = Hashtbl.create 64 in
+  let claim ~who sw port =
+    if sw < 0 || sw >= t.switches then
+      invalid_arg (Printf.sprintf "Topology.validate: %s uses switch %d (of %d)" who sw t.switches);
+    if port < 0 then invalid_arg (Printf.sprintf "Topology.validate: %s uses port %d" who port);
+    if Hashtbl.mem seen (sw, port) then
+      invalid_arg
+        (Printf.sprintf "Topology.validate: switch %d port %d wired twice (%s and %s)" sw port
+           (Hashtbl.find seen (sw, port))
+           who);
+    Hashtbl.add seen (sw, port) who
+  in
+  List.iteri
+    (fun i l ->
+      if l.link_id <> i then
+        invalid_arg (Printf.sprintf "Topology.validate: link %d has link_id %d" i l.link_id);
+      if l.delay <= 0 then
+        invalid_arg (Printf.sprintf "Topology.validate: link %d has non-positive delay" i);
+      let who = Printf.sprintf "link %d" i in
+      claim ~who (fst l.a) (snd l.a);
+      claim ~who (fst l.b) (snd l.b))
+    t.links;
+  let host_seen = Array.make t.hosts false in
+  List.iter
+    (fun at ->
+      if at.host < 0 || at.host >= t.hosts then
+        invalid_arg (Printf.sprintf "Topology.validate: attachment for host %d (of %d)" at.host t.hosts);
+      if host_seen.(at.host) then
+        invalid_arg (Printf.sprintf "Topology.validate: host %d attached twice" at.host);
+      host_seen.(at.host) <- true;
+      claim ~who:(Printf.sprintf "host %d" at.host) at.switch at.port)
+    t.attachments;
+  Array.iteri
+    (fun h attached ->
+      if not attached then invalid_arg (Printf.sprintf "Topology.validate: host %d unattached" h))
+    host_seen
+
+let max_port t sw =
+  let fold_ep acc (s, p) = if s = sw then max acc p else acc in
+  let acc =
+    List.fold_left (fun acc l -> fold_ep (fold_ep acc l.a) l.b) (-1) t.links
+  in
+  List.fold_left (fun acc at -> fold_ep acc (at.switch, at.port)) acc t.attachments
+
+let min_link_delay t =
+  match t.links with
+  | [] -> invalid_arg "Topology.min_link_delay: no switch-to-switch links"
+  | l :: rest -> List.fold_left (fun acc l -> min acc l.delay) l.delay rest
+
+(* Builders. Link [i] gets delay [base + i * skew] so no two links share
+   a propagation delay: packets arriving at one switch over different
+   paths then land on distinct timestamps, which pins the event order
+   regardless of how a partitioned run interleaves shards. *)
+
+let ring ?(delay = Sim_time.us 1) ?(host_delay = Sim_time.us 1)
+    ?(skew = Sim_time.ps 1) ~switches () =
+  if switches < 2 then invalid_arg "Topology.ring: need at least 2 switches";
+  let links =
+    List.init switches (fun i ->
+        {
+          link_id = i;
+          a = (i, 1);
+          b = ((i + 1) mod switches, 2);
+          delay = delay + (i * skew);
+          detection_delay = None;
+        })
+  in
+  let attachments =
+    List.init switches (fun h -> { host = h; switch = h; port = 0; host_delay })
+  in
+  { switches; hosts = switches; links; attachments }
+
+let ring_route ~switches ~sw ~dst_host =
+  if dst_host < 0 || dst_host >= switches then
+    invalid_arg (Printf.sprintf "Topology.ring_route: host %d (of %d)" dst_host switches);
+  if sw = dst_host then 0 else 1
+
+(* Fat tree (Al-Fares et al.): k pods, (k/2)^2 cores. Ids: cores
+   [0 .. (k/2)^2 - 1], then pod p occupies a block of k switches —
+   aggregations first, edges second. *)
+
+let ft_half k = k / 2
+let ft_cores k = ft_half k * ft_half k
+let ft_agg ~k ~pod i = ft_cores k + (pod * k) + i
+let ft_edge ~k ~pod e = ft_cores k + (pod * k) + ft_half k + e
+
+let ft_host_loc ~k h =
+  let half = ft_half k in
+  let per_pod = half * half in
+  let pod = h / per_pod in
+  let e = h mod per_pod / half in
+  let m = h mod half in
+  (pod, e, m)
+
+let fat_tree ?(host_delay = Sim_time.us 1) ?(edge_delay = Sim_time.us 1)
+    ?(core_delay = Sim_time.us 2) ?(skew = Sim_time.ps 1) ~k () =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even and >= 2";
+  let half = ft_half k in
+  let switches = ft_cores k + (k * k) in
+  let hosts = k * k * k / 4 in
+  let links = ref [] in
+  let n_links = ref 0 in
+  let add ~base a b =
+    let id = !n_links in
+    incr n_links;
+    links :=
+      { link_id = id; a; b; delay = base + (id * skew); detection_delay = None } :: !links
+  in
+  (* Aggregation i of pod p, up-port [half + j], reaches core [i*half + j]
+     whose port p faces pod p. *)
+  for p = 0 to k - 1 do
+    for i = 0 to half - 1 do
+      for j = 0 to half - 1 do
+        add ~base:core_delay ((i * half) + j, p) (ft_agg ~k ~pod:p i, half + j)
+      done
+    done
+  done;
+  (* Aggregation i, down-port e, to edge e's up-port [half + i]. *)
+  for p = 0 to k - 1 do
+    for i = 0 to half - 1 do
+      for e = 0 to half - 1 do
+        add ~base:edge_delay (ft_agg ~k ~pod:p i, e) (ft_edge ~k ~pod:p e, half + i)
+      done
+    done
+  done;
+  let attachments =
+    List.init hosts (fun h ->
+        let pod, e, m = ft_host_loc ~k h in
+        { host = h; switch = ft_edge ~k ~pod e; port = m; host_delay })
+  in
+  { switches; hosts; links = List.rev !links; attachments }
+
+let fat_tree_route ~k ~sw ~dst_host =
+  let half = ft_half k in
+  let cores = ft_cores k in
+  let dpod, de, dm = ft_host_loc ~k dst_host in
+  if dst_host < 0 || dpod >= k then
+    invalid_arg (Printf.sprintf "Topology.fat_tree_route: host %d" dst_host);
+  if sw < cores then
+    (* Core switch: port p faces pod p. *)
+    dpod
+  else begin
+    let off = (sw - cores) mod k in
+    let pod = (sw - cores) / k in
+    if off < half then
+      (* Aggregation [off]: down-port e inside its pod, else up via the
+         core column picked by the destination member index. *)
+      if pod = dpod then de else half + dm
+    else begin
+      let e = off - half in
+      if pod = dpod && e = de then dm else half + dm
+    end
+  end
+
+type built = {
+  network : Network.t;
+  switches : Event_switch.t array;
+  hosts : Host.t array;
+  switch_links : Tmgr.Link.t array;
+  host_links : Tmgr.Link.t array;
+}
+
+let build ~sched ~config ~program t =
+  validate t;
+  let switches =
+    Array.init t.switches (fun sw ->
+        let cfg = config sw in
+        let cfg = { cfg with Event_switch.num_ports = max cfg.Event_switch.num_ports (max_port t sw + 1) } in
+        Event_switch.create ~sched ~id:sw ~config:cfg ~program:(program sw) ())
+  in
+  let hosts = Array.init t.hosts (fun h -> Host.create ~sched ~id:h ()) in
+  let network = Network.create ~sched in
+  let switch_links =
+    Array.of_list
+      (List.map
+         (fun l ->
+           Network.connect_switches network
+             ~a:(switches.(fst l.a), snd l.a)
+             ~b:(switches.(fst l.b), snd l.b)
+             ~delay:l.delay ?detection_delay:l.detection_delay ())
+         t.links)
+  in
+  let host_links =
+    Array.of_list
+      (List.map
+         (fun at ->
+           Network.connect_host network ~host:hosts.(at.host)
+             ~switch:(switches.(at.switch), at.port)
+             ~delay:at.host_delay ())
+         t.attachments)
+  in
+  { network; switches; hosts; switch_links; host_links }

@@ -1,0 +1,108 @@
+(** Declarative multi-switch topologies.
+
+    A {!t} is pure data — switch count, switch-to-switch links, host
+    attachments — that can be instantiated either sequentially
+    ({!build}, on one scheduler via {!Network}) or partitioned across
+    parallel shards (the [parsim] library). Builders exist for the
+    common experiment shapes so multi-switch experiments stop
+    hand-wiring ports.
+
+    Every link carries its own propagation delay. The builders give
+    link [i] a delay of [base + i * skew] (default skew 1 ps): distinct
+    per-link delays keep independently-routed packets from colliding on
+    the same picosecond at a switch, which makes event timestamps — and
+    therefore merged traces — insensitive to how a partitioned run
+    interleaves shards. The minimum link delay is also the conservative
+    lookahead a partitioned execution may run ahead by. *)
+
+type link = {
+  link_id : int;
+  a : int * int;  (** (switch, port) *)
+  b : int * int;
+  delay : Eventsim.Sim_time.t;
+  detection_delay : Eventsim.Sim_time.t option;
+}
+
+type attachment = {
+  host : int;
+  switch : int;
+  port : int;
+  host_delay : Eventsim.Sim_time.t;
+}
+
+type t = {
+  switches : int;  (** ids [0 .. switches-1] *)
+  hosts : int;  (** ids [0 .. hosts-1] *)
+  links : link list;  (** in [link_id] order *)
+  attachments : attachment list;  (** in host-id order, one per host *)
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] if a (switch, port) pair is wired twice,
+    an id is out of range, or host ids are not exactly [0..hosts-1]. *)
+
+val max_port : t -> int -> int
+(** Highest port used on a switch ([-1] if none). *)
+
+val min_link_delay : t -> Eventsim.Sim_time.t
+(** Smallest switch-to-switch link delay — the global conservative
+    lookahead bound. Raises [Invalid_argument] if there are no links. *)
+
+(** {1 Builders} *)
+
+val ring :
+  ?delay:Eventsim.Sim_time.t ->
+  ?host_delay:Eventsim.Sim_time.t ->
+  ?skew:Eventsim.Sim_time.t ->
+  switches:int ->
+  unit ->
+  t
+(** [switches >= 2] switches in a cycle, one host each. Port 0 of each
+    switch faces its host; port 1 is the clockwise uplink to the next
+    switch's port 2. Defaults: 1 us link delay, 1 us host delay,
+    1 ps skew. *)
+
+val ring_route : switches:int -> sw:int -> dst_host:int -> int
+(** Egress port on [sw] toward [dst_host] under clockwise routing:
+    port 0 when the host is local, else port 1. *)
+
+val fat_tree :
+  ?host_delay:Eventsim.Sim_time.t ->
+  ?edge_delay:Eventsim.Sim_time.t ->
+  ?core_delay:Eventsim.Sim_time.t ->
+  ?skew:Eventsim.Sim_time.t ->
+  k:int ->
+  unit ->
+  t
+(** A k-ary fat tree (k even, >= 2): [(k/2)^2] core switches, [k] pods
+    of [k/2] aggregation plus [k/2] edge switches, [k^3/4] hosts.
+    Switch ids: cores first, then pod [p]'s aggregations
+    [(k/2)^2 + p*k ..] followed by its edges. Host
+    [p*(k/2)^2 + e*(k/2) + m] sits on port [m] of edge [e] in pod [p].
+    Edge/aggregation uplinks use ports [k/2 ..]. *)
+
+val fat_tree_route : k:int -> sw:int -> dst_host:int -> int
+(** Egress port on [sw] toward [dst_host]: standard two-level fat-tree
+    routing with the deterministic ECMP choice fixed by the
+    destination's member index, so every (sw, dst) pair always takes
+    the same path. *)
+
+(** {1 Sequential instantiation} *)
+
+type built = {
+  network : Network.t;
+  switches : Event_switch.t array;
+  hosts : Host.t array;
+  switch_links : Tmgr.Link.t array;  (** by [link_id] *)
+  host_links : Tmgr.Link.t array;  (** by host id *)
+}
+
+val build :
+  sched:Eventsim.Scheduler.t ->
+  config:(int -> Event_switch.config) ->
+  program:(int -> Program.spec) ->
+  t ->
+  built
+(** Instantiate on one scheduler: create every switch (its config's
+    [num_ports] is raised to cover the ports the topology uses) and
+    host, and wire every link through {!Network}. Validates first. *)

@@ -255,6 +255,21 @@ let run ?until t =
         Obs.Metrics.Summary.observe p.wall_per_sim ((Sys.time () -. w0) /. sim_s)
   | (Some _ | None), _ -> ()
 
+let drain_until_horizon t ~horizon =
+  if horizon < t.clock then
+    invalid_arg
+      (Printf.sprintf "Scheduler.drain_until_horizon: horizon=%d is before now=%d" horizon
+         t.clock);
+  let limit = horizon - 1 in
+  let dispatch ~time cell =
+    t.clock <- max t.clock time;
+    fire t cell
+  in
+  (match t.queue with
+  | QHeap h -> Event_heap.drain_upto h ~limit dispatch
+  | QWheel w -> Timing_wheel.drain_upto w ~limit dispatch);
+  if horizon > t.clock then t.clock <- horizon
+
 let pending t = !(t.live)
 let executed t = t.executed
 let queue_depth_hwm t = t.depth_hwm

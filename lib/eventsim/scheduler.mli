@@ -59,6 +59,15 @@ val run : ?until:Sim_time.t -> t -> unit
 val step : t -> bool
 (** Run the single earliest event; [false] if the queue was empty. *)
 
+val drain_until_horizon : t -> horizon:Sim_time.t -> unit
+(** Conservative-PDES window execution: run every queued event with
+    time {e strictly before} [horizon] and leave the clock at exactly
+    [horizon]. Events at [horizon] or later stay queued, and new work
+    may still be scheduled at the horizon itself ([at = now] is legal),
+    which is how a parallel shard injects cross-shard deliveries whose
+    timestamps open the next window. Honoured identically by both
+    backends. A horizon before [now] raises [Invalid_argument]. *)
+
 val pending : t -> int
 (** Number of queued live events. Cancelled events are excluded, so
     this is a truthful queue-depth gauge. *)

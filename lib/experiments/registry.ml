@@ -147,6 +147,12 @@ let all =
       run_and_print =
         (fun ~metrics ~seed -> E22_resilience.print (E22_resilience.run ?metrics ~seed ()));
     };
+    {
+      name = E23_scale.name;
+      experiment_id = "E23";
+      paper_artifact = "Sec 4 distributed state (sharded execution)";
+      run_and_print = (fun ~metrics ~seed -> E23_scale.print (E23_scale.run ?metrics ~seed ()));
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -24,7 +24,10 @@ type t = {
 }
 
 let meta_slots = 4
-let next_uid = ref 0
+
+(* Atomic so uids stay unique when several simulation shards (OCaml
+   domains) create packets concurrently. *)
+let next_uid = Atomic.make 0
 
 let fresh_meta () =
   {
@@ -38,8 +41,8 @@ let fresh_meta () =
   }
 
 let create ?ip ?(l4 = No_l4) ?(payload = Opaque) ?(payload_len = 0) ?(created_at = 0) ~eth () =
-  incr next_uid;
-  { uid = !next_uid; eth; ip; l4; payload; payload_len; created_at; meta = fresh_meta () }
+  let uid = 1 + Atomic.fetch_and_add next_uid 1 in
+  { uid; eth; ip; l4; payload; payload_len; created_at; meta = fresh_meta () }
 
 let udp_packet ?(created_at = 0) ?(payload = Opaque) ~src ~dst ~src_port ~dst_port ~payload_len () =
   let udp = Udp.make ~src_port ~dst_port ~payload_len in
@@ -84,11 +87,11 @@ let with_meta_of dst src =
   Array.blit src.meta.deq_meta 0 dst.meta.deq_meta 0 meta_slots
 
 let clone_for_forward ?eth ?ip t =
-  incr next_uid;
+  let uid = 1 + Atomic.fetch_and_add next_uid 1 in
   let copy =
     {
       t with
-      uid = !next_uid;
+      uid;
       eth = (match eth with Some e -> e | None -> t.eth);
       ip = (match ip with Some i -> Some i | None -> t.ip);
       meta = fresh_meta ();

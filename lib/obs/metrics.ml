@@ -238,8 +238,7 @@ let sample_json buf { name; labels; value } =
            count (json_float mean) (json_float std) (json_float min) (json_float max)));
   Buffer.add_string buf " }"
 
-let to_json t =
-  let samples = snapshot t in
+let samples_to_json samples =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"metrics\": [\n";
   List.iteri
@@ -249,6 +248,36 @@ let to_json t =
     samples;
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
+
+let to_json t = samples_to_json (snapshot t)
+
+(* Merging several registries (one per simulation shard) must be
+   deterministic and shard-count-independent: the union is re-sorted by
+   (name, labels) exactly as [snapshot] sorts a single registry, so a
+   sequential run's [to_json] and a sharded run's [merged_json] are
+   byte-comparable. Series are required to be disjoint — two shards
+   exporting the same (name, labels) pair means a partitioning bug, not
+   something to silently sum. *)
+let merged_snapshot regs =
+  let samples =
+    List.concat_map snapshot regs
+    |> List.sort (fun a b ->
+           match String.compare a.name b.name with
+           | 0 -> compare_labels a.labels b.labels
+           | c -> c)
+  in
+  let rec check = function
+    | a :: (b : sample) :: _ when a.name = b.name && a.labels = b.labels ->
+        invalid_arg
+          (Printf.sprintf "Metrics.merged_snapshot: series %S registered by several registries"
+             a.name)
+    | _ :: rest -> check rest
+    | [] -> ()
+  in
+  check samples;
+  samples
+
+let merged_json regs = samples_to_json (merged_snapshot regs)
 
 let csv_escape s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then

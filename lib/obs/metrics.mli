@@ -107,6 +107,18 @@ val snapshot : t -> sample list
 val cardinality : t -> int
 (** Number of registered series. *)
 
+val merged_snapshot : t list -> sample list
+(** Union of the registries' snapshots re-sorted by (name, labels) —
+    the deterministic merge of per-shard registries from a partitioned
+    simulation. The series sets must be disjoint (shards own disjoint
+    switches); a (name, labels) pair appearing in two registries raises
+    [Invalid_argument]. [merged_snapshot [r]] equals [snapshot r]. *)
+
+val merged_json : t list -> string
+(** {!merged_snapshot} rendered exactly as {!to_json} renders a single
+    registry, so a sequential run's snapshot and a sharded run's merged
+    snapshot are byte-comparable. *)
+
 val find_value : t -> ?labels:labels -> string -> value option
 
 val to_json : t -> string

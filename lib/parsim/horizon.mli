@@ -1,0 +1,32 @@
+(** Conservative-synchronization horizon algebra.
+
+    Pure arithmetic behind the lockstep engine, factored out so the
+    safety rule is unit-testable on its own. The conservative
+    guarantee: a shard whose neighbours have published execution
+    horizons [h_j] may itself execute strictly below
+    [min_j (h_j + lookahead)] — any cross-shard packet sent by
+    neighbour [j] departs at or after [h_j]'s window and arrives no
+    earlier than departure + lookahead, so nothing can land in the
+    executing shard's past.
+
+    The lockstep engine tiles simulated time into windows of width
+    [lookahead]: round [r] covers [[r*L, min((r+1)*L, until+1))]. When
+    every shard has published horizon [r*L], the safe bound is
+    [r*L + L], which is exactly the next window's end — the whole fleet
+    advances one window per round. *)
+
+val safe : neighbor_horizons:int list -> lookahead:int -> int
+(** [min_j (h_j + lookahead)]; [max_int] with no neighbours (an
+    unpartitioned run has no one to wait for). Raises
+    [Invalid_argument] when [lookahead <= 0] — zero lookahead means no
+    shard could ever advance. *)
+
+val rounds : until:int -> lookahead:int -> int
+(** Number of windows tiling [[0, until]]: smallest [r] with
+    [r * lookahead > until]. *)
+
+val window : round:int -> lookahead:int -> until:int -> int * int
+(** [(start, horizon)] of a round: [start = min(round*L, until+1)] and
+    [horizon = min((round+1)*L, until+1)]. Consecutive windows tile
+    [[0, until+1)] exactly: window [r]'s horizon is window [r+1]'s
+    start. *)

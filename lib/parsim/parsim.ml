@@ -1,0 +1,496 @@
+module Spsc = Spsc
+module Horizon = Horizon
+module Scheduler = Eventsim.Scheduler
+module Topology = Evcore.Topology
+module Event_switch = Evcore.Event_switch
+module Host = Evcore.Host
+module Link = Tmgr.Link
+
+(* ------------------------------------------------------------------ *)
+(* Partitioning                                                        *)
+
+type partition = {
+  shards : int;
+  shard_of_switch : int array;
+  shard_of_host : int array;
+}
+
+let partition (topo : Topology.t) ~shards =
+  if shards < 1 || shards > topo.switches then
+    invalid_arg
+      (Printf.sprintf "Parsim.partition: %d shards for %d switches" shards topo.switches);
+  let shard_of_switch = Array.make topo.switches 0 in
+  let base = topo.switches / shards and rem = topo.switches mod shards in
+  let sw = ref 0 in
+  for s = 0 to shards - 1 do
+    let width = base + if s < rem then 1 else 0 in
+    for _ = 1 to width do
+      shard_of_switch.(!sw) <- s;
+      incr sw
+    done
+  done;
+  let shard_of_host = Array.make topo.hosts 0 in
+  List.iter
+    (fun (at : Topology.attachment) -> shard_of_host.(at.host) <- shard_of_switch.(at.switch))
+    topo.attachments;
+  { shards; shard_of_switch; shard_of_host }
+
+type cross_link = { link : Topology.link; shard_a : int; shard_b : int }
+
+type plan = {
+  part : partition;
+  local_links : (int * Topology.link) list;
+  cross : cross_link list;
+  channels : (int * int) list;
+  lookahead : Eventsim.Sim_time.t;
+}
+
+(* With nothing crossing there is no one to wait for: one window covers
+   the run ([Horizon.rounds] needs [until + lookahead] to not
+   overflow, hence not [max_int]). *)
+let infinite_lookahead = max_int / 4
+
+let plan (topo : Topology.t) ~shards =
+  Topology.validate topo;
+  let part = partition topo ~shards in
+  let local, cross =
+    List.partition_map
+      (fun (l : Topology.link) ->
+        let sa = part.shard_of_switch.(fst l.a) and sb = part.shard_of_switch.(fst l.b) in
+        if sa = sb then Left (sa, l) else Right { link = l; shard_a = sa; shard_b = sb })
+      topo.links
+  in
+  let channels =
+    List.concat_map (fun c -> [ (c.shard_a, c.shard_b); (c.shard_b, c.shard_a) ]) cross
+    |> List.sort_uniq compare
+  in
+  let lookahead =
+    List.fold_left (fun acc c -> min acc c.link.delay) infinite_lookahead cross
+  in
+  { part; local_links = local; cross; channels; lookahead }
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+type shard_ctx = {
+  shard : int;
+  sched : Scheduler.t;
+  metrics : Obs.Metrics.t;
+  switches : (int * Event_switch.t) list;
+  hosts : (int * Host.t) list;
+  links : (int * Link.t) list;
+}
+
+type config = {
+  shards : int;
+  until : Eventsim.Sim_time.t;
+  channel_capacity : int;
+  backend : Eventsim.Sched_backend.t option;
+  record_trace : bool;
+  switch_config : int -> Event_switch.config;
+  program : int -> Evcore.Program.spec;
+  on_shard : shard_ctx -> unit;
+}
+
+let config ?(shards = 1) ?(channel_capacity = 1024) ?backend ?(record_trace = false)
+    ?(on_shard = fun _ -> ()) ~until ~switch_config ~program () =
+  { shards; until; channel_capacity; backend; record_trace; switch_config; program; on_shard }
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+(* A packet in flight between shards. [mkey] identifies the directed
+   cross-link ([link_id * 2 + direction]); (mtime, mkey, mseq) is the
+   deterministic release order at the barrier. *)
+type message = { mtime : int; mkey : int; mseq : int; mpkt : Netcore.Packet.t }
+
+(* One packet arrival, for the conformance trace. Entities live on one
+   shard each, so per-entity streams are recorded in execution order;
+   the merge sorts on (time, kind, id, per-entity seq) — a total,
+   shard-count-independent order as long as concurrent arrivals at
+   distinct entities never need a cross-entity tie broken differently
+   than the sequential scheduler would (the topology builders' per-link
+   delay skew keeps them on distinct picoseconds). *)
+type entry = { et : int; ekind : int; eid : int; eseq : int; edetail : string }
+
+type shard_state = {
+  mutable ctx : shard_ctx;
+  mutable staging : message list;
+  mutable trace : entry list;  (* reversed *)
+  mutable cross_sent : int;
+  mutable cross_delivered : int;
+}
+
+type engine = {
+  n : int;
+  until : int;
+  lookahead : int;
+  states : shard_state array;
+  chans : message Spsc.t option array array;
+  progress : int Atomic.t array;  (* published horizon (null message), ps *)
+  votes : int Atomic.t array;  (* completed_rounds * 2 + quiet? *)
+  xdeliver : (Netcore.Packet.t -> unit) array;  (* by mkey; receiver-owned *)
+}
+
+(* Spin briefly, then sleep. On a machine with a core per shard the
+   barrier resolves during the relax phase; with fewer cores than
+   shards (or one), spinning would burn the whole OS quantum while the
+   peer waits to run, so yield the processor instead. *)
+let backoff spins =
+  if spins < 200 then Domain.cpu_relax () else Unix.sleepf 0.0001
+
+let drain_inbound eng shard =
+  let st = eng.states.(shard) in
+  for j = 0 to eng.n - 1 do
+    match eng.chans.(j).(shard) with
+    | None -> ()
+    | Some c ->
+        let rec pop () =
+          match Spsc.try_pop c with
+          | None -> ()
+          | Some m ->
+              st.staging <- m :: st.staging;
+              pop ()
+        in
+        pop ()
+  done
+
+(* Producer-side send. On a full channel, drain our own inbound (the
+   peer may be blocked pushing to us) and retry — the barrier cannot
+   deadlock on mutual backpressure. *)
+let xsend eng ~src ~dst m =
+  match eng.chans.(src).(dst) with
+  | None -> assert false
+  | Some c ->
+      let spins = ref 0 in
+      while not (Spsc.try_push c m) do
+        drain_inbound eng src;
+        backoff !spins;
+        incr spins
+      done
+
+let compare_message a b =
+  match compare a.mtime b.mtime with
+  | 0 -> ( match compare a.mkey b.mkey with 0 -> compare a.mseq b.mseq | c -> c)
+  | c -> c
+
+let release_staged eng shard =
+  let st = eng.states.(shard) in
+  let msgs = List.sort compare_message st.staging in
+  st.staging <- [];
+  List.iter
+    (fun m ->
+      if m.mtime <= eng.until then
+        Scheduler.post ~cls:"xlink" st.ctx.sched ~at:m.mtime (fun () ->
+            st.cross_delivered <- st.cross_delivered + 1;
+            eng.xdeliver.(m.mkey) m.mpkt))
+    msgs
+
+let wait_progress eng shard ~horizon =
+  let again = ref true and spins = ref 0 in
+  while !again do
+    again := false;
+    for j = 0 to eng.n - 1 do
+      if Atomic.get eng.progress.(j) < horizon then again := true
+    done;
+    if !again then begin
+      drain_inbound eng shard;
+      backoff !spins;
+      incr spins
+    end
+  done
+
+let neighbor_horizons eng = Array.to_list (Array.map Atomic.get eng.progress)
+
+(* The lockstep round loop of one shard. Returns the number of rounds
+   it executed (identical on every shard). *)
+let run_shard eng shard =
+  let st = eng.states.(shard) in
+  let sched = st.ctx.sched in
+  let total = Horizon.rounds ~until:eng.until ~lookahead:eng.lookahead in
+  let r = ref 0 and stop = ref false in
+  while (not !stop) && !r < total do
+    let _, horizon = Horizon.window ~round:!r ~lookahead:eng.lookahead ~until:eng.until in
+    (* The conservative contract: every peer has published at least the
+       previous window's horizon, so [horizon] is within the safe
+       bound. *)
+    assert (horizon <= Horizon.safe ~neighbor_horizons:(neighbor_horizons eng) ~lookahead:eng.lookahead);
+    Scheduler.drain_until_horizon sched ~horizon;
+    Atomic.set eng.progress.(shard) horizon;
+    (* Barrier phase 1: everyone reaches [horizon]; all messages sent
+       in this round are then poppable (pushes happen-before the
+       horizon store). Drain while waiting to relieve backpressure. *)
+    wait_progress eng shard ~horizon;
+    drain_inbound eng shard;
+    release_staged eng shard;
+    let quiet = Scheduler.pending sched = 0 in
+    Atomic.set eng.votes.(shard) (((!r + 1) * 2) + if quiet then 1 else 0);
+    (* Barrier phase 2: collect this round's votes. A peer cannot be
+       past round [!r + 1]'s vote yet (that would need our next window
+       executed), so every vote read is for exactly this round and all
+       shards reach the same verdict. *)
+    let all_quiet = ref true in
+    for j = 0 to eng.n - 1 do
+      let v = ref (Atomic.get eng.votes.(j)) and spins = ref 0 in
+      while !v / 2 < !r + 1 do
+        backoff !spins;
+        incr spins;
+        v := Atomic.get eng.votes.(j)
+      done;
+      if !v land 1 = 0 then all_quiet := false
+    done;
+    if !all_quiet then stop := true;
+    incr r
+  done;
+  !r
+
+(* ------------------------------------------------------------------ *)
+(* Build + run                                                         *)
+
+type result = {
+  plan : plan;
+  rounds_executed : int;
+  events : int;
+  cross_sent : int;
+  cross_delivered : int;
+  trace : string list;
+  registries : Obs.Metrics.t list;
+  metrics_json : string;
+  host_sent : int array;
+  host_received : int array;
+  host_received_bytes : int array;
+  wall_s : float;
+  ctxs : shard_ctx array;
+}
+
+let flow_detail pkt =
+  match Netcore.Packet.flow pkt with
+  | Some f -> Format.asprintf "len=%d %a" (Netcore.Packet.len pkt) Netcore.Flow.pp f
+  | None -> Printf.sprintf "len=%d" (Netcore.Packet.len pkt)
+
+let compare_entry a b =
+  match compare a.et b.et with
+  | 0 -> (
+      match compare a.ekind b.ekind with
+      | 0 -> ( match compare a.eid b.eid with 0 -> compare a.eseq b.eseq | c -> c)
+      | c -> c)
+  | c -> c
+
+let render_entry e =
+  Printf.sprintf "t=%d %s=%d seq=%d %s" e.et (if e.ekind = 0 then "sw" else "host") e.eid e.eseq
+    e.edetail
+
+let run cfg (topo : Topology.t) =
+  let pl = plan topo ~shards:cfg.shards in
+  let n = cfg.shards in
+  let backend = match cfg.backend with None -> !Eventsim.Sched_backend.default | Some b -> b in
+  let scheds = Array.init n (fun _ -> Scheduler.create ~backend ()) in
+  let sched_of_sw sw = scheds.(pl.part.shard_of_switch.(sw)) in
+  let switches =
+    Array.init topo.switches (fun sw ->
+        let cfg_sw = cfg.switch_config sw in
+        let cfg_sw =
+          {
+            cfg_sw with
+            Event_switch.num_ports =
+              max cfg_sw.Event_switch.num_ports (Topology.max_port topo sw + 1);
+          }
+        in
+        Event_switch.create ~sched:(sched_of_sw sw) ~id:sw ~config:cfg_sw
+          ~program:(cfg.program sw) ())
+  in
+  let hosts =
+    Array.init topo.hosts (fun h ->
+        Host.create ~sched:scheds.(pl.part.shard_of_host.(h)) ~id:h ())
+  in
+  (* Mutable wiring state, then frozen into shard contexts. *)
+  let shard_switches = Array.make n [] and shard_hosts = Array.make n [] in
+  Array.iteri
+    (fun sw esw ->
+      let s = pl.part.shard_of_switch.(sw) in
+      shard_switches.(s) <- (sw, esw) :: shard_switches.(s))
+    switches;
+  Array.iteri
+    (fun h host ->
+      let s = pl.part.shard_of_host.(h) in
+      shard_hosts.(s) <- (h, host) :: shard_hosts.(s))
+    hosts;
+  let states =
+    Array.init n (fun s ->
+        {
+          ctx =
+            {
+              shard = s;
+              sched = scheds.(s);
+              metrics = Obs.Metrics.create ();
+              switches = List.rev shard_switches.(s);
+              hosts = List.rev shard_hosts.(s);
+              links = [];
+            };
+          staging = [];
+          trace = [];
+          cross_sent = 0;
+          cross_delivered = 0;
+        })
+  in
+  let chans = Array.make_matrix n n None in
+  List.iter
+    (fun (src, dst) -> chans.(src).(dst) <- Some (Spsc.create ~capacity:cfg.channel_capacity))
+    pl.channels;
+  let n_links = List.length topo.links in
+  let eng =
+    {
+      n;
+      until = cfg.until;
+      lookahead = pl.lookahead;
+      states;
+      chans;
+      progress = Array.init n (fun _ -> Atomic.make 0);
+      votes = Array.init n (fun _ -> Atomic.make 0);
+      xdeliver = Array.make (2 * n_links) (fun _ -> assert false);
+      }
+  in
+  (* Trace hooks: per-entity sequence numbers are global arrays, but
+     each entity is touched by exactly one shard's domain. *)
+  let sw_seq = Array.make topo.switches 0 and host_seq = Array.make topo.hosts 0 in
+  let sw_rx shard sw port pkt =
+    let st = states.(shard) in
+    if cfg.record_trace then begin
+      let seq = sw_seq.(sw) in
+      sw_seq.(sw) <- seq + 1;
+      st.trace <-
+        {
+          et = Scheduler.now st.ctx.sched;
+          ekind = 0;
+          eid = sw;
+          eseq = seq;
+          edetail = Printf.sprintf "port=%d %s" port (flow_detail pkt);
+        }
+        :: st.trace
+    end;
+    Event_switch.inject switches.(sw) ~port pkt
+  in
+  let host_rx shard h pkt =
+    let st = states.(shard) in
+    if cfg.record_trace then begin
+      let seq = host_seq.(h) in
+      host_seq.(h) <- seq + 1;
+      st.trace <-
+        {
+          et = Scheduler.now st.ctx.sched;
+          ekind = 1;
+          eid = h;
+          eseq = seq;
+          edetail = flow_detail pkt;
+        }
+        :: st.trace
+    end;
+    Host.deliver hosts.(h) pkt
+  in
+  let sw_endpoint shard sw port =
+    {
+      Link.deliver = (fun pkt -> sw_rx shard sw port pkt);
+      notify_status = (fun ~up -> Event_switch.link_status switches.(sw) ~port ~up);
+    }
+  in
+  (* Intra-shard links: real [Tmgr.Link]s — fault-injection capable. *)
+  List.iter
+    (fun (s, (l : Topology.link)) ->
+      let sw_a, port_a = l.a and sw_b, port_b = l.b in
+      let link =
+        Link.create ~sched:scheds.(s) ~delay:l.delay ?detection_delay:l.detection_delay
+          ~a:(sw_endpoint s sw_a port_a) ~b:(sw_endpoint s sw_b port_b) ()
+      in
+      Event_switch.set_port_tx switches.(sw_a) ~port:port_a (fun pkt ->
+          Link.send link ~from_a:true pkt);
+      Event_switch.set_port_tx switches.(sw_b) ~port:port_b (fun pkt ->
+          Link.send link ~from_a:false pkt);
+      states.(s).ctx <- { (states.(s).ctx) with links = (l.link_id, link) :: states.(s).ctx.links })
+    pl.local_links;
+  (* Host links are intra-shard by construction. *)
+  List.iter
+    (fun (at : Topology.attachment) ->
+      let s = pl.part.shard_of_host.(at.host) in
+      let host_ep =
+        { Link.deliver = (fun pkt -> host_rx s at.host pkt); notify_status = (fun ~up:_ -> ()) }
+      in
+      let link =
+        Link.create ~sched:scheds.(s) ~delay:at.host_delay ~a:host_ep
+          ~b:(sw_endpoint s at.switch at.port) ()
+      in
+      Host.set_tx hosts.(at.host) (fun pkt -> Link.send link ~from_a:true pkt);
+      Event_switch.set_port_tx switches.(at.switch) ~port:at.port (fun pkt ->
+          Link.send link ~from_a:false pkt);
+      states.(s).ctx <-
+        { (states.(s).ctx) with links = (n_links + at.host, link) :: states.(s).ctx.links })
+    topo.attachments;
+  (* Cross-shard links: each direction is a sender closure computing
+     the arrival timestamp (now + delay — exactly [Link.send]'s fast
+     path) and a receiver-side delivery endpoint released at the
+     barrier. They cannot fail: no perturbation, no status change. *)
+  let xseq = Array.make (2 * n_links) 0 in
+  List.iter
+    (fun c ->
+      let l = c.link in
+      let wire ~src ~dst ~mkey (sw_from, port_from) (sw_to, port_to) =
+        eng.xdeliver.(mkey) <- (fun pkt -> sw_rx dst sw_to port_to pkt);
+        Event_switch.set_port_tx switches.(sw_from) ~port:port_from (fun pkt ->
+            let st = states.(src) in
+            st.cross_sent <- st.cross_sent + 1;
+            let seq = xseq.(mkey) in
+            xseq.(mkey) <- seq + 1;
+            xsend eng ~src ~dst
+              { mtime = Scheduler.now st.ctx.sched + l.delay; mkey; mseq = seq; mpkt = pkt })
+      in
+      wire ~src:c.shard_a ~dst:c.shard_b ~mkey:(2 * l.link_id) l.a l.b;
+      wire ~src:c.shard_b ~dst:c.shard_a ~mkey:((2 * l.link_id) + 1) l.b l.a)
+    pl.cross;
+  (* Freeze link lists into link-id order for ctx consumers. *)
+  Array.iter
+    (fun st ->
+      st.ctx <-
+        { (st.ctx) with links = List.sort (fun (a, _) (b, _) -> compare a b) st.ctx.links })
+    states;
+  Array.iter (fun st -> cfg.on_shard st.ctx) states;
+  let t0 = Unix.gettimeofday () in
+  let rounds_executed =
+    if n = 1 then begin
+      (* True sequential path: no windows, no channels, no barriers. *)
+      Scheduler.run ~until:cfg.until scheds.(0);
+      1
+    end
+    else begin
+      let others = Array.init (n - 1) (fun i -> Domain.spawn (fun () -> run_shard eng (i + 1))) in
+      let r0 = run_shard eng 0 in
+      Array.iter (fun d -> ignore (Domain.join d : int)) others;
+      r0
+    end
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Array.iter
+    (fun st ->
+      List.iter (fun (_, sw) -> Event_switch.export_metrics sw st.ctx.metrics) st.ctx.switches)
+    states;
+  let registries = Array.to_list (Array.map (fun st -> st.ctx.metrics) states) in
+  let trace =
+    if not cfg.record_trace then []
+    else
+      Array.fold_left (fun acc (st : shard_state) -> List.rev_append st.trace acc) [] states
+      |> List.sort compare_entry
+      |> List.map render_entry
+  in
+  {
+    plan = pl;
+    rounds_executed;
+    events = Array.fold_left (fun acc s -> acc + Scheduler.executed s) 0 scheds;
+    cross_sent = Array.fold_left (fun acc (st : shard_state) -> acc + st.cross_sent) 0 states;
+    cross_delivered = Array.fold_left (fun acc (st : shard_state) -> acc + st.cross_delivered) 0 states;
+    trace;
+    registries;
+    metrics_json = Obs.Metrics.merged_json registries;
+    host_sent = Array.map Host.sent hosts;
+    host_received = Array.map Host.received hosts;
+    host_received_bytes = Array.map Host.received_bytes hosts;
+    wall_s;
+    ctxs = Array.map (fun st -> st.ctx) states;
+  }

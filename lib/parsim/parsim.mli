@@ -1,0 +1,139 @@
+(** Sharded parallel simulation backend (§4: distributed data-plane
+    state).
+
+    Partitions a declarative {!Evcore.Topology} into per-domain shards
+    — one {!Eventsim.Scheduler} plus its switches, hosts and
+    intra-shard links per OCaml domain — synchronized conservatively.
+    The global lookahead [L] is the minimum cross-shard link
+    propagation delay; simulated time is tiled into windows of width
+    [L] and every shard executes window [r] only after all shards have
+    published horizon [r*L] (the null-message horizon update, a pair of
+    atomic per-shard cells). A packet crossing shards departs inside
+    some window and arrives at least [L] later, i.e. no earlier than
+    the next window — no shard ever receives an event in its past.
+
+    Cross-shard deliveries travel through bounded {!Spsc} channels, are
+    staged at the round barrier, sorted by (arrival time, link,
+    sequence) and released into the receiving scheduler. A shard that
+    finds an outbound channel full drains its own inbound channels
+    while retrying, so backpressure cannot deadlock the barrier. When a
+    round ends with every shard's queue empty the fleet votes itself
+    quiescent and stops early.
+
+    [shards = 1] takes the true sequential path — one scheduler, plain
+    {!Eventsim.Scheduler.run}, no channels — so a sharded run can be
+    conformance-checked against the sequential run of the same seed:
+    with the topology builders' per-link delay skew keeping concurrent
+    arrivals off the same picosecond, the merged event {!result.trace}
+    and merged metrics are byte-identical across shard counts. *)
+
+module Spsc = Spsc
+(** Re-exported so the channel is testable/usable on its own. *)
+
+module Horizon = Horizon
+(** Re-exported: the pure synchronization-safety arithmetic. *)
+
+type partition = {
+  shards : int;
+  shard_of_switch : int array;
+  shard_of_host : int array;  (** a host lives with its edge switch *)
+}
+
+val partition : Evcore.Topology.t -> shards:int -> partition
+(** Contiguous, balanced blocks of switch ids. [shards] must be between
+    1 and the switch count. *)
+
+type cross_link = {
+  link : Evcore.Topology.link;
+  shard_a : int;  (** shard owning endpoint [a] *)
+  shard_b : int;
+}
+
+type plan = {
+  part : partition;
+  local_links : (int * Evcore.Topology.link) list;
+      (** (owning shard, link); both endpoints on one shard *)
+  cross : cross_link list;
+  channels : (int * int) list;
+      (** directed (src, dst) shard pairs carrying at least one
+          cross-link direction — each gets one SPSC channel *)
+  lookahead : Eventsim.Sim_time.t;
+      (** min cross-link delay; effectively infinite when nothing
+          crosses (a single window covers the whole run) *)
+}
+
+val plan : Evcore.Topology.t -> shards:int -> plan
+
+type shard_ctx = {
+  shard : int;
+  sched : Eventsim.Scheduler.t;
+  metrics : Obs.Metrics.t;
+  switches : (int * Evcore.Event_switch.t) list;  (** by global id *)
+  hosts : (int * Evcore.Host.t) list;
+  links : (int * Tmgr.Link.t) list;
+      (** intra-shard links by [link_id]; host links are appended after
+          switch links with ids [links + host] — valid fault-injection
+          targets. Cross-shard links are channel pairs, not [Link.t]s,
+          and cannot be failed (a status change cannot honour the
+          lookahead contract); restrict chaos to these. *)
+}
+
+type config = {
+  shards : int;
+  until : Eventsim.Sim_time.t;  (** execute events with time <= until *)
+  channel_capacity : int;
+  backend : Eventsim.Sched_backend.t option;
+      (** per-shard scheduler backend; [None] = [!Sched_backend.default] *)
+  record_trace : bool;
+      (** record every switch-port/host packet arrival; the merged
+          trace is the conformance artefact (costs allocation — leave
+          off for throughput runs) *)
+  switch_config : int -> Evcore.Event_switch.config;
+      (** per-switch; [num_ports] is raised to cover the topology.
+          Must not depend on the shard count, or determinism across
+          shard counts is forfeit. *)
+  program : int -> Evcore.Program.spec;
+  on_shard : shard_ctx -> unit;
+      (** runs once per shard after wiring, before the clock starts
+          (still on the spawning domain): install workloads, faults,
+          extra metrics *)
+}
+
+val config :
+  ?shards:int ->
+  ?channel_capacity:int ->
+  ?backend:Eventsim.Sched_backend.t ->
+  ?record_trace:bool ->
+  ?on_shard:(shard_ctx -> unit) ->
+  until:Eventsim.Sim_time.t ->
+  switch_config:(int -> Evcore.Event_switch.config) ->
+  program:(int -> Evcore.Program.spec) ->
+  unit ->
+  config
+(** Defaults: 1 shard, capacity 1024, default backend, no trace. *)
+
+type result = {
+  plan : plan;
+  rounds_executed : int;
+  events : int;  (** callbacks executed, summed over shards *)
+  cross_sent : int;
+  cross_delivered : int;  (** < [cross_sent] when [until] cut arrivals off *)
+  trace : string list;
+      (** merged arrival trace, deterministically ordered by
+          (time, entity kind, entity id, per-entity seq); empty unless
+          [record_trace] *)
+  registries : Obs.Metrics.t list;  (** per shard *)
+  metrics_json : string;
+      (** {!Obs.Metrics.merged_json} of the per-shard registries:
+          per-switch series only (plus whatever [on_shard] added), so a
+          sequential and a sharded run are byte-comparable *)
+  host_sent : int array;  (** by host id *)
+  host_received : int array;
+  host_received_bytes : int array;
+  wall_s : float;  (** wall-clock of the run phase only *)
+  ctxs : shard_ctx array;
+}
+
+val run : config -> Evcore.Topology.t -> result
+(** Build, execute, merge. Validates the topology; raises
+    [Invalid_argument] on a bad shard count. *)

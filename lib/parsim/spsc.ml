@@ -1,0 +1,43 @@
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (* next slot to pop; owned by the consumer *)
+  tail : int Atomic.t;  (* next slot to fill; owned by the producer *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  let cap = pow2 capacity 1 in
+  { buf = Array.make cap None; mask = cap - 1; head = Atomic.make 0; tail = Atomic.make 0 }
+
+let capacity t = Array.length t.buf
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    (* Plain slot write published by the tail store: a consumer that
+       observes the new tail also observes the slot (OCaml memory
+       model; atomics are SC, plain writes before them are released). *)
+    t.buf.(tail land t.mask) <- Some v;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head = tail then None
+  else begin
+    let i = head land t.mask in
+    let v = t.buf.(i) in
+    t.buf.(i) <- None;
+    Atomic.set t.head (head + 1);
+    (match v with None -> assert false | Some _ -> ());
+    v
+  end
+
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)

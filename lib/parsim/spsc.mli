@@ -1,0 +1,32 @@
+(** Bounded single-producer single-consumer channel.
+
+    The cross-shard message pipe: exactly one domain pushes and exactly
+    one domain pops, which lets the ring get by with two atomic
+    counters and the OCaml memory model's publication guarantee (the
+    slot write happens-before the tail store; the consumer's acquire of
+    the tail makes the slot visible). Using one channel from two
+    producers or two consumers is undefined.
+
+    Capacity is fixed at creation: {!try_push} refuses when the ring is
+    full, which is the engine's backpressure signal. The engine never
+    blocks inside the channel — a shard that finds a channel full keeps
+    draining its own inbound channels while retrying, so two mutually
+    full channels cannot deadlock. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Rounded up to a power of two; [capacity >= 1]. *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side. [false] when full. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side. [None] when empty. The slot is cleared so the ring
+    never pins a popped value. *)
+
+val length : 'a t -> int
+(** Racy by nature (either side may be mid-operation); exact when both
+    sides are quiescent, as at a round barrier. *)

@@ -1,0 +1,33 @@
+(* Regenerate the canonical golden traces in test/golden/.
+
+   Usage: dune exec test/gen_golden.exe -- [output-dir]
+
+   The canon is defined as the SEQUENTIAL run under the HEAP backend —
+   the simplest execution mode, one scheduler, no channels — of the
+   E23 golden scenario for each golden seed. Every other mode (wheel
+   backend, sharded runs) is tested against these files byte-for-byte,
+   so regenerating them is only legitimate when the simulated behaviour
+   intentionally changed. *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let topo = Experiments.E23_scale.topo () in
+  List.iter
+    (fun seed ->
+      let cfg =
+        Experiments.E23_scale.golden_scenario ~shards:1 ~backend:Eventsim.Sched_backend.Heap
+          ~seed ()
+      in
+      let r = Parsim.run cfg topo in
+      let path = Filename.concat dir (Experiments.E23_scale.golden_file seed) in
+      let oc = open_out path in
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        r.Parsim.trace;
+      close_out oc;
+      Printf.printf "wrote %s (%d trace lines, %d events)\n" path (List.length r.Parsim.trace)
+        r.Parsim.events)
+    Experiments.E23_scale.golden_seeds

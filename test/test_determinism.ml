@@ -133,6 +133,91 @@ let test_chaos_seed_diverges () =
   let _, j2 = chaos_once ~seed:43 ~profile:Faults.Profile.Flaky_links in
   Alcotest.(check bool) "different seeds diverge" false (j1 = j2)
 
+(* Parsim extension: on a random small topology with a random seed, a
+   sharded run's merged metrics snapshot, merged trace and per-host
+   counters must equal the sequential (1-shard) run's. Topologies are
+   drawn from both builders; the shard count ranges over everything the
+   partitioner accepts for that size. *)
+
+let parsim_run ~topo_kind ~size ~seed ~shards =
+  let module Topology = Evcore.Topology in
+  let topo, route =
+    match topo_kind with
+    | `Ring -> (Topology.ring ~switches:size (), Topology.ring_route ~switches:size)
+    | `Fat_tree -> (Topology.fat_tree ~k:2 (), Topology.fat_tree_route ~k:2)
+  in
+  let num_hosts = topo.Topology.hosts in
+  let addr_of_host h = Netcore.Ipv4_addr.of_octets 10 0 0 h in
+  let host_of_addr a = Netcore.Ipv4_addr.to_int a land 0xff in
+  let program : Evcore.Program.spec =
+   fun _ ->
+    Evcore.Program.make ~name:"qcheck-route"
+      ~ingress:(fun ctx pkt ->
+        match pkt.Netcore.Packet.ip with
+        | Some ip ->
+            Evcore.Program.Forward
+              (route ~sw:ctx.Evcore.Program.switch_id
+                 ~dst_host:(host_of_addr ip.Netcore.Ipv4.dst))
+        | None -> Evcore.Program.Drop)
+      ()
+  in
+  let until = Sim_time.us 180 in
+  let cfg =
+    Parsim.config ~shards ~record_trace:true ~until
+      ~switch_config:(fun sw ->
+        let cfg = Event_switch.default_config Evcore.Arch.sume_event_switch in
+        { cfg with Event_switch.seed = seed + (31 * sw) })
+      ~program:(fun _ -> program)
+      ~on_shard:(fun ctx ->
+        List.iter
+          (fun (h, host) ->
+            let dst = (h + 1) mod num_hosts in
+            let flow =
+              Netcore.Flow.make ~src:(addr_of_host h) ~dst:(addr_of_host dst)
+                ~proto:Netcore.Ipv4.proto_udp ~src_port:(4000 + h) ~dst_port:(5000 + dst)
+                ()
+            in
+            let rng = Stats.Rng.create ~seed:(seed + (7919 * h)) in
+            ignore
+              (Workloads.Traffic.cbr ~sched:ctx.Parsim.sched ~flow ~pkt_bytes:128
+                 ~rate_gbps:1. ~stop:(until - Sim_time.us 80)
+                 ~jitter:(rng, Sim_time.ns 30)
+                 ~send:(Evcore.Host.send host) ()
+                : Workloads.Traffic.t))
+          ctx.Parsim.hosts)
+      ()
+  in
+  Parsim.run cfg topo
+
+let qcheck_parsim_matches_sequential =
+  let gen =
+    QCheck.make
+      ~print:(fun (kind, size, seed, shards) ->
+        Printf.sprintf "(%s, size=%d, seed=%d, shards=%d)"
+          (match kind with `Ring -> "ring" | `Fat_tree -> "fat-tree k=2")
+          size seed shards)
+      QCheck.Gen.(
+        let* kind = oneofl [ `Ring; `Fat_tree ] in
+        let* size = int_range 2 6 in
+        (* fat_tree k=2 has 5 switches regardless of [size] *)
+        let switches = match kind with `Ring -> size | `Fat_tree -> 5 in
+        let* seed = int_range 0 10_000 in
+        let* shards = int_range 2 switches in
+        return (kind, size, seed, shards))
+  in
+  QCheck.Test.make ~count:12 ~name:"random topology: sharded = sequential" gen
+    (fun (kind, size, seed, shards) ->
+      let seq = parsim_run ~topo_kind:kind ~size ~seed ~shards:1 in
+      let par = parsim_run ~topo_kind:kind ~size ~seed ~shards in
+      if Array.fold_left ( + ) 0 seq.Parsim.host_received = 0 then
+        QCheck.Test.fail_report "no traffic delivered — vacuous comparison";
+      if seq.Parsim.metrics_json <> par.Parsim.metrics_json then
+        QCheck.Test.fail_report "merged metrics snapshots diverge";
+      if seq.Parsim.trace <> par.Parsim.trace then
+        QCheck.Test.fail_report "merged traces diverge";
+      seq.Parsim.host_received = par.Parsim.host_received
+      && seq.Parsim.host_sent = par.Parsim.host_sent)
+
 let suite =
   [
     Alcotest.test_case "same seed, identical trace" `Quick test_trace_identical;
@@ -142,4 +227,5 @@ let suite =
     Alcotest.test_case "heap vs wheel, identical chaos" `Quick test_chaos_backends_identical;
     Alcotest.test_case "chaos run, identical metrics" `Quick test_chaos_identical;
     Alcotest.test_case "chaos run, seed diverges" `Quick test_chaos_seed_diverges;
+    QCheck_alcotest.to_alcotest qcheck_parsim_matches_sequential;
   ]

@@ -523,6 +523,45 @@ let test_multicast_with_invalid_member () =
   Alcotest.(check int) "two valid copies" 2 !got;
   Alcotest.(check int) "bad member counted" 1 (Event_switch.unrouted sw)
 
+let test_duplicate_port_raises () =
+  (* Regression: wiring the same switch port twice used to silently
+     overwrite the first link's transmit side. *)
+  let sched = Scheduler.create () in
+  let network = Network.create ~sched in
+  let mk () = make_switch ~sched (Program.forward_all ~name:"fwd" ~out_port:1) in
+  let sw_a = mk () and sw_b = mk () and sw_c = mk () in
+  ignore (Network.connect_switches network ~a:(sw_a, 1) ~b:(sw_b, 1) ());
+  Alcotest.check_raises "switch port rewired"
+    (Invalid_argument "Network.connect_switches: switch 0 port 1 is already connected")
+    (fun () -> ignore (Network.connect_switches network ~a:(sw_a, 1) ~b:(sw_c, 1) ()));
+  Alcotest.check_raises "b side rewired"
+    (Invalid_argument "Network.connect_switches: switch 0 port 1 is already connected")
+    (fun () -> ignore (Network.connect_switches network ~a:(sw_c, 1) ~b:(sw_b, 1) ()));
+  let host = Host.create ~sched ~id:0 () in
+  Alcotest.check_raises "host onto a taken port"
+    (Invalid_argument "Network.connect_host: switch 0 port 1 is already connected")
+    (fun () -> ignore (Network.connect_host network ~host ~switch:(sw_b, 1) ()));
+  (* A rejected wiring must not half-claim its [a] side: after the
+     a-c failure above, port 2 of [sw_c] is untouched and a fresh pair
+     of ports still connects. *)
+  ignore (Network.connect_switches network ~a:(sw_a, 2) ~b:(sw_c, 2) ());
+  (* Same port number on a different switch is distinct even with
+     colliding ids (all default to 0 here). *)
+  ignore (Network.connect_host network ~host ~switch:(sw_c, 0) ())
+
+let test_connect_rollback_on_failure () =
+  (* If claiming the [b] side fails, the [a] side is rolled back and
+     remains connectable. *)
+  let sched = Scheduler.create () in
+  let network = Network.create ~sched in
+  let mk () = make_switch ~sched (Program.forward_all ~name:"fwd" ~out_port:1) in
+  let sw_a = mk () and sw_b = mk () in
+  ignore (Network.connect_switches network ~a:(sw_b, 3) ~b:(sw_a, 3) ());
+  (match Network.connect_switches network ~a:(sw_a, 1) ~b:(sw_b, 3) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on the b side");
+  ignore (Network.connect_switches network ~a:(sw_a, 1) ~b:(sw_b, 1) ())
+
 let qcheck_switch_conservation =
   (* End-to-end: injected = transmitted + program drops + TM drops +
      egress drops + unrouted + merger input drops, once drained. *)
@@ -594,5 +633,7 @@ let suite =
     Alcotest.test_case "negative delay raises" `Quick test_scheduler_negative_delay_raises;
     Alcotest.test_case "pktgen zero period raises" `Quick test_pktgen_zero_period_raises;
     Alcotest.test_case "multicast with invalid member" `Quick test_multicast_with_invalid_member;
+    Alcotest.test_case "duplicate port raises" `Quick test_duplicate_port_raises;
+    Alcotest.test_case "connect rollback on failure" `Quick test_connect_rollback_on_failure;
     QCheck_alcotest.to_alcotest qcheck_switch_conservation;
   ]

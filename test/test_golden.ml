@@ -1,0 +1,82 @@
+(* Golden-trace conformance: the canonical sequential/heap traces of
+   the E23 golden scenario (seeds 42 and 7, recorded in test/golden/ by
+   gen_golden.ml) must be reproduced byte-for-byte by the wheel
+   backend and by sharded runs at 1, 2 and 4 shards — the tentpole
+   guarantee pinned to files under review, so a silent behaviour change
+   in any layer (scheduler backends, switch pipeline, parsim barrier)
+   fails loudly. *)
+
+module E23 = Experiments.E23_scale
+module Sched_backend = Eventsim.Sched_backend
+
+let read_golden seed =
+  let path = Filename.concat "golden" (E23.golden_file seed) in
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let run_variant ~seed ~backend ~shards =
+  let cfg = E23.golden_scenario ~shards ~backend ~seed () in
+  Parsim.run cfg (E23.topo ())
+
+let variants =
+  [
+    ("sequential-heap", Sched_backend.Heap, 1);
+    ("sequential-wheel", Sched_backend.Wheel, 1);
+    ("2-shard-heap", Sched_backend.Heap, 2);
+    ("2-shard-wheel", Sched_backend.Wheel, 2);
+    ("4-shard-heap", Sched_backend.Heap, 4);
+    ("4-shard-wheel", Sched_backend.Wheel, 4);
+  ]
+
+let test_variant ~seed (name, backend, shards) () =
+  let golden = read_golden seed in
+  Alcotest.(check bool) "golden trace non-empty" true (golden <> []);
+  let r = run_variant ~seed ~backend ~shards in
+  if shards > 1 then
+    Alcotest.(check bool) "cross-shard messages flowed" true (r.Parsim.cross_sent > 0);
+  (* Compare line counts first for a readable failure, then the exact
+     lines. *)
+  Alcotest.(check int)
+    (Printf.sprintf "%s seed %d: trace length" name seed)
+    (List.length golden) (List.length r.Parsim.trace);
+  List.iteri
+    (fun i (want, got) ->
+      if want <> got then
+        Alcotest.failf "%s seed %d: line %d diverges\n  golden: %s\n  got:    %s" name seed
+          (i + 1) want got)
+    (List.combine golden r.Parsim.trace)
+
+(* The sharded runs must also agree on the merged metrics snapshot —
+   the trace files pin arrivals, this pins the counters. *)
+let test_metrics_conformance ~seed () =
+  let seq = run_variant ~seed ~backend:Sched_backend.Heap ~shards:1 in
+  List.iter
+    (fun shards ->
+      let r = run_variant ~seed ~backend:Sched_backend.Wheel ~shards in
+      Alcotest.(check string)
+        (Printf.sprintf "metrics json, %d shards, seed %d" shards seed)
+        seq.Parsim.metrics_json r.Parsim.metrics_json)
+    [ 2; 4 ]
+
+let suite =
+  List.concat_map
+    (fun seed ->
+      List.map
+        (fun ((name, _, _) as v) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s reproduces golden (seed %d)" name seed)
+            `Quick (test_variant ~seed v))
+        variants
+      @ [
+          Alcotest.test_case
+            (Printf.sprintf "merged metrics conform (seed %d)" seed)
+            `Quick (test_metrics_conformance ~seed);
+        ])
+    E23.golden_seeds

@@ -1,0 +1,431 @@
+(* Sharded parallel backend: partitioning, horizon algebra, SPSC
+   channels, windowed draining, and sequential-vs-sharded conformance
+   on a small ring. The full-size fat-tree conformance lives in the
+   golden suite and E23. *)
+
+module Sim_time = Eventsim.Sim_time
+module Scheduler = Eventsim.Scheduler
+module Sched_backend = Eventsim.Sched_backend
+module Topology = Evcore.Topology
+module Event_switch = Evcore.Event_switch
+module Program = Evcore.Program
+module Arch = Evcore.Arch
+module Host = Evcore.Host
+module Packet = Netcore.Packet
+module Ipv4_addr = Netcore.Ipv4_addr
+module Spsc = Parsim.Spsc
+module Horizon = Parsim.Horizon
+
+(* ------------------------------------------------------------------ *)
+(* Partitioning                                                        *)
+
+let test_partition_exactly_once () =
+  let topo = Topology.fat_tree ~k:4 () in
+  List.iter
+    (fun shards ->
+      let p = Parsim.partition topo ~shards in
+      Alcotest.(check int) "switch array sized" topo.Topology.switches
+        (Array.length p.Parsim.shard_of_switch);
+      let counts = Array.make shards 0 in
+      Array.iter
+        (fun s ->
+          Alcotest.(check bool) "shard id in range" true (s >= 0 && s < shards);
+          counts.(s) <- counts.(s) + 1)
+        p.Parsim.shard_of_switch;
+      (* Every switch lands in exactly one shard (it has exactly one
+         array slot), every shard is populated, and blocks are balanced
+         to within one switch. *)
+      let mn = Array.fold_left min max_int counts
+      and mx = Array.fold_left max 0 counts in
+      Alcotest.(check bool) "no empty shard" true (mn >= 1);
+      Alcotest.(check bool) "balanced" true (mx - mn <= 1);
+      (* Contiguous blocks: assignments never decrease with switch id. *)
+      Array.iteri
+        (fun i s ->
+          if i > 0 then
+            Alcotest.(check bool) "contiguous blocks" true
+              (s >= p.Parsim.shard_of_switch.(i - 1)))
+        p.Parsim.shard_of_switch;
+      (* A host lives with its edge switch. *)
+      List.iter
+        (fun (at : Topology.attachment) ->
+          Alcotest.(check int) "host co-located" p.Parsim.shard_of_switch.(at.switch)
+            p.Parsim.shard_of_host.(at.host))
+        topo.Topology.attachments)
+    [ 1; 2; 3; 4; 5; 20 ]
+
+let test_partition_bad_counts () =
+  let topo = Topology.ring ~switches:4 () in
+  List.iter
+    (fun shards ->
+      match Parsim.partition topo ~shards with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "partition accepted %d shards for 4 switches" shards)
+    [ 0; -1; 5 ]
+
+let test_plan_link_coverage () =
+  let topo = Topology.ring ~switches:6 () in
+  let pl = Parsim.plan topo ~shards:3 in
+  let part = pl.Parsim.part in
+  let seen = Hashtbl.create 16 in
+  let claim lid =
+    if Hashtbl.mem seen lid then Alcotest.failf "link %d planned twice" lid;
+    Hashtbl.add seen lid ()
+  in
+  List.iter
+    (fun (owner, (l : Topology.link)) ->
+      claim l.link_id;
+      let sa = part.Parsim.shard_of_switch.(fst l.a)
+      and sb = part.Parsim.shard_of_switch.(fst l.b) in
+      Alcotest.(check int) "local link endpoints co-sharded" sa sb;
+      Alcotest.(check int) "local link owner" sa owner)
+    pl.Parsim.local_links;
+  List.iter
+    (fun (c : Parsim.cross_link) ->
+      claim c.link.link_id;
+      Alcotest.(check int) "shard_a recorded" part.Parsim.shard_of_switch.(fst c.link.a)
+        c.shard_a;
+      Alcotest.(check int) "shard_b recorded" part.Parsim.shard_of_switch.(fst c.link.b)
+        c.shard_b;
+      Alcotest.(check bool) "cross link spans shards" true (c.shard_a <> c.shard_b);
+      (* Links are bidirectional: each cross link needs a channel
+         endpoint in both directions. *)
+      List.iter
+        (fun dir ->
+          Alcotest.(check bool) "channel exists for direction" true
+            (List.mem dir pl.Parsim.channels))
+        [ (c.shard_a, c.shard_b); (c.shard_b, c.shard_a) ])
+    pl.Parsim.cross;
+  Alcotest.(check int) "every link planned exactly once"
+    (List.length topo.Topology.links)
+    (Hashtbl.length seen);
+  Alcotest.(check bool) "ring cut produces cross links" true (pl.Parsim.cross <> []);
+  (* Channel list is duplicate-free. *)
+  Alcotest.(check int) "channels distinct"
+    (List.length pl.Parsim.channels)
+    (List.length (List.sort_uniq compare pl.Parsim.channels));
+  (* Lookahead is the minimum cross-link delay, and the safety bound:
+     no cross link is faster. *)
+  let min_cross =
+    List.fold_left (fun acc (c : Parsim.cross_link) -> min acc c.link.delay) max_int
+      pl.Parsim.cross
+  in
+  Alcotest.(check int) "lookahead = min cross delay" min_cross pl.Parsim.lookahead
+
+let test_plan_single_shard () =
+  let topo = Topology.ring ~switches:4 () in
+  let pl = Parsim.plan topo ~shards:1 in
+  Alcotest.(check int) "no cross links" 0 (List.length pl.Parsim.cross);
+  Alcotest.(check (list (pair int int))) "no channels" [] pl.Parsim.channels;
+  Alcotest.(check int) "all links local" (List.length topo.Topology.links)
+    (List.length pl.Parsim.local_links);
+  (* With nothing crossing, one window must cover any realistic run. *)
+  Alcotest.(check bool) "lookahead effectively infinite" true
+    (pl.Parsim.lookahead > Sim_time.ms 1_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Horizon algebra                                                     *)
+
+let test_horizon_safe () =
+  Alcotest.(check int) "no neighbours = unbounded" max_int
+    (Horizon.safe ~neighbor_horizons:[] ~lookahead:5);
+  Alcotest.(check int) "min over neighbours" 15
+    (Horizon.safe ~neighbor_horizons:[ 10; 40; 25 ] ~lookahead:5);
+  Alcotest.(check int) "laggard dominates" 7
+    (Horizon.safe ~neighbor_horizons:[ 0; 1000 ] ~lookahead:7);
+  List.iter
+    (fun lookahead ->
+      match Horizon.safe ~neighbor_horizons:[ 10 ] ~lookahead with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "lookahead %d accepted" lookahead)
+    [ 0; -3 ]
+
+let check_tiling ~until ~lookahead =
+  let rounds = Horizon.rounds ~until ~lookahead in
+  if rounds * lookahead <= until then
+    Alcotest.failf "rounds=%d too few for until=%d L=%d" rounds until lookahead;
+  if (rounds - 1) * lookahead > until then
+    Alcotest.failf "rounds=%d too many for until=%d L=%d" rounds until lookahead;
+  let start0, _ = Horizon.window ~round:0 ~lookahead ~until in
+  Alcotest.(check int) "first window starts at 0" 0 start0;
+  for r = 0 to rounds - 1 do
+    let start, horizon = Horizon.window ~round:r ~lookahead ~until in
+    Alcotest.(check bool) "window non-degenerate" true (start < horizon);
+    Alcotest.(check bool) "horizon clamped" true (horizon <= until + 1);
+    if r < rounds - 1 then
+      let start', _ = Horizon.window ~round:(r + 1) ~lookahead ~until in
+      Alcotest.(check int) "windows tile" horizon start'
+  done;
+  let _, last = Horizon.window ~round:(rounds - 1) ~lookahead ~until in
+  Alcotest.(check int) "last horizon covers until" (until + 1) last
+
+let test_horizon_tiling () =
+  List.iter
+    (fun (until, lookahead) -> check_tiling ~until ~lookahead)
+    [ (100, 7); (100, 100); (100, 1000); (0, 1); (0, 50); (99, 33); (1_000_000, 1_100_000) ]
+
+let qcheck_horizon_tiling =
+  QCheck.Test.make ~count:200 ~name:"horizon windows tile [0, until+1) exactly"
+    QCheck.(pair (int_range 0 100_000) (int_range 1 10_000))
+    (fun (until, lookahead) ->
+      check_tiling ~until ~lookahead;
+      (* The conservative rule itself: once every neighbour has
+         published round r's start, the safe bound reaches round r's
+         horizon. *)
+      let r = Horizon.rounds ~until ~lookahead - 1 in
+      let start, horizon = Horizon.window ~round:r ~lookahead ~until in
+      Horizon.safe ~neighbor_horizons:[ start; start ] ~lookahead >= horizon)
+
+(* ------------------------------------------------------------------ *)
+(* SPSC channel                                                        *)
+
+let test_spsc_fifo_and_backpressure () =
+  let ch = Spsc.create ~capacity:4 in
+  Alcotest.(check int) "capacity" 4 (Spsc.capacity ch);
+  List.iter (fun i -> Alcotest.(check bool) "push accepted" true (Spsc.try_push ch i)) [ 1; 2; 3; 4 ];
+  Alcotest.(check bool) "full channel refuses" false (Spsc.try_push ch 5);
+  Alcotest.(check int) "length when full" 4 (Spsc.length ch);
+  Alcotest.(check (option int)) "fifo head" (Some 1) (Spsc.try_pop ch);
+  Alcotest.(check bool) "slot freed by pop" true (Spsc.try_push ch 5);
+  List.iter
+    (fun expect -> Alcotest.(check (option int)) "fifo order" (Some expect) (Spsc.try_pop ch))
+    [ 2; 3; 4; 5 ];
+  Alcotest.(check (option int)) "empty pops None" None (Spsc.try_pop ch);
+  Alcotest.(check int) "drained" 0 (Spsc.length ch)
+
+let test_spsc_capacity_rounding () =
+  List.iter
+    (fun (asked, got) -> Alcotest.(check int) "pow2 round-up" got (Spsc.capacity (Spsc.create ~capacity:asked)))
+    [ (1, 1); (2, 2); (3, 4); (5, 8); (1000, 1024) ]
+
+let test_spsc_cross_domain () =
+  (* One producer domain, consumer on the main domain: order and
+     content survive the domain boundary under backpressure (capacity 8
+     forces constant full-channel retries). *)
+  let n = 20_000 in
+  let ch = Spsc.create ~capacity:8 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          while not (Spsc.try_push ch i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let got = ref 0 in
+  let sum = ref 0 in
+  while !got < n do
+    match Spsc.try_pop ch with
+    | Some v ->
+        Alcotest.(check int) "in order across domains" !got v;
+        sum := !sum + v;
+        incr got
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  Alcotest.(check int) "nothing lost or duplicated" (n * (n - 1) / 2) !sum;
+  Alcotest.(check (option int)) "channel empty at the end" None (Spsc.try_pop ch)
+
+(* ------------------------------------------------------------------ *)
+(* Windowed draining (the scheduler hook the engine relies on)         *)
+
+let test_drain_until_horizon backend () =
+  let sched = Scheduler.create ~backend () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Scheduler.post sched ~at:t (fun () -> fired := t :: !fired))
+    [ 5; 10; 15 ];
+  Scheduler.drain_until_horizon sched ~horizon:10;
+  (* Strictly-before semantics: the event at the horizon stays queued. *)
+  Alcotest.(check (list int)) "only t<10 ran" [ 5 ] (List.rev !fired);
+  Alcotest.(check int) "clock parked at horizon" 10 (Scheduler.now sched);
+  Alcotest.(check int) "rest still queued" 2 (Scheduler.pending sched);
+  (* Draining to the same horizon again is a no-op, and work may still
+     be scheduled at the horizon itself — the cross-shard injection
+     pattern. *)
+  Scheduler.drain_until_horizon sched ~horizon:10;
+  Scheduler.post sched ~at:10 (fun () -> fired := 99 :: !fired);
+  Scheduler.drain_until_horizon sched ~horizon:16;
+  (* Ties run in schedule order: the event queued before the drain
+     precedes the one posted at the barrier. *)
+  Alcotest.(check (list int)) "horizon event ran next window" [ 5; 10; 99; 15 ]
+    (List.rev !fired);
+  Alcotest.(check int) "clock at new horizon" 16 (Scheduler.now sched);
+  match Scheduler.drain_until_horizon sched ~horizon:12 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "horizon before now accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+
+let test_topology_validate () =
+  let link link_id a b : Topology.link =
+    { Topology.link_id; a; b; delay = Sim_time.us 1; detection_delay = None }
+  in
+  let dup : Topology.t =
+    {
+      switches = 2;
+      hosts = 0;
+      links = [ link 0 (0, 1) (1, 1); link 1 (0, 1) (1, 2) ];
+      attachments = [];
+    }
+  in
+  (match Topology.validate dup with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate (switch, port) accepted");
+  let out_of_range : Topology.t =
+    { switches = 2; hosts = 0; links = [ link 0 (0, 1) (2, 1) ]; attachments = [] }
+  in
+  (match Topology.validate out_of_range with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "out-of-range switch id accepted");
+  (* The builders themselves must pass their own validator. *)
+  Topology.validate (Topology.ring ~switches:5 ());
+  Topology.validate (Topology.fat_tree ~k:4 ())
+
+(* Follow the deterministic routing function through the topology graph
+   and confirm every (source, destination) pair reaches the destination
+   host in a bounded number of hops. *)
+let check_routing_reaches (topo : Topology.t) ~route ~max_hops =
+  let port_map = Hashtbl.create 64 in
+  List.iter
+    (fun (l : Topology.link) ->
+      Hashtbl.replace port_map l.a (`Switch l.b);
+      Hashtbl.replace port_map l.b (`Switch l.a))
+    topo.links;
+  List.iter
+    (fun (at : Topology.attachment) ->
+      Hashtbl.replace port_map (at.switch, at.port) (`Host at.host))
+    topo.attachments;
+  List.iter
+    (fun (src : Topology.attachment) ->
+      for dst = 0 to topo.hosts - 1 do
+        let sw = ref src.switch and hops = ref 0 and arrived = ref false in
+        while not !arrived do
+          incr hops;
+          if !hops > max_hops then
+            Alcotest.failf "host %d -> %d: no arrival after %d hops" src.host dst max_hops;
+          let port = route ~sw:!sw ~dst_host:dst in
+          match Hashtbl.find_opt port_map (!sw, port) with
+          | Some (`Host h) ->
+              Alcotest.(check int) "routed to the right host" dst h;
+              arrived := true
+          | Some (`Switch (sw', _)) -> sw := sw'
+          | None -> Alcotest.failf "switch %d port %d is unwired" !sw port
+        done
+      done)
+    topo.attachments
+
+let test_fat_tree_route_reaches () =
+  check_routing_reaches (Topology.fat_tree ~k:4 ()) ~route:(Topology.fat_tree_route ~k:4)
+    ~max_hops:5
+
+let test_ring_route_reaches () =
+  check_routing_reaches
+    (Topology.ring ~switches:5 ())
+    ~route:(Topology.ring_route ~switches:5)
+    ~max_hops:5
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end conformance on a ring                                    *)
+
+let addr_of_host h = Ipv4_addr.of_octets 10 0 0 h
+let host_of_addr a = Ipv4_addr.to_int a land 0xff
+
+let ring_config ?backend ?(channel_capacity = 1024) ~shards ~switches ~until () =
+  let program : Program.spec =
+   fun _ ->
+    Program.make ~name:"ring-route"
+      ~ingress:(fun ctx pkt ->
+        match pkt.Packet.ip with
+        | Some ip ->
+            Program.Forward
+              (Topology.ring_route ~switches ~sw:ctx.Program.switch_id
+                 ~dst_host:(host_of_addr ip.Netcore.Ipv4.dst))
+        | None -> Program.Drop)
+      ()
+  in
+  Parsim.config ~shards ~channel_capacity ?backend ~record_trace:true ~until
+    ~switch_config:(fun sw ->
+      let cfg = Event_switch.default_config Arch.sume_event_switch in
+      { cfg with Event_switch.seed = 42 + (31 * sw) })
+    ~program:(fun _ -> program)
+    ~on_shard:(fun ctx ->
+      List.iter
+        (fun (h, host) ->
+          let dst = (h + 1) mod switches in
+          let flow =
+            Netcore.Flow.make ~src:(addr_of_host h) ~dst:(addr_of_host dst)
+              ~proto:Netcore.Ipv4.proto_udp ~src_port:(4000 + h) ~dst_port:(5000 + dst) ()
+          in
+          ignore
+            (Workloads.Traffic.cbr ~sched:ctx.Parsim.sched ~flow ~pkt_bytes:256
+               ~rate_gbps:1. ~stop:(until - Sim_time.us 100)
+               ~send:(Host.send host) ()
+              : Workloads.Traffic.t))
+        ctx.Parsim.hosts)
+    ()
+
+let run_ring ?backend ?channel_capacity ~shards () =
+  let switches = 4 and until = Sim_time.us 250 in
+  let topo = Topology.ring ~switches () in
+  Parsim.run (ring_config ?backend ?channel_capacity ~shards ~switches ~until ()) topo
+
+let check_same_run (seq : Parsim.result) (par : Parsim.result) =
+  Alcotest.(check (list string)) "merged traces identical" seq.Parsim.trace par.Parsim.trace;
+  Alcotest.(check string) "merged metrics identical" seq.Parsim.metrics_json
+    par.Parsim.metrics_json;
+  Alcotest.(check (array int)) "per-host receive counts" seq.Parsim.host_received
+    par.Parsim.host_received;
+  Alcotest.(check (array int)) "per-host sent counts" seq.Parsim.host_sent
+    par.Parsim.host_sent
+
+let test_ring_conformance () =
+  let seq = run_ring ~shards:1 () in
+  Alcotest.(check bool) "traffic flowed" true
+    (Array.fold_left ( + ) 0 seq.Parsim.host_received > 0);
+  Alcotest.(check bool) "trace recorded" true (seq.Parsim.trace <> []);
+  List.iter
+    (fun shards ->
+      let par = run_ring ~shards () in
+      Alcotest.(check bool) "cross-shard messages flowed" true (par.Parsim.cross_sent > 0);
+      check_same_run seq par)
+    [ 2; 4 ]
+
+let test_ring_backpressure_conformance () =
+  (* capacity 1 forces the full-channel retry + self-drain path on
+     essentially every cross-shard send; the result must not change. *)
+  let seq = run_ring ~shards:1 () in
+  let par = run_ring ~shards:2 ~channel_capacity:1 () in
+  Alcotest.(check bool) "cross-shard messages flowed" true (par.Parsim.cross_sent > 0);
+  check_same_run seq par
+
+let test_ring_backend_agnostic () =
+  (* Same sharded run under both queue backends: byte-identical. *)
+  let wheel = run_ring ~backend:Sched_backend.Wheel ~shards:2 () in
+  let heap = run_ring ~backend:Sched_backend.Heap ~shards:2 () in
+  check_same_run wheel heap
+
+let suite =
+  [
+    Alcotest.test_case "partition: every switch exactly once" `Quick test_partition_exactly_once;
+    Alcotest.test_case "partition: bad shard counts raise" `Quick test_partition_bad_counts;
+    Alcotest.test_case "plan: link coverage + channels" `Quick test_plan_link_coverage;
+    Alcotest.test_case "plan: single shard" `Quick test_plan_single_shard;
+    Alcotest.test_case "horizon: safe bound" `Quick test_horizon_safe;
+    Alcotest.test_case "horizon: window tiling" `Quick test_horizon_tiling;
+    QCheck_alcotest.to_alcotest qcheck_horizon_tiling;
+    Alcotest.test_case "spsc: fifo + backpressure" `Quick test_spsc_fifo_and_backpressure;
+    Alcotest.test_case "spsc: capacity rounding" `Quick test_spsc_capacity_rounding;
+    Alcotest.test_case "spsc: cross-domain stress" `Quick test_spsc_cross_domain;
+    Alcotest.test_case "drain_until_horizon (heap)" `Quick
+      (test_drain_until_horizon Sched_backend.Heap);
+    Alcotest.test_case "drain_until_horizon (wheel)" `Quick
+      (test_drain_until_horizon Sched_backend.Wheel);
+    Alcotest.test_case "topology: validate" `Quick test_topology_validate;
+    Alcotest.test_case "fat-tree routing reaches destination" `Quick test_fat_tree_route_reaches;
+    Alcotest.test_case "ring routing reaches destination" `Quick test_ring_route_reaches;
+    Alcotest.test_case "ring: sharded = sequential" `Quick test_ring_conformance;
+    Alcotest.test_case "ring: backpressure conformance" `Quick test_ring_backpressure_conformance;
+    Alcotest.test_case "ring: backend agnostic" `Quick test_ring_backend_agnostic;
+  ]
