@@ -61,6 +61,44 @@ let bench_cms =
          Pisa.Cms.update cms ~key:!key ~delta:1;
          ignore (Pisa.Cms.query cms ~key:!key)))
 
+(* Table 2 kernel: one per-flow EFSM transition — lookup, guard
+   evaluation, parallel register update, LRU bookkeeping — over a hot
+   table of 1024 flows (the stateful-processing hot path of E24). *)
+let bench_efsm =
+  let e =
+    Pisa.Efsm.create ~alloc:(Pisa.Register_alloc.create ()) ~name:"bench" ~entries:1024
+      ~nregs:2
+      ~transitions:
+        [
+          {
+            Pisa.Efsm.from_state = 0;
+            guard = Pisa.Efsm.Cmp (Pisa.Efsm.Ge, Pisa.Efsm.Reg 0, Pisa.Efsm.Const 1_000_000);
+            next_state = 1;
+            actions = [];
+          };
+          {
+            Pisa.Efsm.from_state = 0;
+            guard = Pisa.Efsm.Always;
+            next_state = 0;
+            actions =
+              [
+                {
+                  Pisa.Efsm.reg = 0;
+                  update = Pisa.Efsm.Sat_add (Pisa.Efsm.Reg 0, Pisa.Efsm.Input);
+                };
+                { Pisa.Efsm.reg = 1; update = Pisa.Efsm.Add (Pisa.Efsm.Reg 1, Pisa.Efsm.Const 1) };
+              ];
+          };
+          { Pisa.Efsm.from_state = 1; guard = Pisa.Efsm.Always; next_state = 0; actions = [] };
+        ]
+      ()
+  in
+  let i = ref 0 in
+  Test.make ~name:"table2/efsm-transition"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (Pisa.Efsm.step e ~now:!i ~key:(!i land 1023) ~input:64 : Pisa.Efsm.outcome)))
+
 (* Table 3 kernel: the resource-model composition. *)
 let bench_resmodel =
   Test.make ~name:"table3/resource-model"
@@ -185,6 +223,7 @@ let benchmarks =
       bench_event_dispatch;
       bench_event_dispatch_metrics_off;
       bench_cms;
+      bench_efsm;
       bench_resmodel;
       bench_shared_register;
       bench_packet_path;

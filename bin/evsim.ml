@@ -59,13 +59,16 @@ let guarded f =
   | exception Failure msg -> `Error (false, msg)
   | exception exn -> `Error (false, Printexc.to_string exn)
 
-(* --shards N narrows E23's sweep to {1, N}: the sequential reference
-   plus the requested sharding, which is what the conformance check
-   needs. Other experiments are single-switch and ignore it. *)
+(* --shards N narrows the sharded experiments' sweep (E23, E24) to
+   {1, N}: the sequential reference plus the requested sharding, which
+   is what the conformance check needs. Other experiments are
+   single-switch and ignore it. *)
 let set_shards = function
   | None -> None
   | Some n when n >= 1 ->
-      Experiments.E23_scale.default_shard_counts := if n = 1 then [ 1 ] else [ 1; n ];
+      let counts = if n = 1 then [ 1 ] else [ 1; n ] in
+      Experiments.E23_scale.default_shard_counts := counts;
+      Experiments.E24_efsm.default_shard_counts := counts;
       None
   | Some n -> Some (Printf.sprintf "--shards must be positive, got %d" n)
 

@@ -1,0 +1,104 @@
+module Packet = Netcore.Packet
+module Flow = Netcore.Flow
+module Program = Evcore.Program
+module Efsm = Pisa.Efsm
+
+let flag_data = 0
+let flag_syn = 1
+let flag_fin = 2
+let s_new = 0
+let s_syn = 1
+let s_est = 2
+let s_closed = 3
+
+type t = {
+  mutable efsm : Efsm.t option;
+  mutable allowed : int;
+  mutable blocked : int;
+}
+
+let efsm t = Option.get t.efsm
+let allowed t = t.allowed
+let blocked t = t.blocked
+
+(* SYN opens, data establishes, FIN closes; anything out of order has
+   no matching transition (a guard miss) and the packet is blocked.
+   r0 counts the session's forwarded packets; the SYN self-loop counts
+   retransmits into r1. *)
+let transitions =
+  [
+    {
+      Efsm.from_state = s_new;
+      guard = Efsm.Cmp (Efsm.Eq, Efsm.Input, Efsm.Const flag_syn);
+      next_state = s_syn;
+      actions = [ { Efsm.reg = 0; update = Efsm.Set (Efsm.Const 1) } ];
+    };
+    {
+      Efsm.from_state = s_syn;
+      guard = Efsm.Cmp (Efsm.Eq, Efsm.Input, Efsm.Const flag_syn);
+      next_state = s_syn;
+      actions = [ { Efsm.reg = 1; update = Efsm.Sat_add (Efsm.Reg 1, Efsm.Const 1) } ];
+    };
+    {
+      Efsm.from_state = s_syn;
+      guard = Efsm.Cmp (Efsm.Eq, Efsm.Input, Efsm.Const flag_data);
+      next_state = s_est;
+      actions = [ { Efsm.reg = 0; update = Efsm.Sat_add (Efsm.Reg 0, Efsm.Const 1) } ];
+    };
+    {
+      Efsm.from_state = s_syn;
+      guard = Efsm.Cmp (Efsm.Eq, Efsm.Input, Efsm.Const flag_fin);
+      next_state = s_closed;
+      actions = [];
+    };
+    {
+      Efsm.from_state = s_est;
+      guard = Efsm.Cmp (Efsm.Eq, Efsm.Input, Efsm.Const flag_data);
+      next_state = s_est;
+      actions = [ { Efsm.reg = 0; update = Efsm.Sat_add (Efsm.Reg 0, Efsm.Const 1) } ];
+    };
+    {
+      Efsm.from_state = s_est;
+      guard = Efsm.Cmp (Efsm.Eq, Efsm.Input, Efsm.Const flag_fin);
+      next_state = s_closed;
+      actions = [ { Efsm.reg = 0; update = Efsm.Sat_add (Efsm.Reg 0, Efsm.Const 1) } ];
+    };
+  ]
+
+let key_of pkt =
+  match Packet.flow pkt with Some flow -> Flow.pack flow land max_int | None -> 0
+
+let program ?(slots = 1024) ?(timeout = Eventsim.Sim_time.us 500) ?sweep_period ~out_port () =
+  let sweep_period = Option.value sweep_period ~default:timeout in
+  let t = { efsm = None; allowed = 0; blocked = 0 } in
+  let spec ctx =
+    let fw =
+      Efsm.create ~alloc:ctx.Program.alloc ~timeout ~name:"fw" ~entries:slots ~nregs:2
+        ~transitions ()
+    in
+    t.efsm <- Some fw;
+    let sweep_timer =
+      if timeout > 0 then Some (ctx.Program.add_timer ~period:sweep_period) else None
+    in
+    let ingress ctx pkt =
+      ctx.Program.consume_budget 1;
+      let o =
+        Efsm.step fw ~now:(ctx.Program.now ()) ~key:(key_of pkt)
+          ~input:pkt.Packet.meta.Packet.mark
+      in
+      if o.Efsm.fired then begin
+        t.allowed <- t.allowed + 1;
+        Program.Forward (out_port pkt)
+      end
+      else begin
+        t.blocked <- t.blocked + 1;
+        Program.Drop
+      end
+    in
+    let timer ctx (ev : Devents.Event.timer_event) =
+      if sweep_timer = Some ev.Devents.Event.id then
+        ignore (Efsm.sweep fw ~now:(ctx.Program.now ()) : int)
+    in
+    Program.make ~name:"stateful-fw" ~ingress ~timer ()
+  in
+  (spec, t)

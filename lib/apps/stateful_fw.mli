@@ -1,0 +1,49 @@
+(** Stateful firewall on the per-flow EFSM extern (OPP's flagship
+    example): SYN opens a session, data packets establish and sustain
+    it, FIN closes it. Out-of-order packets — data before SYN,
+    anything after close — match no transition and are dropped, which
+    also exercises the extern's guard-miss accounting. Session
+    contexts idle past [timeout] are evicted by a sweep riding the
+    switch's timer events, so eviction is supervised and shed-safe.
+
+    Flags travel in [Packet.meta.mark] (the application-marking
+    channel): {!flag_syn}, {!flag_fin}, or {!flag_data} for payload
+    packets — a UDP-like rendering of connection tracking, matching
+    the paper's metadata-carrying events. *)
+
+val flag_data : int  (** 0 *)
+
+val flag_syn : int  (** 1 *)
+
+val flag_fin : int  (** 2 *)
+
+val s_new : int
+val s_syn : int
+val s_est : int
+val s_closed : int
+
+type t
+
+val efsm : t -> Pisa.Efsm.t
+(** The underlying extern (counters, state lookups). Only valid after
+    the program has been installed on a switch. *)
+
+val allowed : t -> int
+(** Packets forwarded (a transition fired). *)
+
+val blocked : t -> int
+(** Packets dropped (no transition matched). *)
+
+val key_of : Netcore.Packet.t -> int
+(** The flow key the firewall tracks sessions by. *)
+
+val program :
+  ?slots:int ->
+  ?timeout:Eventsim.Sim_time.t ->
+  ?sweep_period:Eventsim.Sim_time.t ->
+  out_port:(Netcore.Packet.t -> int) ->
+  unit ->
+  Evcore.Program.spec * t
+(** [slots] bounds tracked sessions (LRU eviction beyond it; default
+    1024). [timeout] (default 500 µs) is the idle eviction threshold;
+    [sweep_period] defaults to [timeout]. *)

@@ -514,5 +514,14 @@ let export_metrics ?(labels = []) t reg =
     counter "pipeline.admissions" (Pisa.Pipeline.admissions t.pipeline);
     counter "pipeline.packet_carriers" (Pisa.Pipeline.packet_carriers t.pipeline);
     counter "pipeline.empty_carriers" (Pisa.Pipeline.empty_carriers t.pipeline);
+    (* Externs allocated through the switch's register allocator (EFSMs
+       today) publish their own series, labelled by extern name, so
+       per-flow state evolution lands in merged conformance snapshots. *)
+    List.iter
+      (fun (name, stats) ->
+        List.iter
+          (fun (stat, v) -> counter ~labels:(("extern", name) :: labels) stat v)
+          (stats ()))
+      (Pisa.Register_alloc.stats_exporters t.alloc);
     Traffic_manager.export_metrics ~labels (get_tm t) reg
   end

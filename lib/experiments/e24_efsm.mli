@@ -1,0 +1,73 @@
+(** E24 — per-flow EFSM externs under flow skew.
+
+    Part A measures the OPP contention bottleneck: back-to-back
+    arrivals through a stateful firewall under uniform single-hit and
+    Zipf key distributions. Same-flow revisits within the pipeline's
+    RMW latency stall; single-hit traffic must record exactly zero
+    stalls.
+
+    Part B runs both EFSM apps (stateful firewall, per-flow rate
+    enforcer) on a ring of 8 switches under Parsim at 1/2/4 shards and
+    checks that merged traces and merged metrics — including the
+    per-switch [pisa.efsm.*] series and state-evolution digest — are
+    byte-identical to the sequential run. *)
+
+val name : string
+
+val default_shard_counts : int list ref
+(** Shard counts Part B exercises; the CLI's [--shards] narrows it. *)
+
+type skew_row = {
+  workload : string;
+  packets : int;
+  flows : int;
+  steps : int;
+  stalls : int;
+  stall_frac : float;
+  occupancy : int;
+}
+
+type variant = {
+  v_app : string;
+  shards : int;
+  events : int;
+  received : int;
+  efsm_stalls_exported : bool;
+  trace_digest : string;
+  metrics_digest : string;
+  conformant : bool;
+}
+
+type result = {
+  seed : int;
+  until : Eventsim.Sim_time.t;
+  skew : skew_row list;
+  variants : variant list;
+  all_conformant : bool;
+  uniform_stalls : int;
+  zipf_stalls : int;
+}
+
+val golden_until : Eventsim.Sim_time.t
+val golden_seeds : int list
+
+val golden_file : int -> string
+(** Digest file name under [test/golden/] for a seed. *)
+
+val golden_digests :
+  ?backend:Eventsim.Sched_backend.t -> ?shards:int -> seed:int -> unit -> (string * string) list
+(** [(label, md5-hex)] lines pinned by the golden digest files: one
+    trace and one metrics digest per app ("fw.trace", "fw.metrics",
+    "rate.trace", "rate.metrics"). The canon is the default
+    (sequential, heap) execution; other backends and shard counts must
+    reproduce it byte-for-byte. *)
+
+val run :
+  ?metrics:Obs.Metrics.t ->
+  ?seed:int ->
+  ?shard_counts:int list ->
+  ?until:Eventsim.Sim_time.t ->
+  unit ->
+  result
+
+val print : result -> unit

@@ -153,6 +153,12 @@ let all =
       paper_artifact = "Sec 4 distributed state (sharded execution)";
       run_and_print = (fun ~metrics ~seed -> E23_scale.print (E23_scale.run ?metrics ~seed ()));
     };
+    {
+      name = E24_efsm.name;
+      experiment_id = "E24";
+      paper_artifact = "Sec 3 stateful externs (per-flow EFSM, OPP contention)";
+      run_and_print = (fun ~metrics ~seed -> E24_efsm.print (E24_efsm.run ?metrics ~seed ()));
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -42,11 +42,27 @@ type stmt =
   | Method_call of { target : string; meth : string; args : expr list; pos : position }
   | Builtin_call of { name : string; args : expr list; pos : position }
 
+type efsm_transition = {
+  t_from : int;
+  t_guard : expr option;
+  t_next : int;
+  t_actions : (string * expr) list;
+  t_pos : position;
+}
+
 type decl =
   | Shared_register_decl of { width : int; entries : int; name : string; pos : position }
   | Register_decl of { width : int; entries : int; name : string; pos : position }
   | Const_decl of { name : string; value : int; pos : position }
   | Timer_decl of { name : string; period_us : int; pos : position }
+  | Efsm_decl of {
+      name : string;
+      entries : int;
+      nregs : int;
+      timeout_us : int option;
+      transitions : efsm_transition list;
+      pos : position;
+    }
   | Control_decl of { name : string; body : stmt list; pos : position }
 
 type program = decl list

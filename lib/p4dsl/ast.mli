@@ -56,6 +56,18 @@ type stmt =
   | Builtin_call of { name : string; args : expr list; pos : position }
       (** [forward(p)], [drop()], [hash(e, dst)], [notify("...")] ... *)
 
+type efsm_transition = {
+  t_from : int;
+  t_guard : expr option;  (** [None] = unconditional *)
+  t_next : int;
+  t_actions : (string * expr) list;  (** register-name, update expression *)
+  t_pos : position;
+}
+(** One [on FROM when GUARD => NEXT { rN = e; ... }] clause. Guard and
+    action expressions are restricted at load time to what the
+    {!Pisa.Efsm} extern can execute (consts, [state], [in], [rN],
+    comparisons, [&&]/[||], [+]/[-], [min]/[max]/[sat_add]/[sat_sub]). *)
+
 (** Top-level declarations. *)
 type decl =
   | Shared_register_decl of { width : int; entries : int; name : string; pos : position }
@@ -65,6 +77,17 @@ type decl =
   | Const_decl of { name : string; value : int; pos : position }
   | Timer_decl of { name : string; period_us : int; pos : position }
       (** [timer(100) tick;] — a periodic timer, period in microseconds *)
+  | Efsm_decl of {
+      name : string;
+      entries : int;
+      nregs : int;
+      timeout_us : int option;
+      transitions : efsm_transition list;
+      pos : position;
+    }
+      (** [efsm(1024) conn { regs 2; timeout 500; on 0 when in == 1 => 1 { r0 = 1; } ... }]
+          — a per-flow EFSM extern; controls drive it with
+          [conn.step(key, input, dst)]. *)
   | Control_decl of { name : string; body : stmt list; pos : position }
       (** [control Name(...) { ... apply { body } }]; parameters are
           accepted and ignored (the architecture supplies the

@@ -12,6 +12,7 @@ type env = {
   reg_add : target:string -> index:int -> delta:int -> Ast.position -> unit;
   builtin : name:string -> args:arg list -> Ast.position -> unit;
   func : name:string -> args:int list -> Ast.position -> int;
+  efsm_step : target:string -> key:int -> input:int -> Ast.position -> int;
 }
 
 and local = { mutable value : int; mask : int }
@@ -99,6 +100,14 @@ let rec exec_stmt env stmt =
       | "add", [ idx; d ] ->
           env.reg_add ~target ~index:(eval_expr env idx) ~delta:(eval_expr env d) pos
       | "add", _ -> err ~pos "add expects (index, delta)"
+      | "step", [ k; inp; Path dst ] ->
+          let v =
+            env.efsm_step ~target ~key:(eval_expr env k) ~input:(eval_expr env inp) pos
+          in
+          assign env dst v pos
+      | "step", [ k; inp ] ->
+          ignore (env.efsm_step ~target ~key:(eval_expr env k) ~input:(eval_expr env inp) pos)
+      | "step", _ -> err ~pos "step expects (key, input) or (key, input, destination)"
       | m, _ -> err ~pos (Printf.sprintf "unknown register method %s" m))
   | Builtin_call { name; args; pos } ->
       let to_arg = function

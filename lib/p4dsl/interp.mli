@@ -25,6 +25,10 @@ type env = {
   reg_add : target:string -> index:int -> delta:int -> Ast.position -> unit;
   builtin : name:string -> args:arg list -> Ast.position -> unit;
   func : name:string -> args:int list -> Ast.position -> int;
+  efsm_step : target:string -> key:int -> input:int -> Ast.position -> int;
+      (** [efsm.step(key, input)] / [efsm.step(key, input, dst)]:
+          drive the named EFSM extern one transition for [key],
+          returning the post-transition state. *)
 }
 
 and local = { mutable value : int; mask : int }

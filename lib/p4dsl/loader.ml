@@ -132,6 +132,106 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
   (match dup with
   | Some d -> raise (Load_error (Printf.sprintf "duplicate control %S" d))
   | None -> ());
+  (* Static EFSM compilation: transition guards and actions are
+     restricted to what the Pisa.Efsm extern can execute, and every
+     restriction violation surfaces here, at load time. *)
+  let static_consts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Ast.Const_decl { name; value; _ } -> Hashtbl.replace static_consts name value
+      | _ -> ())
+    program;
+  let compile_efsm ~ename ~nregs transitions =
+    let fail msg (pos : Ast.position) =
+      raise (Load_error (Printf.sprintf "efsm %s: %s (line %d)" ename msg pos.Ast.line))
+    in
+    let reg_name r =
+      String.length r >= 2
+      && r.[0] = 'r'
+      && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub r 1 (String.length r - 1))
+    in
+    let reg_index pos r =
+      if not (reg_name r) then
+        fail (Printf.sprintf "%S is not an EFSM register (expected rN)" r) pos;
+      let i = int_of_string (String.sub r 1 (String.length r - 1)) in
+      if i >= nregs then fail (Printf.sprintf "register r%d out of range (regs %d)" i nregs) pos;
+      i
+    in
+    let operand pos (e : Ast.expr) : Pisa.Efsm.operand =
+      match e with
+      | Ast.Int n -> Pisa.Efsm.Const n
+      | Ast.Path [ "in" ] -> Pisa.Efsm.Input
+      | Ast.Path [ "state" ] -> Pisa.Efsm.State
+      | Ast.Path [ x ] when reg_name x -> Pisa.Efsm.Reg (reg_index pos x)
+      | Ast.Path [ x ] -> (
+          match Hashtbl.find_opt static_consts x with
+          | Some v -> Pisa.Efsm.Const v
+          | None -> fail (Printf.sprintf "unknown EFSM operand %S" x) pos)
+      | _ -> fail "operands are literals, consts, 'state', 'in' or rN" pos
+    in
+    let cmp_of = function
+      | Ast.Eq -> Some Pisa.Efsm.Eq
+      | Ast.Neq -> Some Pisa.Efsm.Ne
+      | Ast.Lt -> Some Pisa.Efsm.Lt
+      | Ast.Le -> Some Pisa.Efsm.Le
+      | Ast.Gt -> Some Pisa.Efsm.Gt
+      | Ast.Ge -> Some Pisa.Efsm.Ge
+      | _ -> None
+    in
+    let rec guard pos (e : Ast.expr) : Pisa.Efsm.guard =
+      match e with
+      | Ast.Bool_lit true -> Pisa.Efsm.Always
+      | Ast.Binop (Ast.And, a, b) -> Pisa.Efsm.All [ guard pos a; guard pos b ]
+      | Ast.Binop (Ast.Or, a, b) -> Pisa.Efsm.Any [ guard pos a; guard pos b ]
+      | Ast.Binop (op, a, b) -> (
+          match cmp_of op with
+          | Some c -> Pisa.Efsm.Cmp (c, operand pos a, operand pos b)
+          | None -> fail "guards are comparisons combined with && / ||" pos)
+      | _ -> fail "guards are comparisons combined with && / ||" pos
+    in
+    let update pos (e : Ast.expr) : Pisa.Efsm.update =
+      match e with
+      | Ast.Binop (Ast.Add, a, b) -> Pisa.Efsm.Add (operand pos a, operand pos b)
+      | Ast.Binop (Ast.Sub, a, b) -> Pisa.Efsm.Sub (operand pos a, operand pos b)
+      | Ast.Call ("min", [ a; b ]) -> Pisa.Efsm.Min (operand pos a, operand pos b)
+      | Ast.Call ("max", [ a; b ]) -> Pisa.Efsm.Max (operand pos a, operand pos b)
+      | Ast.Call ("sat_add", [ a; b ]) -> Pisa.Efsm.Sat_add (operand pos a, operand pos b)
+      | Ast.Call ("sat_sub", [ a; b ]) -> Pisa.Efsm.Sat_sub (operand pos a, operand pos b)
+      | e -> Pisa.Efsm.Set (operand pos e)
+    in
+    List.map
+      (fun (tr : Ast.efsm_transition) ->
+        {
+          Pisa.Efsm.from_state = tr.Ast.t_from;
+          guard =
+            (match tr.Ast.t_guard with
+            | None -> Pisa.Efsm.Always
+            | Some g -> guard tr.Ast.t_pos g);
+          next_state = tr.Ast.t_next;
+          actions =
+            List.map
+              (fun (dst, e) ->
+                { Pisa.Efsm.reg = reg_index tr.Ast.t_pos dst; update = update tr.Ast.t_pos e })
+              tr.Ast.t_actions;
+        })
+      transitions
+  in
+  let efsm_decls =
+    List.filter_map
+      (function
+        | Ast.Efsm_decl { name = ename; entries; nregs; timeout_us; transitions; _ } ->
+            let compiled = compile_efsm ~ename ~nregs transitions in
+            (* Dry-run create (no allocator) so out-of-range states and
+               bad parameters are load errors, not install crashes. *)
+            (try
+               ignore
+                 (Pisa.Efsm.create ~name:ename ~entries ~nregs ~transitions:compiled () : Pisa.Efsm.t)
+             with Invalid_argument msg ->
+               raise (Load_error (Printf.sprintf "efsm %s: %s" ename msg)));
+            Some (ename, entries, nregs, timeout_us, compiled)
+        | _ -> None)
+      program
+  in
   fun ctx ->
     (* Allocate state. *)
     let regs : (string, reg_binding) Hashtbl.t = Hashtbl.create 8 in
@@ -152,8 +252,28 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
         | Ast.Timer_decl { name; period_us; _ } ->
             let id = ctx.Program.add_timer ~period:(Eventsim.Sim_time.us period_us) in
             Hashtbl.replace consts name id
-        | Ast.Control_decl _ -> ())
+        | Ast.Efsm_decl _ | Ast.Control_decl _ -> ())
       program;
+    let efsms : (string, Pisa.Efsm.t) Hashtbl.t = Hashtbl.create 4 in
+    let sweep_timers = ref [] in
+    List.iter
+      (fun (ename, entries, nregs, timeout_us, transitions) ->
+        if Hashtbl.mem efsms ename || Hashtbl.mem regs ename then
+          raise (Load_error (Printf.sprintf "duplicate extern %S" ename));
+        let timeout = Option.map Eventsim.Sim_time.us timeout_us in
+        let e =
+          Pisa.Efsm.create ~alloc:ctx.Program.alloc ?timeout ~name:ename ~entries ~nregs
+            ~transitions ()
+        in
+        Hashtbl.replace efsms ename e;
+        (* Idle eviction rides ordinary timer events, so sweeps run
+           supervised and shed-safe like any other handler work. *)
+        match timeout_us with
+        | Some t when t > 0 ->
+            let id = ctx.Program.add_timer ~period:(Eventsim.Sim_time.us t) in
+            sweep_timers := (id, e) :: !sweep_timers
+        | _ -> ())
+      efsm_decls;
     let reg target pos =
       match Hashtbl.find_opt regs target with
       | Some r -> r
@@ -172,6 +292,16 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
             (Interp.Runtime_error
                (Printf.sprintf "unknown function %S/%d" name (List.length args), Some pos))
     in
+    let efsm_step ~target ~key ~input pos =
+      match Hashtbl.find_opt efsms target with
+      | Some e ->
+          (* Supervised: each transition charges the handler watchdog. *)
+          ctx.Program.consume_budget 1;
+          let o = Pisa.Efsm.step e ~now:(ctx.Program.now ()) ~key ~input in
+          o.Pisa.Efsm.state
+      | None ->
+          raise (Interp.Runtime_error (Printf.sprintf "unknown efsm %S" target, Some pos))
+    in
     let mk_env ~get_field ~set_field ~reg_read ~reg_write ~reg_add ~builtin =
       {
         Interp.consts;
@@ -183,6 +313,7 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
         reg_add;
         builtin;
         func = funcs;
+        efsm_step;
       }
     in
     let no_field path pos =
@@ -327,6 +458,24 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
             run_event_control ~side:(side_of_control cname) body (fun path pos ->
                 match buffer_fields ev path with Some v -> v | None -> no_field path pos))
     in
+    (* Hidden EFSM sweep timers are serviced here and filtered out, so
+       a user Timer control only ever sees its declared timers. *)
+    let user_timer =
+      handler_opt "Timer" (fun body ->
+          fun _ctx (ev : Event.timer_event) ->
+           run_event_control ~side:Shared_register.Deq_side body
+             (simple_fields [ ("timer.id", ev.Event.id); ("timer.count", ev.Event.count) ]))
+    in
+    let timer_handler =
+      match !sweep_timers with
+      | [] -> user_timer
+      | sweeps ->
+          Some
+            (fun tctx (ev : Event.timer_event) ->
+              match List.assoc_opt ev.Event.id sweeps with
+              | Some efsm -> ignore (Pisa.Efsm.sweep efsm ~now:(ctx.Program.now ()) : int)
+              | None -> ( match user_timer with Some h -> h tctx ev | None -> ()))
+    in
     Program.make ~name
       ~ingress:(packet_handler ingress_body)
       ?recirculated:(handler_opt "Recirculated" packet_handler)
@@ -356,12 +505,7 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
                      ("meta.pkt_len", ev.Event.pkt_len);
                      ("meta.flowID", ev.Event.flow_id);
                    ])))
-      ?timer:
-        (handler_opt "Timer" (fun body ->
-             fun _ctx (ev : Event.timer_event) ->
-              run_event_control ~side:Shared_register.Deq_side body
-                (simple_fields
-                   [ ("timer.id", ev.Event.id); ("timer.count", ev.Event.count) ])))
+      ?timer:timer_handler
       ?link_change:
         (handler_opt "LinkChange" (fun body ->
              fun _ctx (ev : Event.link_event) ->

@@ -316,6 +316,75 @@ let parse_decl st =
       let name = expect_ident st "the timer name" in
       expect st Lexer.SEMI "after the timer declaration";
       Timer_decl { name; period_us; pos }
+  | Lexer.IDENT "efsm" ->
+      ignore (next st);
+      (* efsm(1024) conn { regs 2; timeout 500;
+           on 0 when in == 1 => 1 { r0 = 1; } ... } *)
+      expect st Lexer.LPAREN "after 'efsm'";
+      let entries = expect_const_int st "the EFSM entry count" in
+      expect st Lexer.RPAREN "after the EFSM entry count";
+      let name = expect_ident st "the EFSM name" in
+      expect st Lexer.LBRACE "to open the EFSM body";
+      let nregs = ref 0 and timeout_us = ref None and transitions = ref [] in
+      let parse_actions () =
+        expect st Lexer.LBRACE "to open the action block";
+        let rec go acc =
+          match (peek st).Lexer.token with
+          | Lexer.RBRACE ->
+              ignore (next st);
+              List.rev acc
+          | _ ->
+              let dst = expect_ident st "an EFSM register name" in
+              expect st Lexer.ASSIGN "after the EFSM register name";
+              let e = parse_expr_prec st 0 in
+              expect st Lexer.SEMI "after the EFSM action";
+              go ((dst, e) :: acc)
+        in
+        go []
+      in
+      let rec body () =
+        let t = peek st in
+        match t.Lexer.token with
+        | Lexer.RBRACE -> ignore (next st)
+        | Lexer.IDENT "regs" ->
+            ignore (next st);
+            nregs := expect_const_int st "the EFSM register count";
+            expect st Lexer.SEMI "after the EFSM register count";
+            body ()
+        | Lexer.IDENT "timeout" ->
+            ignore (next st);
+            timeout_us := Some (expect_const_int st "the EFSM idle timeout (microseconds)");
+            expect st Lexer.SEMI "after the EFSM timeout";
+            body ()
+        | Lexer.IDENT "on" ->
+            ignore (next st);
+            let t_pos = t.Lexer.pos in
+            let t_from = expect_const_int st "the source state" in
+            let t_guard =
+              match (peek st).Lexer.token with
+              | Lexer.IDENT "when" ->
+                  ignore (next st);
+                  Some (parse_expr_prec st 0)
+              | _ -> None
+            in
+            expect st Lexer.ASSIGN "'=>' after the transition source";
+            expect_rangle st "'=>' after the transition source";
+            let t_next = expect_const_int st "the target state" in
+            let t_actions = parse_actions () in
+            transitions := { t_from; t_guard; t_next; t_actions; t_pos } :: !transitions;
+            body ()
+        | _ -> fail st "expected 'regs', 'timeout', 'on' or '}' in the EFSM body"
+      in
+      body ();
+      Efsm_decl
+        {
+          name;
+          entries;
+          nregs = !nregs;
+          timeout_us = !timeout_us;
+          transitions = List.rev !transitions;
+          pos;
+        }
   | Lexer.IDENT "control" ->
       ignore (next st);
       let name = expect_ident st "the control name" in

@@ -92,6 +92,26 @@ let decl_to_string = function
       Printf.sprintf "register<bit<%d>>(%d) %s;" width entries name
   | Const_decl { name; value; _ } -> Printf.sprintf "const %s = %d;" name value
   | Timer_decl { name; period_us; _ } -> Printf.sprintf "timer(%d) %s;" period_us name
+  | Efsm_decl { name; entries; nregs; timeout_us; transitions; _ } ->
+      let header =
+        Printf.sprintf "regs %d;" nregs
+        :: (match timeout_us with None -> [] | Some t -> [ Printf.sprintf "timeout %d;" t ])
+      in
+      let transition tr =
+        let guard =
+          match tr.t_guard with
+          | None -> ""
+          | Some g -> Printf.sprintf " when %s" (expr_to_string g)
+        in
+        let actions =
+          String.concat " "
+            (List.map (fun (dst, e) -> Printf.sprintf "%s = %s;" dst (expr_to_string e)) tr.t_actions)
+        in
+        Printf.sprintf "on %d%s => %d { %s}" tr.t_from guard tr.t_next
+          (if actions = "" then "" else actions ^ " ")
+      in
+      Printf.sprintf "efsm(%d) %s {\n%s\n}" entries name
+        (String.concat "\n" (List.map (fun l -> "  " ^ l) (header @ List.map transition transitions)))
   | Control_decl { name; body; _ } ->
       Printf.sprintf "control %s() {\n  apply {\n%s\n  }\n}" name
         (String.concat "\n" (List.map (stmt_to_string ~indent:4) body))

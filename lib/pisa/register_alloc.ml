@@ -1,6 +1,10 @@
-type t = { clock : (unit -> int) option; mutable regs : Register_array.t list }
+type t = {
+  clock : (unit -> int) option;
+  mutable regs : Register_array.t list;
+  mutable stats : (string * (unit -> (string * int) list)) list;
+}
 
-let create ?clock () = { clock; regs = [] }
+let create ?clock () = { clock; regs = []; stats = [] }
 
 let array t ~name ~entries ~width =
   let reg =
@@ -16,6 +20,10 @@ let total_bits t = List.fold_left (fun acc r -> acc + Register_array.bits r) 0 t
 
 let total_conflicts t =
   List.fold_left (fun acc r -> acc + Register_array.conflicts r) 0 t.regs
+
+let clock t = t.clock
+let register_stats t ~name fn = t.stats <- (name, fn) :: t.stats
+let stats_exporters t = List.rev t.stats
 
 let report t =
   List.map

@@ -15,3 +15,16 @@ val total_bits : t -> int
 val total_conflicts : t -> int
 val report : t -> (string * int * int) list
 (** [(name, entries, bits)] per register. *)
+
+val clock : t -> (unit -> int) option
+(** The cycle clock arrays are created against, if any. *)
+
+val register_stats : t -> name:string -> (unit -> (string * int) list) -> unit
+(** Register a stats exporter for an extern allocated through this
+    allocator (e.g. an {!Efsm}). The switch's metrics exporter
+    publishes every registered series with an [extern=name] label, so
+    extern counters flow into merged conformance snapshots without the
+    extern knowing about [Obs]. *)
+
+val stats_exporters : t -> (string * (unit -> (string * int) list)) list
+(** In registration order. *)

@@ -65,6 +65,10 @@ let add t i delta =
 
 let fill t v = Array.fill t.data 0 (Array.length t.data) (v land t.mask)
 let reset t = fill t 0
+
+let clear_entry t i =
+  check_index t i;
+  t.data.(i) <- 0
 let reads t = t.reads
 let writes t = t.writes
 let conflicts t = t.conflicts

@@ -29,6 +29,10 @@ val reset : t -> unit
 (** Zero all entries; counts as one bulk operation, not per-entry
     accesses (hardware resets are wired, not ported). *)
 
+val clear_entry : t -> int -> unit
+(** Zero one entry without touching the access port — the per-slot
+    wired clear used by table-managed externs ({!Efsm} eviction). *)
+
 val reads : t -> int
 val writes : t -> int
 val conflicts : t -> int

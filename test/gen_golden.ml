@@ -30,4 +30,20 @@ let () =
       close_out oc;
       Printf.printf "wrote %s (%d trace lines, %d events)\n" path (List.length r.Parsim.trace)
         r.Parsim.events)
-    Experiments.E23_scale.golden_seeds
+    Experiments.E23_scale.golden_seeds;
+  (* E24: the stateful (EFSM) apps' golden digests — per app, one trace
+     digest and one metrics digest (which embeds pisa.efsm.state_hash,
+     so the whole flow-state evolution is pinned). Canon as above:
+     sequential under the heap backend. *)
+  List.iter
+    (fun seed ->
+      let digests =
+        Experiments.E24_efsm.golden_digests ~backend:Eventsim.Sched_backend.Heap ~shards:1
+          ~seed ()
+      in
+      let path = Filename.concat dir (Experiments.E24_efsm.golden_file seed) in
+      let oc = open_out path in
+      List.iter (fun (label, hex) -> Printf.fprintf oc "%s %s\n" label hex) digests;
+      close_out oc;
+      Printf.printf "wrote %s (%d digests)\n" path (List.length digests))
+    Experiments.E24_efsm.golden_seeds

@@ -218,6 +218,216 @@ let qcheck_parsim_matches_sequential =
       seq.Parsim.host_received = par.Parsim.host_received
       && seq.Parsim.host_sent = par.Parsim.host_sent)
 
+(* EFSM extension: a RANDOM per-flow transition table — random guards,
+   register updates and next-states, optionally with timeout sweeps —
+   driven by a random packet interleaving on a sharded ring must evolve
+   identically under both queue backends and every shard count. The
+   drop decision depends on the flow's post-transition state, so a
+   divergence in any flow's state evolution surfaces in the merged
+   trace, and the exporter puts [pisa.efsm.state_hash] in the merged
+   metrics, so it also surfaces as a register-level digest mismatch. *)
+
+module Efsm = Pisa.Efsm
+
+let operand_to_string = function
+  | Efsm.Const n -> string_of_int n
+  | Efsm.State -> "state"
+  | Efsm.Input -> "in"
+  | Efsm.Reg r -> Printf.sprintf "r%d" r
+
+let rec guard_to_string = function
+  | Efsm.Always -> "true"
+  | Efsm.Cmp (c, a, b) ->
+      let op =
+        match c with
+        | Efsm.Eq -> "=="
+        | Efsm.Ne -> "!="
+        | Efsm.Lt -> "<"
+        | Efsm.Le -> "<="
+        | Efsm.Gt -> ">"
+        | Efsm.Ge -> ">="
+      in
+      Printf.sprintf "%s %s %s" (operand_to_string a) op (operand_to_string b)
+  | Efsm.All gs -> "(" ^ String.concat " && " (List.map guard_to_string gs) ^ ")"
+  | Efsm.Any gs -> "(" ^ String.concat " || " (List.map guard_to_string gs) ^ ")"
+
+let update_to_string u =
+  let bin name a b = Printf.sprintf "%s(%s, %s)" name (operand_to_string a) (operand_to_string b) in
+  match u with
+  | Efsm.Set o -> operand_to_string o
+  | Efsm.Add (a, b) -> bin "add" a b
+  | Efsm.Sub (a, b) -> bin "sub" a b
+  | Efsm.Sat_add (a, b) -> bin "sat_add" a b
+  | Efsm.Sat_sub (a, b) -> bin "sat_sub" a b
+  | Efsm.Min (a, b) -> bin "min" a b
+  | Efsm.Max (a, b) -> bin "max" a b
+
+let table_to_string table =
+  String.concat "; "
+    (List.map
+       (fun (t : Efsm.transition) ->
+         Printf.sprintf "on %d when %s => %d {%s}" t.Efsm.from_state
+           (guard_to_string t.Efsm.guard) t.Efsm.next_state
+           (String.concat "; "
+              (List.map
+                 (fun (a : Efsm.action) ->
+                   Printf.sprintf "r%d = %s" a.Efsm.reg (update_to_string a.Efsm.update))
+                 t.Efsm.actions)))
+       table)
+
+let gen_efsm_table =
+  QCheck.Gen.(
+    let operand =
+      oneof
+        [
+          map (fun n -> Efsm.Const n) (int_bound 64);
+          return Efsm.Input;
+          return Efsm.State;
+          map (fun r -> Efsm.Reg r) (int_bound 1);
+        ]
+    in
+    let guard =
+      frequency
+        [
+          (1, return Efsm.Always);
+          ( 4,
+            map3
+              (fun c a b -> Efsm.Cmp (c, a, b))
+              (oneofl [ Efsm.Eq; Efsm.Ne; Efsm.Lt; Efsm.Le; Efsm.Gt; Efsm.Ge ])
+              operand operand );
+        ]
+    in
+    let update =
+      oneof
+        [
+          map (fun o -> Efsm.Set o) operand;
+          map2 (fun a b -> Efsm.Add (a, b)) operand operand;
+          map2 (fun a b -> Efsm.Sat_add (a, b)) operand operand;
+          map2 (fun a b -> Efsm.Sat_sub (a, b)) operand operand;
+          map2 (fun a b -> Efsm.Min (a, b)) operand operand;
+          map2 (fun a b -> Efsm.Max (a, b)) operand operand;
+        ]
+    in
+    let action = map2 (fun reg update -> { Efsm.reg; update }) (int_bound 1) update in
+    let transition =
+      let* from_state = int_bound 3 in
+      let* g = guard in
+      let* next_state = int_bound 3 in
+      let* actions = list_size (int_bound 2) action in
+      return { Efsm.from_state; guard = g; next_state; actions }
+    in
+    list_size (int_range 1 8) transition)
+
+let efsm_parsim_run ~table ~timeout_us ~seed ~shards =
+  let module Topology = Evcore.Topology in
+  let switches = 4 in
+  let topo = Topology.ring ~switches () in
+  let addr_of_host h = Netcore.Ipv4_addr.of_octets 10 0 0 h in
+  let host_of_addr a = Netcore.Ipv4_addr.to_int a land 0xff in
+  let program : Evcore.Program.spec =
+   fun ctx ->
+    let e =
+      Efsm.create ~alloc:ctx.Evcore.Program.alloc
+        ?timeout:(if timeout_us = 0 then None else Some (Sim_time.us timeout_us))
+        ~name:"q" ~entries:32 ~nregs:2 ~transitions:table ()
+    in
+    let sweep_timer =
+      if timeout_us = 0 then None
+      else Some (ctx.Evcore.Program.add_timer ~period:(Sim_time.us timeout_us))
+    in
+    Evcore.Program.make ~name:"qcheck-efsm"
+      ~ingress:(fun ctx pkt ->
+        match pkt.Netcore.Packet.ip with
+        | Some ip ->
+            (* Fold flows onto 32 keys so contexts are revisited. *)
+            let key = Apps.Stateful_fw.key_of pkt land 31 in
+            let o =
+              Efsm.step e ~now:(ctx.Evcore.Program.now ()) ~key
+                ~input:(Netcore.Packet.len pkt land 63)
+            in
+            (* Behaviour depends on the evolved state: an odd state
+               drops, so any divergence shows up in the trace. *)
+            if o.Efsm.state land 1 = 1 then Evcore.Program.Drop
+            else
+              Evcore.Program.Forward
+                (Topology.ring_route ~switches ~sw:ctx.Evcore.Program.switch_id
+                   ~dst_host:(host_of_addr ip.Netcore.Ipv4.dst))
+        | None -> Evcore.Program.Drop)
+      ~timer:(fun ctx ev ->
+        if sweep_timer = Some ev.Devents.Event.id then
+          ignore (Efsm.sweep e ~now:(ctx.Evcore.Program.now ()) : int))
+      ()
+  in
+  let until = Sim_time.us 120 in
+  let cfg =
+    Parsim.config ~shards ~record_trace:true ~until
+      ~switch_config:(fun sw ->
+        let cfg = Event_switch.default_config Evcore.Arch.event_pisa_full in
+        { cfg with Event_switch.seed = seed + (31 * sw) })
+      ~program:(fun _ -> program)
+      ~on_shard:(fun ctx ->
+        List.iter
+          (fun (h, host) ->
+            let dst = (h + 1) mod switches in
+            let flow =
+              Netcore.Flow.make ~src:(addr_of_host h) ~dst:(addr_of_host dst)
+                ~proto:Netcore.Ipv4.proto_udp ~src_port:(4000 + h) ~dst_port:(5000 + dst)
+                ()
+            in
+            let rng = Stats.Rng.create ~seed:(seed + (7919 * h)) in
+            ignore
+              (Workloads.Traffic.cbr ~sched:ctx.Parsim.sched ~flow
+                 ~pkt_bytes:(96 + (64 * h))
+                 ~rate_gbps:1.
+                 ~stop:(until - Sim_time.us 60)
+                 ~jitter:(rng, Sim_time.ns 30)
+                 ~send:(Evcore.Host.send host) ()
+                : Workloads.Traffic.t))
+          ctx.Parsim.hosts)
+      ()
+  in
+  Parsim.run cfg topo
+
+let qcheck_efsm_evolution_conforms =
+  let gen =
+    QCheck.make
+      ~print:(fun (table, timeout_us, seed) ->
+        Printf.sprintf "(timeout=%dus, seed=%d, table=[%s])" timeout_us seed
+          (table_to_string table))
+      QCheck.Gen.(
+        let* table = gen_efsm_table in
+        let* timeout_us = oneofl [ 0; 30 ] in
+        let* seed = int_range 0 10_000 in
+        return (table, timeout_us, seed))
+  in
+  QCheck.Test.make ~count:8 ~name:"random EFSM table: identical across backends and shards" gen
+    (fun (table, timeout_us, seed) ->
+      let run ~backend ~shards =
+        with_default_backend backend (fun () -> efsm_parsim_run ~table ~timeout_us ~seed ~shards)
+      in
+      let canon = run ~backend:Eventsim.Sched_backend.Heap ~shards:1 in
+      if not (String.length canon.Parsim.metrics_json > 2) then
+        QCheck.Test.fail_report "empty metrics — vacuous comparison";
+      List.for_all
+        (fun (backend, shards) ->
+          let r = run ~backend ~shards in
+          if r.Parsim.trace <> canon.Parsim.trace then
+            QCheck.Test.fail_reportf "trace diverges at %s/%d-shard"
+              (Eventsim.Sched_backend.to_string backend)
+              shards;
+          if r.Parsim.metrics_json <> canon.Parsim.metrics_json then
+            QCheck.Test.fail_reportf "metrics (incl. efsm state_hash) diverge at %s/%d-shard"
+              (Eventsim.Sched_backend.to_string backend)
+              shards;
+          r.Parsim.host_received = canon.Parsim.host_received)
+        [
+          (Eventsim.Sched_backend.Heap, 2);
+          (Eventsim.Sched_backend.Heap, 4);
+          (Eventsim.Sched_backend.Wheel, 1);
+          (Eventsim.Sched_backend.Wheel, 2);
+          (Eventsim.Sched_backend.Wheel, 4);
+        ])
+
 let suite =
   [
     Alcotest.test_case "same seed, identical trace" `Quick test_trace_identical;
@@ -228,4 +438,5 @@ let suite =
     Alcotest.test_case "chaos run, identical metrics" `Quick test_chaos_identical;
     Alcotest.test_case "chaos run, seed diverges" `Quick test_chaos_seed_diverges;
     QCheck_alcotest.to_alcotest qcheck_parsim_matches_sequential;
+    QCheck_alcotest.to_alcotest qcheck_efsm_evolution_conforms;
   ]

@@ -65,6 +65,44 @@ let test_metrics_conformance ~seed () =
         seq.Parsim.metrics_json r.Parsim.metrics_json)
     [ 2; 4 ]
 
+(* E24: the stateful (EFSM) apps. The golden files hold digests rather
+   than raw traces — one trace digest and one metrics digest per app,
+   the latter embedding each switch's pisa.efsm.state_hash — so every
+   variant must reproduce the sequential/heap run's entire flow-state
+   evolution, not just its arrivals. *)
+
+module E24 = Experiments.E24_efsm
+
+let read_e24_golden seed =
+  let path = Filename.concat "golden" (E24.golden_file seed) in
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> (
+        match String.index_opt line ' ' with
+        | Some i ->
+            go
+              ((String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+              :: acc)
+        | None -> go acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_e24_variant ~seed (name, backend, shards) () =
+  let golden = read_e24_golden seed in
+  Alcotest.(check int) "golden digest count" 4 (List.length golden);
+  let got = E24.golden_digests ~backend ~shards ~seed () in
+  List.iter
+    (fun (label, want) ->
+      match List.assoc_opt label got with
+      | Some hex ->
+          Alcotest.(check string) (Printf.sprintf "%s seed %d: %s" name seed label) want hex
+      | None -> Alcotest.failf "%s seed %d: digest %s missing" name seed label)
+    golden
+
 let suite =
   List.concat_map
     (fun seed ->
@@ -80,3 +118,12 @@ let suite =
             `Quick (test_metrics_conformance ~seed);
         ])
     E23.golden_seeds
+  @ List.concat_map
+      (fun seed ->
+        List.map
+          (fun ((name, _, _) as v) ->
+            Alcotest.test_case
+              (Printf.sprintf "efsm apps: %s reproduces golden (seed %d)" name seed)
+              `Quick (test_e24_variant ~seed v))
+          variants)
+      E24.golden_seeds

@@ -19,6 +19,7 @@ let () =
       ("determinism", Test_determinism.suite);
       ("netcore", Test_netcore.suite);
       ("pisa", Test_pisa.suite);
+      ("efsm", Test_efsm.suite);
       ("devents", Test_devents.suite);
       ("consistency", Test_consistency.suite);
       ("tmgr", Test_tmgr.suite);

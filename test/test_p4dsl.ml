@@ -320,9 +320,71 @@ let qcheck_expr_eval_matches_ocaml =
           reg_add = (fun ~target:_ ~index:_ ~delta:_ _ -> ());
           builtin = (fun ~name:_ ~args:_ _ -> ());
           func = (fun ~name:_ ~args:_ _ -> 0);
+          efsm_step = (fun ~target:_ ~key:_ ~input:_ _ -> 0);
         }
       in
       P4dsl.Interp.eval_expr env (Parser.parse_expr src) = f a b)
+
+(* --- EFSM declarations --- *)
+
+let efsm_src =
+  {|
+const LIMIT = 3000;
+
+efsm(16) track {
+  regs 1;
+  timeout 200;
+  on 0 when r0 >= LIMIT => 1 { }
+  on 0 => 0 { r0 = r0 + in; }
+  on 1 => 1 { }
+}
+
+control Ingress() {
+  bit<32> s;
+  apply {
+    track.step(hdr.udp.sport, pkt.len, s);
+    if (s == 1) { drop(); }
+    else { forward(1); }
+  }
+}
+|}
+
+let test_efsm_program_runs () =
+  (* A per-flow byte quota written in the DSL: once r0 crosses LIMIT
+     the flow moves to state 1 and stays there; its packets drop. A
+     second flow is unaffected — state is per key. *)
+  let sched = Scheduler.create () in
+  let spec = Loader.load ~name:"efsm.p4" efsm_src in
+  let config = Event_switch.default_config Arch.event_pisa_full in
+  let sw = Event_switch.create ~sched ~config ~program:spec () in
+  let out = ref 0 in
+  Event_switch.set_port_tx sw ~port:1 (fun _ -> incr out);
+  for i = 1 to 6 do
+    Scheduler.post sched ~at:(i * Sim_time.us 1) (fun () ->
+        Event_switch.inject sw ~port:0 (mk_pkt ~bytes:1000 ~src:1 ()))
+  done;
+  Scheduler.post sched ~at:(Sim_time.us 10) (fun () ->
+      Event_switch.inject sw ~port:0 (mk_pkt ~bytes:1000 ~src:2 ()));
+  (* The efsm's timeout registers a periodic sweep timer, so the run
+     needs a horizon. *)
+  Scheduler.run ~until:(Sim_time.us 50) sched;
+  Alcotest.(check int) "3 under-quota + 1 other-flow forwarded" 4 !out;
+  Alcotest.(check int) "over-quota packets dropped" 3 (Event_switch.program_drops sw)
+
+let test_efsm_load_error_position () =
+  let src =
+    "efsm(4) e { regs 2;\n  on 0 => 1 { r5 = 1; }\n}\ncontrol Ingress() { apply { } }"
+  in
+  match (Loader.load src : Evcore.Program.spec) with
+  | exception Loader.Load_error msg ->
+      let contains sub =
+        let n = String.length msg and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "names the register" true (contains "r5");
+      Alcotest.(check bool) "carries the line" true (contains "line 2")
+  | _ -> Alcotest.fail "expected load error"
 
 (* --- printer round-trip --- *)
 
@@ -352,6 +414,13 @@ let strip_decl = function
   | Ast.Timer_decl d -> Ast.Timer_decl { d with pos = zero_pos }
   | Ast.Control_decl d ->
       Ast.Control_decl { d with body = List.map strip_stmt d.body; pos = zero_pos }
+  | Ast.Efsm_decl d ->
+      Ast.Efsm_decl
+        {
+          d with
+          transitions = List.map (fun t -> { t with Ast.t_pos = zero_pos }) d.transitions;
+          pos = zero_pos;
+        }
 
 let strip_program = List.map strip_decl
 
@@ -360,6 +429,12 @@ let test_printer_roundtrip_microburst () =
   let printed = Printer.program_to_string ast1 in
   let ast2 = strip_program (Parser.parse printed) in
   Alcotest.(check bool) "parse (print (parse src)) = parse src" true (ast1 = ast2)
+
+let test_printer_roundtrip_efsm () =
+  let ast1 = strip_program (Parser.parse efsm_src) in
+  let printed = Printer.program_to_string ast1 in
+  let ast2 = strip_program (Parser.parse printed) in
+  Alcotest.(check bool) "efsm program round-trips" true (ast1 = ast2)
 
 (* Random expression generator over a safe identifier pool. *)
 let gen_expr =
@@ -418,6 +493,9 @@ let suite =
     Alcotest.test_case "timer + plain register program" `Quick
       test_timer_and_plain_register_program;
     Alcotest.test_case "runtime error reported" `Quick test_runtime_error_reported;
+    Alcotest.test_case "efsm program end-to-end" `Quick test_efsm_program_runs;
+    Alcotest.test_case "efsm load error carries line" `Quick test_efsm_load_error_position;
+    Alcotest.test_case "printer round-trips efsm program" `Quick test_printer_roundtrip_efsm;
     QCheck_alcotest.to_alcotest qcheck_expr_eval_matches_ocaml;
     Alcotest.test_case "printer round-trips microburst.p4" `Quick
       test_printer_roundtrip_microburst;
