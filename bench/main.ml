@@ -99,6 +99,31 @@ let bench_efsm =
          incr i;
          ignore (Pisa.Efsm.step e ~now:!i ~key:(!i land 1023) ~input:64 : Pisa.Efsm.outcome)))
 
+(* E25 kernel: one compiled CEP pattern step — the SYN-signature
+   automaton (within + count compiled onto the EFSM extern) consuming
+   one encoded event over a hot table of 1024 victim keys, with a
+   broadcast window tick every 256 events so armed countdowns decay as
+   they would under the detector's timer. *)
+let bench_cep_pattern =
+  let c =
+    Cep.Compile.compile
+      ~tick_period:(Eventsim.Sim_time.us 10)
+      (Apps.Syn_signature.pattern ~syns:8 ~window:(Eventsim.Sim_time.us 60))
+  in
+  let e =
+    Cep.Compile.efsm ~alloc:(Pisa.Register_alloc.create ()) ~entries:1024 ~name:"bench-cep" c
+      ()
+  in
+  let syn =
+    Cep.Pattern.encode { Cep.Pattern.cls = Devents.Event.Ingress_packet; attr = 1 }
+  in
+  let i = ref 0 in
+  Test.make ~name:"cep/pattern-step"
+    (Staged.stage (fun () ->
+         incr i;
+         if !i land 255 = 0 then Pisa.Efsm.step_all e ~input:Cep.Pattern.tick_input;
+         ignore (Pisa.Efsm.step e ~now:!i ~key:(!i land 1023) ~input:syn : Pisa.Efsm.outcome)))
+
 (* Table 3 kernel: the resource-model composition. *)
 let bench_resmodel =
   Test.make ~name:"table3/resource-model"
@@ -224,6 +249,7 @@ let benchmarks =
       bench_event_dispatch_metrics_off;
       bench_cms;
       bench_efsm;
+      bench_cep_pattern;
       bench_resmodel;
       bench_shared_register;
       bench_packet_path;

@@ -69,6 +69,7 @@ let set_shards = function
       let counts = if n = 1 then [ 1 ] else [ 1; n ] in
       Experiments.E23_scale.default_shard_counts := counts;
       Experiments.E24_efsm.default_shard_counts := counts;
+      Experiments.E25_cep.default_shard_counts := counts;
       None
   | Some n -> Some (Printf.sprintf "--shards must be positive, got %d" n)
 

@@ -1,21 +1,31 @@
 (** Stateful firewall on the per-flow EFSM extern (OPP's flagship
-    example): SYN opens a session, data packets establish and sustain
-    it, FIN closes it. Out-of-order packets — data before SYN,
-    anything after close — match no transition and are dropped, which
-    also exercises the extern's guard-miss accounting. Session
-    contexts idle past [timeout] are evicted by a sweep riding the
-    switch's timer events, so eviction is supervised and shed-safe.
+    example): SYN opens a session, the handshake-completing ACK
+    establishes it, data sustains it, FIN or RST closes it.
+    Out-of-order packets — data before SYN, anything after close —
+    match no transition and are dropped, which also exercises the
+    extern's guard-miss accounting. Session contexts idle past
+    [timeout] are evicted by a sweep riding the switch's timer events,
+    so eviction is supervised and shed-safe.
 
-    Flags travel in [Packet.meta.mark] (the application-marking
-    channel): {!flag_syn}, {!flag_fin}, or {!flag_data} for payload
-    packets — a UDP-like rendering of connection tracking, matching
-    the paper's metadata-carrying events. *)
+    Guards are driven by the {e parsed TCP header}: {!input_of}
+    classifies each packet's real SYN/ACK/FIN/RST flag bits into one
+    of the input words below. Packets without a TCP header classify as
+    {!input_non_tcp}, which matches no transition — the [meta.mark]
+    side channel plays no role, so a mark-spoofed packet cannot fake
+    an established session. *)
 
-val flag_data : int  (** 0 *)
+val input_data : int
+(** 0 — a TCP segment with none of SYN/FIN/RST set (ACK, PSH,
+    payload). *)
 
-val flag_syn : int  (** 1 *)
+val input_syn : int  (** 1 — SYN set (and not RST). *)
 
-val flag_fin : int  (** 2 *)
+val input_fin : int  (** 2 — FIN set (and not SYN/RST). *)
+
+val input_rst : int  (** 3 — RST set; aborts the session. *)
+
+val input_non_tcp : int
+(** 4 — no TCP header; matches no transition, always blocked. *)
 
 val s_new : int
 val s_syn : int
@@ -37,6 +47,10 @@ val blocked : t -> int
 val key_of : Netcore.Packet.t -> int
 (** The flow key the firewall tracks sessions by. *)
 
+val input_of : Netcore.Packet.t -> int
+(** Classify a packet's parsed TCP flags (RST > SYN > FIN priority)
+    into the EFSM input word; {!input_non_tcp} without a TCP header. *)
+
 val program :
   ?slots:int ->
   ?timeout:Eventsim.Sim_time.t ->
@@ -45,5 +59,5 @@ val program :
   unit ->
   Evcore.Program.spec * t
 (** [slots] bounds tracked sessions (LRU eviction beyond it; default
-    1024). [timeout] (default 500 µs) is the idle eviction threshold;
-    [sweep_period] defaults to [timeout]. *)
+    1024). [timeout] (default 500 µs) is the idle eviction threshold
+    and must be positive; [sweep_period] defaults to [timeout]. *)

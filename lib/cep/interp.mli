@@ -1,0 +1,26 @@
+(** Reference interpreter for one detector instance (one correlation
+    key): a direct recursive execution of the pattern semantics
+    documented in {!Pattern}, sharing no mechanism with {!Compile} —
+    counters and countdowns live inline in the progress tree rather
+    than in EFSM registers. The QCheck conformance property drives
+    random event streams through both and requires identical verdicts
+    event-for-event. *)
+
+type t
+
+val create : ?tick_period:Eventsim.Sim_time.t -> Pattern.t -> t
+(** Default tick period 1 µs — keep it equal to the compiled
+    automaton's. *)
+
+val feed : t -> Pattern.view -> bool
+(** Consume one event; [true] iff it completed the pattern (the
+    instance then restarts from scratch). *)
+
+val tick : t -> unit
+(** One detector tick: decrement armed windows; the first expired
+    window in pre-order resets its region (exactly one per tick). *)
+
+val matches : t -> int
+(** Total completions so far. *)
+
+val reset : t -> unit

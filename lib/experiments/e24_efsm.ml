@@ -46,15 +46,11 @@ type skew_row = {
   occupancy : int;
 }
 
-let mk_flow_pkt ~key ~mark =
-  let pkt =
-    Packet.udp_packet
-      ~src:(Ipv4_addr.of_octets 10 1 (key lsr 8) (key land 0xff))
-      ~dst:(Ipv4_addr.of_octets 10 2 0 1) ~src_port:(1 + (key land 0x7fff)) ~dst_port:80
-      ~payload_len:64 ()
-  in
-  pkt.Packet.meta.Packet.mark <- mark;
-  pkt
+let mk_flow_pkt ~key ~flags =
+  Packet.tcp_packet ~flags
+    ~src:(Ipv4_addr.of_octets 10 1 (key lsr 8) (key land 0xff))
+    ~dst:(Ipv4_addr.of_octets 10 2 0 1) ~src_port:(1 + (key land 0x7fff)) ~dst_port:80
+    ~payload_len:64 ()
 
 (* Back-to-back injection: one packet per pipeline cycle, the line-rate
    arrival pattern under which same-flow revisits land inside the RMW
@@ -72,16 +68,16 @@ let contention_run ?metrics ~label ~packets ~key_at () =
   let flows = ref 0 in
   for i = 0 to packets - 1 do
     let key = key_at i in
-    let mark =
-      if Hashtbl.mem seen key then Apps.Stateful_fw.flag_data
+    let flags =
+      if Hashtbl.mem seen key then Netcore.Tcp.flag_ack
       else begin
         Hashtbl.replace seen key ();
         incr flows;
-        Apps.Stateful_fw.flag_syn
+        Netcore.Tcp.flag_syn
       end
     in
     let at = Sim_time.ns 100 + (i * Pisa.Pipeline.default_clock_period) in
-    Scheduler.post sched ~at (fun () -> Event_switch.inject sw ~port:0 (mk_flow_pkt ~key ~mark))
+    Scheduler.post sched ~at (fun () -> Event_switch.inject sw ~port:0 (mk_flow_pkt ~key ~flags))
   done;
   Scheduler.run ~until:(Sim_time.us 200) sched;
   let e = Apps.Stateful_fw.efsm fw in
@@ -149,13 +145,13 @@ let switch_config ~seed sw =
   let cfg = Event_switch.default_config Arch.event_pisa_full in
   { cfg with Event_switch.seed = seed + (31 * sw) }
 
-let mk_pkt ~src_host ~dst_host ~sport ~mark ~payload_len =
-  let pkt =
-    Packet.udp_packet ~src:(addr_of_host src_host) ~dst:(addr_of_host dst_host) ~src_port:sport
-      ~dst_port:(5000 + dst_host) ~payload_len ()
-  in
-  pkt.Packet.meta.Packet.mark <- mark;
-  pkt
+let mk_pkt ~src_host ~dst_host ~sport ~payload_len =
+  Packet.udp_packet ~src:(addr_of_host src_host) ~dst:(addr_of_host dst_host) ~src_port:sport
+    ~dst_port:(5000 + dst_host) ~payload_len ()
+
+let mk_tcp_pkt ~src_host ~dst_host ~sport ~flags ~payload_len =
+  Packet.tcp_packet ~flags ~src:(addr_of_host src_host) ~dst:(addr_of_host dst_host)
+    ~src_port:sport ~dst_port:(5000 + dst_host) ~payload_len ()
 
 (* Firewall workload: each host runs short SYN / data / FIN sessions to
    a peer across the ring, plus stray never-SYN'd data packets that the
@@ -168,25 +164,26 @@ let fw_traffic ~seed ~until (ctx : Parsim.shard_ctx) =
     (fun (h, host) ->
       let rng = Stats.Rng.create ~seed:(seed + (7919 * h)) in
       let dst = (h + 3) mod switches in
-      let send_at at mark sport =
+      let send_at at flags sport =
         if at < stop then
           Scheduler.post ctx.Parsim.sched ~at (fun () ->
-              Host.send host (mk_pkt ~src_host:h ~dst_host:dst ~sport ~mark ~payload_len:128))
+              Host.send host
+                (mk_tcp_pkt ~src_host:h ~dst_host:dst ~sport ~flags ~payload_len:128))
       in
       for session = 0 to 2 do
         let sport = 4000 + (16 * h) + session in
         let base = Sim_time.us (20 + (70 * session)) + Sim_time.ns (Stats.Rng.int rng 4000) in
-        send_at base Apps.Stateful_fw.flag_syn sport;
+        send_at base Netcore.Tcp.flag_syn sport;
         for d = 1 to 5 do
           send_at
             (base + Sim_time.us (2 * d) + Sim_time.ns (Stats.Rng.int rng 500))
-            Apps.Stateful_fw.flag_data sport
+            Netcore.Tcp.flag_ack sport
         done;
-        send_at (base + Sim_time.us 14) Apps.Stateful_fw.flag_fin sport;
-        (* A stray data packet on a port that never saw a SYN. *)
+        send_at (base + Sim_time.us 14) Netcore.Tcp.flag_fin sport;
+        (* A stray ACK on a port that never saw a SYN. *)
         send_at
           (base + Sim_time.us (3 + Stats.Rng.int rng 8))
-          Apps.Stateful_fw.flag_data (sport + 8)
+          Netcore.Tcp.flag_ack (sport + 8)
       done)
     ctx.Parsim.hosts
 
@@ -205,8 +202,7 @@ let rate_traffic ~seed ~until (ctx : Parsim.shard_ctx) =
         let at = Sim_time.us 20 + (i * gap) + Sim_time.ns (Stats.Rng.int rng 300) in
         if at < stop then
           Scheduler.post ctx.Parsim.sched ~at (fun () ->
-              Host.send host
-                (mk_pkt ~src_host:h ~dst_host:dst ~sport:(4000 + h) ~mark:0 ~payload_len:228))
+              Host.send host (mk_pkt ~src_host:h ~dst_host:dst ~sport:(4000 + h) ~payload_len:228))
       done)
     ctx.Parsim.hosts
 

@@ -159,6 +159,12 @@ let all =
       paper_artifact = "Sec 3 stateful externs (per-flow EFSM, OPP contention)";
       run_and_print = (fun ~metrics ~seed -> E24_efsm.print (E24_efsm.run ?metrics ~seed ()));
     };
+    {
+      name = E25_cep.name;
+      experiment_id = "E25";
+      paper_artifact = "Sec 3 event-driven apps (complex-event patterns)";
+      run_and_print = (fun ~metrics ~seed -> E25_cep.print (E25_cep.run ?metrics ~seed ()));
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

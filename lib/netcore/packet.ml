@@ -57,6 +57,20 @@ let udp_packet ?(created_at = 0) ?(payload = Opaque) ~src ~dst ~src_port ~dst_po
   in
   create ~ip ~l4:(Udp udp) ~payload ~payload_len ~created_at ~eth ()
 
+let tcp_packet ?(created_at = 0) ?(payload = Opaque) ?(flags = 0) ?(seq = 0) ?(ack = 0) ~src ~dst
+    ~src_port ~dst_port ~payload_len () =
+  let tcp = Tcp.make ~src_port ~dst_port ~seq ~ack ~flags () in
+  let ip =
+    Ipv4.make ~proto:Ipv4.proto_tcp ~src ~dst ~payload_len:(Tcp.size + payload_len) ()
+  in
+  let eth =
+    Ethernet.make
+      ~dst:(Mac_addr.host (Ipv4_addr.to_int dst land 0xffff))
+      ~src:(Mac_addr.host (Ipv4_addr.to_int src land 0xffff))
+      ~ethertype:Ethernet.ethertype_ipv4
+  in
+  create ~ip ~l4:(Tcp tcp) ~payload ~payload_len ~created_at ~eth ()
+
 let l4_size = function Udp _ -> Udp.size | Tcp _ -> Tcp.size | No_l4 -> 0
 
 let len t =

@@ -54,6 +54,14 @@ val udp_packet :
 (** Convenience constructor for the common workload packet, with MACs
     derived from the addresses. *)
 
+val tcp_packet :
+  ?created_at:int -> ?payload:payload -> ?flags:int -> ?seq:int -> ?ack:int ->
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t -> src_port:int -> dst_port:int ->
+  payload_len:int -> unit -> t
+(** Like {!udp_packet} but with a TCP header carrying real [flags]
+    (see {!Tcp.flag_syn} etc.) — what flag-driven stateful programs
+    parse. *)
+
 val len : t -> int
 (** Wire length in bytes (headers + payload). *)
 

@@ -63,6 +63,14 @@ type decl =
       transitions : efsm_transition list;
       pos : position;
     }
+  | Pattern_decl of {
+      name : string;
+      entries : int;
+      tick_us : int option;
+      timeout_us : int option;
+      expr : expr;
+      pos : position;
+    }
   | Control_decl of { name : string; body : stmt list; pos : position }
 
 type program = decl list

@@ -88,6 +88,25 @@ type decl =
       (** [efsm(1024) conn { regs 2; timeout 500; on 0 when in == 1 => 1 { r0 = 1; } ... }]
           — a per-flow EFSM extern; controls drive it with
           [conn.step(key, input, dst)]. *)
+  | Pattern_decl of {
+      name : string;
+      entries : int;
+      tick_us : int option;  (** detector tick period; default 10 µs *)
+      timeout_us : int option;
+      expr : expr;
+      pos : position;
+    }
+      (** [pattern(1024) flood { tick 10; timeout 200;
+          match within(100, count(16, ingress_packet(1, 1))); }]
+          — a complex-event pattern compiled onto the EFSM extern
+          ({!Cep.Compile}). The match expression reuses the ordinary
+          expression grammar: [seq(...)], [conj(...)], [disj(...)],
+          [count(n, p)], [within(us, p)] and class atoms
+          ([ingress_packet], [buffer_overflow], ...) optionally
+          restricted to an attribute interval [cls(lo)] / [cls(lo, hi)].
+          Controls drive it with [flood.step(key, attr, matched)];
+          [matched] reads 1 exactly when that event completed the
+          pattern for [key]. *)
   | Control_decl of { name : string; body : stmt list; pos : position }
       (** [control Name(...) { ... apply { body } }]; parameters are
           accepted and ignored (the architecture supplies the

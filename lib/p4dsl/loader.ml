@@ -222,13 +222,98 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
         | Ast.Efsm_decl { name = ename; entries; nregs; timeout_us; transitions; _ } ->
             let compiled = compile_efsm ~ename ~nregs transitions in
             (* Dry-run create (no allocator) so out-of-range states and
-               bad parameters are load errors, not install crashes. *)
+               bad parameters — including a non-positive timeout — are
+               load errors, not install crashes. *)
             (try
                ignore
-                 (Pisa.Efsm.create ~name:ename ~entries ~nregs ~transitions:compiled () : Pisa.Efsm.t)
+                 (Pisa.Efsm.create
+                    ?timeout:(Option.map Eventsim.Sim_time.us timeout_us)
+                    ~name:ename ~entries ~nregs ~transitions:compiled ()
+                   : Pisa.Efsm.t)
              with Invalid_argument msg ->
                raise (Load_error (Printf.sprintf "efsm %s: %s" ename msg)));
             Some (ename, entries, nregs, timeout_us, compiled)
+        | _ -> None)
+      program
+  in
+  (* Static CEP pattern elaboration: class names, combinator arities,
+     and count/window parameters are checked — and the automaton
+     compiled — at load time, so a bad pattern can never install. *)
+  let cls_of_ident = function
+    | "ingress_packet" -> Some Event.Ingress_packet
+    | "egress_packet" -> Some Event.Egress_packet
+    | "recirculated_packet" -> Some Event.Recirculated_packet
+    | "generated_packet" -> Some Event.Generated_packet
+    | "packet_transmitted" -> Some Event.Packet_transmitted
+    | "buffer_enqueue" -> Some Event.Buffer_enqueue
+    | "buffer_dequeue" -> Some Event.Buffer_dequeue
+    | "buffer_overflow" -> Some Event.Buffer_overflow
+    | "buffer_underflow" -> Some Event.Buffer_underflow
+    | "timer_expiration" -> Some Event.Timer_expiration
+    | "control_plane" -> Some Event.Control_plane
+    | "link_status_change" -> Some Event.Link_status_change
+    | "user_event" -> Some Event.User_event
+    | _ -> None
+  in
+  let pattern_decls =
+    List.filter_map
+      (function
+        | Ast.Pattern_decl { name = pname; entries; tick_us; timeout_us; expr; pos } ->
+            let fail msg =
+              raise
+                (Load_error (Printf.sprintf "pattern %s: %s (line %d)" pname msg pos.Ast.line))
+            in
+            let int_arg what (e : Ast.expr) =
+              match e with
+              | Ast.Int n -> n
+              | Ast.Path [ x ] -> (
+                  match Hashtbl.find_opt static_consts x with
+                  | Some v -> v
+                  | None -> fail (Printf.sprintf "unknown constant %S in %s" x what))
+              | _ -> fail (Printf.sprintf "%s takes an integer literal or const" what)
+            in
+            let rec elab (e : Ast.expr) =
+              match e with
+              | Ast.Call ("seq", args) -> Cep.Pattern.seq (List.map elab args)
+              | Ast.Call ("conj", args) -> Cep.Pattern.conj (List.map elab args)
+              | Ast.Call ("disj", args) -> Cep.Pattern.disj (List.map elab args)
+              | Ast.Call ("count", [ n; p ]) -> Cep.Pattern.count (int_arg "count" n) (elab p)
+              | Ast.Call ("within", [ w; p ]) ->
+                  Cep.Pattern.within (Eventsim.Sim_time.us (int_arg "within" w)) (elab p)
+              | Ast.Path [ c ] when cls_of_ident c <> None ->
+                  Cep.Pattern.atom ~label:c (Option.get (cls_of_ident c))
+              | Ast.Call (c, args) when cls_of_ident c <> None -> (
+                  let cls = Option.get (cls_of_ident c) in
+                  match args with
+                  | [ lo ] -> Cep.Pattern.atom ~lo:(int_arg c lo) ~label:c cls
+                  | [ lo; hi ] ->
+                      Cep.Pattern.atom ~lo:(int_arg c lo) ~hi:(int_arg c hi) ~label:c cls
+                  | _ -> fail (Printf.sprintf "atom %s takes (lo) or (lo, hi)" c))
+              | Ast.Call (f, _) ->
+                  fail
+                    (Printf.sprintf
+                       "unknown combinator %S (expected seq/conj/disj/count/within or an \
+                        event class)"
+                       f)
+              | _ -> fail "a pattern is built from combinator calls over event-class atoms"
+            in
+            let tick = Option.value tick_us ~default:10 in
+            if tick <= 0 then fail "tick period must be positive";
+            let compiled =
+              try Cep.Compile.compile ~tick_period:(Eventsim.Sim_time.us tick) (elab expr)
+              with Invalid_argument msg -> fail msg
+            in
+            (* Dry-run instantiation (no allocator) so bad table
+               parameters — including a non-positive timeout — are load
+               errors too, not install crashes. *)
+            (try
+               ignore
+                 (Cep.Compile.efsm
+                    ?timeout:(Option.map Eventsim.Sim_time.us timeout_us)
+                    ~entries ~name:pname compiled ()
+                   : Pisa.Efsm.t)
+             with Invalid_argument msg -> fail msg);
+            Some (pname, entries, timeout_us, compiled)
         | _ -> None)
       program
   in
@@ -252,7 +337,7 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
         | Ast.Timer_decl { name; period_us; _ } ->
             let id = ctx.Program.add_timer ~period:(Eventsim.Sim_time.us period_us) in
             Hashtbl.replace consts name id
-        | Ast.Efsm_decl _ | Ast.Control_decl _ -> ())
+        | Ast.Efsm_decl _ | Ast.Pattern_decl _ | Ast.Control_decl _ -> ())
       program;
     let efsms : (string, Pisa.Efsm.t) Hashtbl.t = Hashtbl.create 4 in
     let sweep_timers = ref [] in
@@ -274,6 +359,27 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
             sweep_timers := (id, e) :: !sweep_timers
         | _ -> ())
       efsm_decls;
+    let pats : (string, Cep.Compile.t * Pisa.Efsm.t) Hashtbl.t = Hashtbl.create 4 in
+    let tick_timers = ref [] in
+    List.iter
+      (fun (pname, entries, timeout_us, compiled) ->
+        if Hashtbl.mem efsms pname || Hashtbl.mem pats pname || Hashtbl.mem regs pname then
+          raise (Load_error (Printf.sprintf "duplicate extern %S" pname));
+        let timeout = Option.map Eventsim.Sim_time.us timeout_us in
+        let e =
+          Cep.Compile.efsm ~alloc:ctx.Program.alloc ?timeout ~entries ~name:pname compiled ()
+        in
+        Hashtbl.replace pats pname (compiled, e);
+        (* The detector tick rides ordinary timer events, like EFSM
+           sweeps, so window countdowns run supervised and shed-safe. *)
+        let tick_id = ctx.Program.add_timer ~period:compiled.Cep.Compile.tick_period in
+        tick_timers := (tick_id, e) :: !tick_timers;
+        match timeout_us with
+        | Some t when t > 0 ->
+            let id = ctx.Program.add_timer ~period:(Eventsim.Sim_time.us t) in
+            sweep_timers := (id, e) :: !sweep_timers
+        | _ -> ())
+      pattern_decls;
     let reg target pos =
       match Hashtbl.find_opt regs target with
       | Some r -> r
@@ -292,17 +398,30 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
             (Interp.Runtime_error
                (Printf.sprintf "unknown function %S/%d" name (List.length args), Some pos))
     in
-    let efsm_step ~target ~key ~input pos =
+    let efsm_step cls ~target ~key ~input pos =
       match Hashtbl.find_opt efsms target with
       | Some e ->
           (* Supervised: each transition charges the handler watchdog. *)
           ctx.Program.consume_budget 1;
           let o = Pisa.Efsm.step e ~now:(ctx.Program.now ()) ~key ~input in
           o.Pisa.Efsm.state
-      | None ->
-          raise (Interp.Runtime_error (Printf.sprintf "unknown efsm %S" target, Some pos))
+      | None -> (
+          match Hashtbl.find_opt pats target with
+          | Some (c, e) ->
+              (* The calling control's event class fixes the class half
+                 of the input word; the program supplies only the
+                 attribute. The result is 1 exactly when this event
+                 completed the pattern for [key]. *)
+              ctx.Program.consume_budget 1;
+              let input = Cep.Pattern.encode { Cep.Pattern.cls; attr = input } in
+              let o =
+                Pisa.Efsm.step e ~now:(ctx.Program.now ()) ~key:(key land max_int) ~input
+              in
+              if Cep.Compile.is_match c o then 1 else 0
+          | None ->
+              raise (Interp.Runtime_error (Printf.sprintf "unknown efsm %S" target, Some pos)))
     in
-    let mk_env ~get_field ~set_field ~reg_read ~reg_write ~reg_add ~builtin =
+    let mk_env ~cls ~get_field ~set_field ~reg_read ~reg_write ~reg_add ~builtin =
       {
         Interp.consts;
         locals = Hashtbl.create 8;
@@ -313,7 +432,7 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
         reg_add;
         builtin;
         func = funcs;
-        efsm_step;
+        efsm_step = efsm_step cls;
       }
     in
     let no_field path pos =
@@ -376,7 +495,7 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
             (Interp.Runtime_error (Printf.sprintf "unknown builtin %S here" name, Some pos))
     in
     (* Run a packet-family control body; returns the decision. *)
-    let run_packet_control body pkt =
+    let run_packet_control ~cls body pkt =
       let cell = { decision = None; egress_drop = false } in
       let builtin ~name ~args pos =
         let num = function
@@ -421,7 +540,7 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
         if not (packet_set_field pkt path v) then no_set_field path v pos
       in
       let env =
-        mk_env ~get_field ~set_field ~reg_read:pkt_reg_read ~reg_write:pkt_reg_write
+        mk_env ~cls ~get_field ~set_field ~reg_read:pkt_reg_read ~reg_write:pkt_reg_write
           ~reg_add:pkt_reg_add ~builtin
       in
       env_ref := Some env;
@@ -429,10 +548,10 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
       (cell.decision, cell.egress_drop)
     in
     (* Run a metadata-event control body with a field table. *)
-    let run_event_control ~side body get_field =
+    let run_event_control ~side ~cls body get_field =
       let builtin ~name ~args pos = common_builtin ~name ~args pos in
       let env =
-        mk_env ~get_field
+        mk_env ~cls ~get_field
           ~set_field:(fun path _ pos -> no_set_field path 0 pos)
           ~reg_read:(ev_reg_read side) ~reg_write:(ev_reg_write side) ~reg_add:(ev_reg_add side)
           ~builtin
@@ -445,17 +564,17 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
       | None -> no_field path pos
     in
     (* Build the Program handlers from the controls present. *)
-    let packet_handler body _ctx pkt =
-      match run_packet_control body pkt with
+    let packet_handler cls body _ctx pkt =
+      match run_packet_control ~cls body pkt with
       | Some d, _ -> d
       | None, _ -> Program.Drop
     in
     let ingress_body = Option.get (find_control "Ingress") in
     let handler_opt cname f = Option.map f (find_control cname) in
-    let buffer_handler cname =
+    let buffer_handler cname cls =
       handler_opt cname (fun body ->
           fun _ctx (ev : Event.buffer_event) ->
-            run_event_control ~side:(side_of_control cname) body (fun path pos ->
+            run_event_control ~side:(side_of_control cname) ~cls body (fun path pos ->
                 match buffer_fields ev path with Some v -> v | None -> no_field path pos))
     in
     (* Hidden EFSM sweep timers are serviced here and filtered out, so
@@ -463,42 +582,50 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
     let user_timer =
       handler_opt "Timer" (fun body ->
           fun _ctx (ev : Event.timer_event) ->
-           run_event_control ~side:Shared_register.Deq_side body
+           run_event_control ~side:Shared_register.Deq_side ~cls:Event.Timer_expiration body
              (simple_fields [ ("timer.id", ev.Event.id); ("timer.count", ev.Event.count) ]))
     in
     let timer_handler =
-      match !sweep_timers with
-      | [] -> user_timer
-      | sweeps ->
+      match (!sweep_timers, !tick_timers) with
+      | [], [] -> user_timer
+      | sweeps, ticks ->
           Some
             (fun tctx (ev : Event.timer_event) ->
               match List.assoc_opt ev.Event.id sweeps with
               | Some efsm -> ignore (Pisa.Efsm.sweep efsm ~now:(ctx.Program.now ()) : int)
-              | None -> ( match user_timer with Some h -> h tctx ev | None -> ()))
+              | None -> (
+                  match List.assoc_opt ev.Event.id ticks with
+                  | Some efsm ->
+                      (* Pattern tick: decrement every armed window
+                         countdown across all flow contexts. *)
+                      ctx.Program.consume_budget 1;
+                      Pisa.Efsm.step_all efsm ~input:Cep.Pattern.tick_input
+                  | None -> ( match user_timer with Some h -> h tctx ev | None -> ())))
     in
     Program.make ~name
-      ~ingress:(packet_handler ingress_body)
-      ?recirculated:(handler_opt "Recirculated" packet_handler)
-      ?generated:(handler_opt "Generated" packet_handler)
+      ~ingress:(packet_handler Event.Ingress_packet ingress_body)
+      ?recirculated:(handler_opt "Recirculated" (packet_handler Event.Recirculated_packet))
+      ?generated:(handler_opt "Generated" (packet_handler Event.Generated_packet))
       ?egress:
         (handler_opt "Egress" (fun body ->
              fun _ctx ~port:_ pkt ->
-              match run_packet_control body pkt with
+              match run_packet_control ~cls:Event.Egress_packet body pkt with
               | _, true -> None
               | _, false -> Some pkt))
-      ?enqueue:(buffer_handler "Enqueue")
-      ?dequeue:(buffer_handler "Dequeue")
-      ?overflow:(buffer_handler "Overflow")
+      ?enqueue:(buffer_handler "Enqueue" Event.Buffer_enqueue)
+      ?dequeue:(buffer_handler "Dequeue" Event.Buffer_dequeue)
+      ?overflow:(buffer_handler "Overflow" Event.Buffer_overflow)
       ?underflow:
         (handler_opt "Underflow" (fun body ->
              fun _ctx (ev : Event.underflow_event) ->
-              run_event_control ~side:Shared_register.Deq_side body
+              run_event_control ~side:Shared_register.Deq_side ~cls:Event.Buffer_underflow body
                 (simple_fields
                    [ ("meta.port", ev.Event.port); ("meta.qid", ev.Event.qid) ])))
       ?transmitted:
         (handler_opt "Transmitted" (fun body ->
              fun _ctx (ev : Event.transmit_event) ->
-              run_event_control ~side:Shared_register.Deq_side body
+              run_event_control ~side:Shared_register.Deq_side ~cls:Event.Packet_transmitted
+                body
                 (simple_fields
                    [
                      ("meta.port", ev.Event.port);
@@ -509,19 +636,20 @@ let load_ast ?(name = "p4-program") (program : Ast.program) : Program.spec =
       ?link_change:
         (handler_opt "LinkChange" (fun body ->
              fun _ctx (ev : Event.link_event) ->
-              run_event_control ~side:Shared_register.Deq_side body
+              run_event_control ~side:Shared_register.Deq_side ~cls:Event.Link_status_change
+                body
                 (simple_fields
                    [ ("link.port", ev.Event.port); ("link.up", if ev.Event.up then 1 else 0) ])))
       ?control:
         (handler_opt "ControlPlane" (fun body ->
              fun _ctx (ev : Event.control_event) ->
-              run_event_control ~side:Shared_register.Deq_side body
+              run_event_control ~side:Shared_register.Deq_side ~cls:Event.Control_plane body
                 (simple_fields
                    [ ("ctl.opcode", ev.Event.opcode); ("ctl.arg", ev.Event.arg) ])))
       ?user:
         (handler_opt "UserEvent" (fun body ->
              fun _ctx (ev : Event.user_event) ->
-              run_event_control ~side:Shared_register.Deq_side body
+              run_event_control ~side:Shared_register.Deq_side ~cls:Event.User_event body
                 (simple_fields [ ("user.tag", ev.Event.tag); ("user.data", ev.Event.data) ])))
       ()
 

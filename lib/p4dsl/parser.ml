@@ -385,6 +385,44 @@ let parse_decl st =
           transitions = List.rev !transitions;
           pos;
         }
+  | Lexer.IDENT "pattern" ->
+      ignore (next st);
+      (* pattern(1024) flood { tick 10; timeout 200;
+           match within(100, count(16, ingress_packet(1, 1))); } *)
+      expect st Lexer.LPAREN "after 'pattern'";
+      let entries = expect_const_int st "the pattern table size" in
+      expect st Lexer.RPAREN "after the pattern table size";
+      let name = expect_ident st "the pattern name" in
+      expect st Lexer.LBRACE "to open the pattern body";
+      let tick_us = ref None and timeout_us = ref None and expr = ref None in
+      let rec body () =
+        let t = peek st in
+        match t.Lexer.token with
+        | Lexer.RBRACE -> ignore (next st)
+        | Lexer.IDENT "tick" ->
+            ignore (next st);
+            tick_us := Some (expect_const_int st "the detector tick period (microseconds)");
+            expect st Lexer.SEMI "after the pattern tick period";
+            body ()
+        | Lexer.IDENT "timeout" ->
+            ignore (next st);
+            timeout_us := Some (expect_const_int st "the pattern idle timeout (microseconds)");
+            expect st Lexer.SEMI "after the pattern timeout";
+            body ()
+        | Lexer.IDENT "match" ->
+            ignore (next st);
+            if !expr <> None then fail st "a pattern has exactly one match clause";
+            expr := Some (parse_expr_prec st 0);
+            expect st Lexer.SEMI "after the match expression";
+            body ()
+        | _ -> fail st "expected 'tick', 'timeout', 'match' or '}' in the pattern body"
+      in
+      body ();
+      (match !expr with
+      | None -> raise (Parse_error ("pattern " ^ name ^ " has no match clause", pos))
+      | Some expr ->
+          Pattern_decl
+            { name; entries; tick_us = !tick_us; timeout_us = !timeout_us; expr; pos })
   | Lexer.IDENT "control" ->
       ignore (next st);
       let name = expect_ident st "the control name" in

@@ -112,6 +112,14 @@ let decl_to_string = function
       in
       Printf.sprintf "efsm(%d) %s {\n%s\n}" entries name
         (String.concat "\n" (List.map (fun l -> "  " ^ l) (header @ List.map transition transitions)))
+  | Pattern_decl { name; entries; tick_us; timeout_us; expr; _ } ->
+      let header =
+        (match tick_us with None -> [] | Some t -> [ Printf.sprintf "tick %d;" t ])
+        @ (match timeout_us with None -> [] | Some t -> [ Printf.sprintf "timeout %d;" t ])
+        @ [ Printf.sprintf "match %s;" (expr_to_string expr) ]
+      in
+      Printf.sprintf "pattern(%d) %s {\n%s\n}" entries name
+        (String.concat "\n" (List.map (fun l -> "  " ^ l) header))
   | Control_decl { name; body; _ } ->
       Printf.sprintf "control %s() {\n  apply {\n%s\n  }\n}" name
         (String.concat "\n" (List.map (stmt_to_string ~indent:4) body))

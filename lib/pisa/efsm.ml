@@ -139,6 +139,9 @@ let create ?alloc ?clock ?(rmw_latency = Pipeline.default_depth) ?timeout ?(widt
   if entries <= 0 then invalid_arg "Efsm.create: entries must be positive";
   if nregs < 0 then invalid_arg "Efsm.create: nregs must be non-negative";
   if rmw_latency < 0 then invalid_arg "Efsm.create: rmw_latency must be non-negative";
+  (match timeout with
+  | Some t when t <= 0 -> invalid_arg "Efsm.create: timeout must be positive"
+  | _ -> ());
   if state_bits <= 0 || state_bits > 62 then invalid_arg "Efsm.create: state_bits must be in 1..62";
   let state_mask = if state_bits = 62 then max_int else (1 lsl state_bits) - 1 in
   List.iter (validate_transition ~nregs ~state_mask) transitions;
@@ -201,11 +204,22 @@ let clear_slot t slot =
     Register_array.clear_entry t.regs ((slot * t.nregs) + r)
   done
 
+let release_slot t slot =
+  (* Keep the free list ascending so the lowest-numbered free slot is
+     always reused first — slot assignment stays deterministic. *)
+  let rec ins = function
+    | [] -> [ slot ]
+    | s :: _ as l when slot < s -> slot :: l
+    | s :: rest -> s :: ins rest
+  in
+  t.free <- ins t.free
+
 let evict t slot =
   Hashtbl.remove t.slot_of_key t.keys.(slot);
   t.valid.(slot) <- false;
   t.last_access_cycle.(slot) <- -1;
-  clear_slot t slot
+  clear_slot t slot;
+  release_slot t slot
 
 let evict_lru t =
   (* Least-recently-accessed; ties break to the lowest slot so the
@@ -215,10 +229,11 @@ let evict_lru t =
     if t.valid.(slot) && (!best < 0 || t.last_access_ps.(slot) <= t.last_access_ps.(!best)) then
       best := slot
   done;
-  let slot = !best in
-  evict t slot;
-  t.evictions_capacity <- t.evictions_capacity + 1;
-  slot
+  (* Every slot is either occupied or on the free list, and the free
+     list was empty, so a victim always exists. *)
+  assert (!best >= 0);
+  evict t !best;
+  t.evictions_capacity <- t.evictions_capacity + 1
 
 let lookup_or_insert t ~now ~key =
   match Hashtbl.find_opt t.slot_of_key key with
@@ -226,12 +241,13 @@ let lookup_or_insert t ~now ~key =
       t.hits <- t.hits + 1;
       (slot, false)
   | None ->
+      (if t.free = [] then evict_lru t);
       let slot =
         match t.free with
         | slot :: rest ->
             t.free <- rest;
             slot
-        | [] -> evict_lru t
+        | [] -> assert false
       in
       t.inserts <- t.inserts + 1;
       t.keys.(slot) <- key;
@@ -333,7 +349,8 @@ let sweep t ~now =
   t.sweeps <- t.sweeps + 1;
   match t.timeout with
   | None -> 0
-  | Some timeout when timeout > 0 ->
+  | Some timeout ->
+      (* create rejects non-positive timeouts, so [timeout > 0] here. *)
       let evicted = ref 0 in
       for slot = 0 to t.entries - 1 do
         if t.valid.(slot) && now - t.last_access_ps.(slot) >= timeout then begin
@@ -343,7 +360,6 @@ let sweep t ~now =
         end
       done;
       !evicted
-  | Some _ -> 0
 
 let attach_sweeper t ~sched ~period =
   ignore

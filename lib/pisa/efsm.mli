@@ -85,13 +85,15 @@ val create :
     the window stalls. [clock] supplies the cycle counter and defaults
     to the allocator's clock (the pipeline clock inside a switch); with
     neither, no stalls are ever recorded. [timeout] is the idle interval after which
-    {!sweep} evicts (default: no timeout eviction). [width] (default
+    {!sweep} evicts (default: no timeout eviction); it must be
+    strictly positive — a zero or negative timeout would arm a sweep
+    that spins at its own timestamp. [width] (default
     32) bounds registers and inputs; [state_bits] (default 8) bounds
     state labels. When [alloc] is given, the backing arrays are
     allocated through it and a stats exporter is registered under
     [name], so the switch publishes [pisa.efsm.*] metrics
     automatically. Raises [Invalid_argument] on out-of-range states,
-    register indices, or parameters. *)
+    register indices, non-positive timeouts, or parameters. *)
 
 (** What one {!step} did. *)
 type outcome = {
@@ -116,7 +118,9 @@ val step_all : t -> input:int -> unit
 val sweep : t -> now:int -> int
 (** Evict every flow idle for at least the timeout (strictly older
     than [now - timeout]; a flow stepped at [now] survives). Returns
-    the number evicted; 0 when no timeout was configured. *)
+    the number evicted; 0 when no timeout was configured. Evicted
+    slots rejoin the free list (lowest-numbered slot reused first), so
+    sweeping never forces capacity evictions of live flows. *)
 
 val attach_sweeper : t -> sched:Eventsim.Scheduler.t -> period:Eventsim.Sim_time.t -> unit
 (** Standalone periodic sweeping on a raw scheduler. Inside a switch

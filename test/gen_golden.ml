@@ -46,4 +46,19 @@ let () =
       List.iter (fun (label, hex) -> Printf.fprintf oc "%s %s\n" label hex) digests;
       close_out oc;
       Printf.printf "wrote %s (%d digests)\n" path (List.length digests))
-    Experiments.E24_efsm.golden_seeds
+    Experiments.E24_efsm.golden_seeds;
+  (* E25: the CEP detector apps' golden digests — per leg (syn flood,
+     burst forensics, chaos) one trace digest and one metrics digest.
+     Canon as above: sequential under the heap backend. *)
+  List.iter
+    (fun seed ->
+      let digests =
+        Experiments.E25_cep.golden_digests ~backend:Eventsim.Sched_backend.Heap ~shards:1
+          ~seed ()
+      in
+      let path = Filename.concat dir (Experiments.E25_cep.golden_file seed) in
+      let oc = open_out path in
+      List.iter (fun (label, hex) -> Printf.fprintf oc "%s %s\n" label hex) digests;
+      close_out oc;
+      Printf.printf "wrote %s (%d digests)\n" path (List.length digests))
+    Experiments.E25_cep.golden_seeds

@@ -702,6 +702,71 @@ let test_ecn_marks_only_under_congestion () =
   Alcotest.(check bool) "marks under congestion" true (!max_mark > 4);
   Alcotest.(check bool) "marks counted" true (Apps.Ecn_mark.marks_applied app > 0)
 
+(* --- Stateful firewall --- *)
+
+module Fw = Apps.Stateful_fw
+module Tcp = Netcore.Tcp
+
+let fw_pkt ?(flags = 0) ?(sport = 4000) () =
+  Packet.tcp_packet
+    ~src:(Ipv4_addr.host ~subnet:1 1)
+    ~dst:(Ipv4_addr.host ~subnet:2 1)
+    ~src_port:sport ~dst_port:80 ~payload_len:100 ~flags ()
+
+let test_fw_mark_spoof_blocked () =
+  (* Regression: session state must be driven by parsed TCP flags, not
+     the writable meta.mark side channel. A non-TCP packet with a
+     spoofed mark must not open or establish a session. *)
+  let sched = Scheduler.create () in
+  let spec, fw = Fw.program ~out_port:(fun _ -> 1) () in
+  let sw = mk_switch ~sched spec in
+  let spoofed =
+    Packet.udp_packet
+      ~src:(Ipv4_addr.host ~subnet:1 1)
+      ~dst:(Ipv4_addr.host ~subnet:2 1)
+      ~src_port:4000 ~dst_port:80 ~payload_len:100 ()
+  in
+  spoofed.Packet.meta.Packet.mark <- Fw.input_syn;
+  Alcotest.(check int) "no TCP header classifies as non-tcp" Fw.input_non_tcp
+    (Fw.input_of spoofed);
+  Event_switch.inject sw ~port:0 spoofed;
+  let spoofed2 = { spoofed with Packet.meta = { spoofed.Packet.meta with Packet.mark = Fw.input_data } } in
+  Event_switch.inject sw ~port:0 spoofed2;
+  (* Bounded run: the firewall's periodic sweep timer re-arms forever. *)
+  Scheduler.run ~until:(Sim_time.us 50) sched;
+  Alcotest.(check int) "spoofed packets all blocked" 2 (Fw.blocked fw);
+  Alcotest.(check int) "nothing allowed" 0 (Fw.allowed fw);
+  Alcotest.(check bool) "no established session" true
+    (Pisa.Efsm.state_of (Fw.efsm fw) ~key:(Fw.key_of spoofed) <> Some Fw.s_est)
+
+let test_fw_flag_driven_lifecycle () =
+  (* The real handshake drives the session: SYN -> syn-sent, ACK ->
+     established, data flows, RST aborts, post-close data is blocked. *)
+  let sched = Scheduler.create () in
+  let spec, fw = Fw.program ~out_port:(fun _ -> 1) () in
+  let sw = mk_switch ~sched spec in
+  let key = Fw.key_of (fw_pkt ()) in
+  let state () = Pisa.Efsm.state_of (Fw.efsm fw) ~key in
+  (* Bounded runs (the sweep timer re-arms forever), well inside the
+     500 µs idle timeout. *)
+  let t = ref 0 in
+  let inject ?flags () =
+    Event_switch.inject sw ~port:0 (fw_pkt ?flags ());
+    t := !t + Sim_time.us 10;
+    Scheduler.run ~until:!t sched
+  in
+  inject ~flags:Tcp.flag_syn ();
+  Alcotest.(check (option int)) "SYN opens" (Some Fw.s_syn) (state ());
+  inject ~flags:Tcp.flag_ack ();
+  Alcotest.(check (option int)) "handshake ACK establishes" (Some Fw.s_est) (state ());
+  inject ~flags:Tcp.flag_ack ();
+  inject ~flags:(Tcp.flag_rst lor Tcp.flag_ack) ();
+  Alcotest.(check (option int)) "RST closes" (Some Fw.s_closed) (state ());
+  let blocked_before = Fw.blocked fw in
+  inject ~flags:Tcp.flag_ack ();
+  Alcotest.(check int) "post-close data blocked" (blocked_before + 1) (Fw.blocked fw);
+  Alcotest.(check int) "SYN, ACK, data, RST allowed" 4 (Fw.allowed fw)
+
 let suite =
   [
     Alcotest.test_case "microburst detects culprit" `Quick test_microburst_detects_culprit;
@@ -733,4 +798,6 @@ let suite =
     Alcotest.test_case "state migration" `Quick test_state_migration_event_driven;
     Alcotest.test_case "ecn quantiser" `Quick test_ecn_quantise;
     Alcotest.test_case "ecn marks under congestion" `Quick test_ecn_marks_only_under_congestion;
+    Alcotest.test_case "fw: mark spoof cannot fake a session" `Quick test_fw_mark_spoof_blocked;
+    Alcotest.test_case "fw: TCP flags drive the lifecycle" `Quick test_fw_flag_driven_lifecycle;
   ]

@@ -428,6 +428,44 @@ let qcheck_efsm_evolution_conforms =
           (Eventsim.Sched_backend.Wheel, 4);
         ])
 
+(* CEP extension: the detector's [pisa.efsm.*] series must be
+   shard-count-independent line for line, not only as a whole-snapshot
+   digest — a stall or sweep counter drifting under partitioning would
+   otherwise hide inside one opaque hash. The E25 SYN scenario
+   exercises the full counter surface: per-event steps, broadcast
+   window ticks (step_all) and idle-timeout sweeps. *)
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let efsm_metric_lines json =
+  String.split_on_char '\n' json |> List.filter (fun l -> contains_substring l "pisa.efsm.")
+
+let test_sharded_efsm_metrics_conform () =
+  let module E25 = Experiments.E25_cep in
+  let run shards =
+    Parsim.run
+      (E25.scenario E25.Syn ~shards ~record_trace:false ~seed:42 ~until:(Sim_time.us 400) ())
+      (Evcore.Topology.ring ~switches:8 ())
+  in
+  let canon = run 1 in
+  let canon_series = efsm_metric_lines canon.Parsim.metrics_json in
+  let has sub = List.exists (fun l -> contains_substring l sub) canon_series in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("series pisa.efsm." ^ s ^ " exported") true (has ("pisa.efsm." ^ s)))
+    [ "steps"; "stalls"; "fired"; "sweeps"; "evictions_timeout"; "occupancy"; "state_hash" ];
+  List.iter
+    (fun shards ->
+      let r = run shards in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%d-shard efsm series equal sequential" shards)
+        canon_series
+        (efsm_metric_lines r.Parsim.metrics_json))
+    [ 2; 4 ]
+
 let suite =
   [
     Alcotest.test_case "same seed, identical trace" `Quick test_trace_identical;
@@ -437,6 +475,8 @@ let suite =
     Alcotest.test_case "heap vs wheel, identical chaos" `Quick test_chaos_backends_identical;
     Alcotest.test_case "chaos run, identical metrics" `Quick test_chaos_identical;
     Alcotest.test_case "chaos run, seed diverges" `Quick test_chaos_seed_diverges;
+    Alcotest.test_case "sharded efsm metrics conform" `Quick
+      test_sharded_efsm_metrics_conform;
     QCheck_alcotest.to_alcotest qcheck_parsim_matches_sequential;
     QCheck_alcotest.to_alcotest qcheck_efsm_evolution_conforms;
   ]

@@ -251,7 +251,68 @@ let test_create_validates () =
   rejects "register out of range" (fun () ->
       Efsm.create ~name:"x" ~entries:4 ~nregs:1
         ~transitions:[ tr 0 0 ~actions:[ act 3 (Efsm.Set (Efsm.Const 0)) ] ]
-        ())
+        ());
+  rejects "zero timeout" (fun () ->
+      Efsm.create ~name:"x" ~entries:4 ~nregs:1 ~timeout:0 ~transitions:[ tr 0 0 ] ());
+  rejects "negative timeout" (fun () ->
+      Efsm.create ~name:"x" ~entries:4 ~nregs:1 ~timeout:(-Sim_time.us 5)
+        ~transitions:[ tr 0 0 ] ())
+
+let test_sweep_releases_slots () =
+  (* Regression: evicted slots must rejoin the free list. Before the
+     fix, a sweep left the table logically empty but the free list
+     drained, so the next insert burned a capacity eviction on a live
+     flow — and once every slot had been swept, eviction scanned only
+     invalid slots and crashed. *)
+  let timeout = Sim_time.us 10 in
+  let e =
+    Efsm.create ~name:"free" ~entries:4 ~nregs:1 ~timeout
+      ~transitions:[ tr 0 0 ~actions:[ act 0 (Efsm.Add (Efsm.Reg 0, Efsm.Const 1)) ] ]
+      ()
+  in
+  for k = 1 to 4 do
+    ignore (Efsm.step e ~now:0 ~key:k ~input:0 : Efsm.outcome)
+  done;
+  Alcotest.(check int) "table full" 4 (Efsm.occupancy e);
+  Alcotest.(check int) "all idle flows swept" 4 (Efsm.sweep e ~now:(Sim_time.us 20));
+  Alcotest.(check int) "empty after sweep" 0 (Efsm.occupancy e);
+  (* Refill to capacity: swept slots are free again, so no LRU
+     eviction may fire (pre-fix this evicted live flows, or crashed). *)
+  for k = 11 to 14 do
+    let o = Efsm.step e ~now:(Sim_time.us 21) ~key:k ~input:0 in
+    Alcotest.(check bool) "reinserted into a freed slot" true o.Efsm.inserted
+  done;
+  Alcotest.(check int) "full again" 4 (Efsm.occupancy e);
+  Alcotest.(check int) "no capacity evictions" 0 (Efsm.evictions_capacity e);
+  Alcotest.(check int) "four timeout evictions" 4 (Efsm.evictions_timeout e);
+  (* All four refilled flows are live with fresh registers. *)
+  for k = 11 to 14 do
+    Alcotest.(check (option (array int)))
+      (Printf.sprintf "key %d fresh" k)
+      (Some [| 1 |])
+      (Efsm.regs_of e ~key:k)
+  done
+
+let test_partial_sweep_then_overflow () =
+  (* A partial sweep frees some slots; subsequent inserts must consume
+     the freed slots before evicting anyone. *)
+  let timeout = Sim_time.us 10 in
+  let e =
+    Efsm.create ~name:"partial" ~entries:4 ~nregs:1 ~timeout ~transitions:[ tr 0 0 ] ()
+  in
+  ignore (Efsm.step e ~now:0 ~key:1 ~input:0 : Efsm.outcome);
+  ignore (Efsm.step e ~now:0 ~key:2 ~input:0 : Efsm.outcome);
+  ignore (Efsm.step e ~now:(Sim_time.us 15) ~key:3 ~input:0 : Efsm.outcome);
+  ignore (Efsm.step e ~now:(Sim_time.us 15) ~key:4 ~input:0 : Efsm.outcome);
+  Alcotest.(check int) "two idle flows swept" 2 (Efsm.sweep e ~now:(Sim_time.us 20));
+  ignore (Efsm.step e ~now:(Sim_time.us 21) ~key:5 ~input:0 : Efsm.outcome);
+  ignore (Efsm.step e ~now:(Sim_time.us 22) ~key:6 ~input:0 : Efsm.outcome);
+  Alcotest.(check int) "freed slots reused, no eviction" 0 (Efsm.evictions_capacity e);
+  Alcotest.(check bool) "survivors intact" true
+    (Efsm.state_of e ~key:3 <> None && Efsm.state_of e ~key:4 <> None);
+  (* One more insert genuinely overflows now. *)
+  ignore (Efsm.step e ~now:(Sim_time.us 23) ~key:7 ~input:0 : Efsm.outcome);
+  Alcotest.(check int) "then LRU kicks in" 1 (Efsm.evictions_capacity e)
 
 let test_alloc_exporter_and_stats () =
   let alloc = Pisa.Register_alloc.create () in
@@ -301,6 +362,8 @@ let suite =
     Alcotest.test_case "stall accounting" `Quick test_stall_accounting;
     Alcotest.test_case "single-hit never stalls" `Quick test_single_hit_never_stalls;
     Alcotest.test_case "create validates" `Quick test_create_validates;
+    Alcotest.test_case "sweep releases slots to the free list" `Quick test_sweep_releases_slots;
+    Alcotest.test_case "partial sweep then overflow" `Quick test_partial_sweep_then_overflow;
     Alcotest.test_case "alloc exporter + stats" `Quick test_alloc_exporter_and_stats;
     Alcotest.test_case "state_hash tracks evolution" `Quick test_state_hash_tracks_evolution;
   ]

@@ -103,6 +103,44 @@ let test_e24_variant ~seed (name, backend, shards) () =
       | None -> Alcotest.failf "%s seed %d: digest %s missing" name seed label)
     golden
 
+(* E25: the CEP detector apps. Same digest-file scheme as E24, with
+   three legs per seed — syn flood, burst forensics, and the chaos leg
+   (crash injection + quarantine + shedding) — so the compiled pattern
+   automata, their window ticks and their recovery path are all pinned
+   across backends and shard counts. *)
+
+module E25 = Experiments.E25_cep
+
+let read_e25_golden seed =
+  let path = Filename.concat "golden" (E25.golden_file seed) in
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> (
+        match String.index_opt line ' ' with
+        | Some i ->
+            go
+              ((String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+              :: acc)
+        | None -> go acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_e25_variant ~seed (name, backend, shards) () =
+  let golden = read_e25_golden seed in
+  Alcotest.(check int) "golden digest count" 6 (List.length golden);
+  let got = E25.golden_digests ~backend ~shards ~seed () in
+  List.iter
+    (fun (label, want) ->
+      match List.assoc_opt label got with
+      | Some hex ->
+          Alcotest.(check string) (Printf.sprintf "%s seed %d: %s" name seed label) want hex
+      | None -> Alcotest.failf "%s seed %d: digest %s missing" name seed label)
+    golden
+
 let suite =
   List.concat_map
     (fun seed ->
@@ -127,3 +165,12 @@ let suite =
               `Quick (test_e24_variant ~seed v))
           variants)
       E24.golden_seeds
+  @ List.concat_map
+      (fun seed ->
+        List.map
+          (fun ((name, _, _) as v) ->
+            Alcotest.test_case
+              (Printf.sprintf "cep apps: %s reproduces golden (seed %d)" name seed)
+              `Quick (test_e25_variant ~seed v))
+          variants)
+      E25.golden_seeds

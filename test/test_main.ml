@@ -20,6 +20,7 @@ let () =
       ("netcore", Test_netcore.suite);
       ("pisa", Test_pisa.suite);
       ("efsm", Test_efsm.suite);
+      ("cep", Test_cep.suite);
       ("devents", Test_devents.suite);
       ("consistency", Test_consistency.suite);
       ("tmgr", Test_tmgr.suite);

@@ -386,6 +386,108 @@ let test_efsm_load_error_position () =
       Alcotest.(check bool) "carries the line" true (contains "line 2")
   | _ -> Alcotest.fail "expected load error"
 
+(* --- CEP pattern declarations --- *)
+
+let pattern_src =
+  {|
+const SYNS = 3;
+
+pattern(64) flood {
+  tick 5;
+  timeout 200;
+  match within(40, count(SYNS, ingress_packet(1, 1)));
+}
+
+control Ingress() {
+  bit<32> m;
+  apply {
+    flood.step(hdr.ip.dst, 1, m);
+    if (m == 1) { notify("flood"); }
+    forward(1);
+  }
+}
+|}
+
+let test_parse_pattern_shape () =
+  let program = Parser.parse pattern_src in
+  match
+    List.find_opt (function Ast.Pattern_decl _ -> true | _ -> false) program
+  with
+  | Some (Ast.Pattern_decl { name; entries; tick_us; timeout_us; expr; _ }) ->
+      Alcotest.(check string) "name" "flood" name;
+      Alcotest.(check int) "entries" 64 entries;
+      Alcotest.(check (option int)) "tick" (Some 5) tick_us;
+      Alcotest.(check (option int)) "timeout" (Some 200) timeout_us;
+      (match expr with
+      | Ast.Call ("within", [ Ast.Int 40; Ast.Call ("count", _) ]) -> ()
+      | _ -> Alcotest.fail "match expression shape")
+  | _ -> Alcotest.fail "expected a pattern declaration"
+
+let test_pattern_program_runs () =
+  (* Three matching packets to one destination inside the window raise
+     exactly one notification; the same three packets spaced wider than
+     the window (to a different destination, so state is independent)
+     raise none — the countdown resets the instance's progress. *)
+  let sched = Scheduler.create () in
+  let spec = Loader.load ~name:"pattern.p4" pattern_src in
+  let config = Event_switch.default_config Arch.event_pisa_full in
+  let sw = Event_switch.create ~sched ~config ~program:spec () in
+  Event_switch.set_port_tx sw ~port:1 (fun _ -> ());
+  let pkt dst =
+    Packet.udp_packet
+      ~src:(Netcore.Ipv4_addr.host ~subnet:1 1)
+      ~dst:(Netcore.Ipv4_addr.host ~subnet:2 dst)
+      ~src_port:1000 ~dst_port:80 ~payload_len:100 ()
+  in
+  (* Burst: 3 packets to dst 1 at 1, 2, 3 µs. *)
+  List.iter
+    (fun t ->
+      Scheduler.post sched ~at:(Sim_time.us t) (fun () ->
+          Event_switch.inject sw ~port:0 (pkt 1)))
+    [ 1; 2; 3 ];
+  (* Trickle: 3 packets to dst 2 spaced 60 µs — wider than the 40 µs
+     window, so the count never completes. *)
+  List.iter
+    (fun t ->
+      Scheduler.post sched ~at:(Sim_time.us t) (fun () ->
+          Event_switch.inject sw ~port:0 (pkt 2)))
+    [ 100; 160; 220 ];
+  Scheduler.run ~until:(Sim_time.us 300) sched;
+  Alcotest.(check int) "one flood notification" 1 (Event_switch.notification_count sw);
+  (match Event_switch.notifications sw with
+  | (_, msg) :: _ -> Alcotest.(check string) "message" "flood" msg
+  | [] -> Alcotest.fail "no notification")
+
+let test_pattern_load_errors () =
+  let contains msg sub =
+    let n = String.length msg and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+    go 0
+  in
+  let ingress = "control Ingress() { apply { } }" in
+  (* count below 1 is a combinator validation error, surfaced at load
+     time with the pattern's name and line. *)
+  (match
+     (Loader.load ("pattern(4) p {\n  match count(0, ingress_packet);\n}\n" ^ ingress)
+       : Evcore.Program.spec)
+   with
+  | exception Loader.Load_error msg ->
+      Alcotest.(check bool) "names the pattern" true (contains msg "pattern p")
+  | _ -> Alcotest.fail "expected load error for count(0, ...)");
+  (* Unknown combinator / class name. *)
+  (match
+     (Loader.load ("pattern(4) p { match frobnicate(1); }\n" ^ ingress)
+       : Evcore.Program.spec)
+   with
+  | exception Loader.Load_error msg ->
+      Alcotest.(check bool) "names the combinator" true (contains msg "frobnicate")
+  | _ -> Alcotest.fail "expected load error for unknown combinator");
+  (* A pattern body without a match clause is a parse error. *)
+  match Parser.parse "pattern(4) p { tick 5; }" with
+  | exception Parser.Parse_error (msg, _) ->
+      Alcotest.(check bool) "mentions match" true (contains msg "match")
+  | _ -> Alcotest.fail "expected parse error for missing match"
+
 (* --- printer round-trip --- *)
 
 module Printer = P4dsl.Printer
@@ -421,6 +523,7 @@ let strip_decl = function
           transitions = List.map (fun t -> { t with Ast.t_pos = zero_pos }) d.transitions;
           pos = zero_pos;
         }
+  | Ast.Pattern_decl d -> Ast.Pattern_decl { d with pos = zero_pos }
 
 let strip_program = List.map strip_decl
 
@@ -435,6 +538,12 @@ let test_printer_roundtrip_efsm () =
   let printed = Printer.program_to_string ast1 in
   let ast2 = strip_program (Parser.parse printed) in
   Alcotest.(check bool) "efsm program round-trips" true (ast1 = ast2)
+
+let test_printer_roundtrip_pattern () =
+  let ast1 = strip_program (Parser.parse pattern_src) in
+  let printed = Printer.program_to_string ast1 in
+  let ast2 = strip_program (Parser.parse printed) in
+  Alcotest.(check bool) "pattern program round-trips" true (ast1 = ast2)
 
 (* Random expression generator over a safe identifier pool. *)
 let gen_expr =
@@ -495,7 +604,12 @@ let suite =
     Alcotest.test_case "runtime error reported" `Quick test_runtime_error_reported;
     Alcotest.test_case "efsm program end-to-end" `Quick test_efsm_program_runs;
     Alcotest.test_case "efsm load error carries line" `Quick test_efsm_load_error_position;
+    Alcotest.test_case "parse pattern declaration" `Quick test_parse_pattern_shape;
+    Alcotest.test_case "pattern program end-to-end" `Quick test_pattern_program_runs;
+    Alcotest.test_case "pattern load errors" `Quick test_pattern_load_errors;
     Alcotest.test_case "printer round-trips efsm program" `Quick test_printer_roundtrip_efsm;
+    Alcotest.test_case "printer round-trips pattern program" `Quick
+      test_printer_roundtrip_pattern;
     QCheck_alcotest.to_alcotest qcheck_expr_eval_matches_ocaml;
     Alcotest.test_case "printer round-trips microburst.p4" `Quick
       test_printer_roundtrip_microburst;
