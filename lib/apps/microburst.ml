@@ -31,12 +31,31 @@ let program ?(slots = 1024) ~threshold_bytes ~out_port () =
       Program.shared_register ctx ~name:"flowBufSize" ~entries:slots ~width:32
     in
     t.reg <- Some buf_size_reg;
+    (* One-entry memo over the address key: packets arrive in flow
+       bursts, and [Hashes.mix64] chains boxed [Int64] ops, so
+       re-mixing an unchanged key would put ~20 words of Int64 boxing
+       on every packet. The memoised slot is exactly
+       [fold_range (Flow.hash_addresses flow) slots] — hash values are
+       unchanged, only recomputation is skipped. *)
+    let last_key = ref (-2) in
+    let last_slot = ref 0 in
+    (* Same trick for the verdict: [Program.Forward port] is immutable,
+       so consecutive packets to one egress port can share a single
+       decision block instead of allocating one each. *)
+    let last_fwd_port = ref (-1) in
+    let last_fwd = ref Program.Drop in
     let ingress ctx pkt =
       (* hash(hdr.ip.src ++ hdr.ip.dst, flowID) *)
+      let key = Packet.flow_key pkt in
       let flow_id =
-        match Packet.flow pkt with
-        | Some flow -> Netcore.Hashes.fold_range (Flow.hash_addresses flow) t.slots
-        | None -> 0
+        if key < 0 then 0
+        else if key = !last_key then !last_slot
+        else begin
+          let slot = Netcore.Hashes.fold_range (Netcore.Hashes.mix64 key) t.slots in
+          last_key := key;
+          last_slot := slot;
+          slot
+        end
       in
       pkt.Packet.meta.Packet.flow_id <- flow_id;
       (* initialize enq & deq metadata for this pkt *)
@@ -55,7 +74,12 @@ let program ?(slots = 1024) ~threshold_bytes ~out_port () =
         end
       end
       else t.over.(flow_id) <- false;
-      Program.Forward (out_port pkt)
+      let port = out_port pkt in
+      if port <> !last_fwd_port then begin
+        last_fwd_port := port;
+        last_fwd := Program.Forward port
+      end;
+      !last_fwd
     in
     let enqueue _ctx (ev : Event.buffer_event) =
       Shared_register.event_add buf_size_reg Shared_register.Enq_side ev.Event.meta.(0)

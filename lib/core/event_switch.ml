@@ -51,6 +51,21 @@ type t = {
   mutable subscriptions : bool array; (* by cls index: supported && handler present *)
   mutable base_subscriptions : bool array; (* install-time mask, for re-registration *)
   mutable subscription_toggles : int;
+  (* Epoch-cached metadata dispatch: one persistent closure per class,
+     rebuilt only when the subscription epoch changes (set_subscribed /
+     quarantine), so per-event dispatch is a single array load. *)
+  mutable dispatch : (Event.t -> unit) array; (* by cls index *)
+  mutable dispatch_epoch : int; (* subscription_toggles when built; -1 = stale *)
+  (* Pending packet decisions, FIFO. Admission exit times are monotone
+     and same-time scheduler posts fire in seq order, so a ring plus
+     one persistent callback replaces a closure allocation per packet. *)
+  mutable dq_pkt : Packet.t array; (* power-of-two; empty slots hold nil *)
+  mutable dq_dec : Program.decision array;
+  mutable dq_head : int;
+  mutable dq_count : int;
+  mutable decision_cb : unit -> unit;
+  mutable pending_decision : Program.decision; (* last call_sink result *)
+  mutable decision_sink : Program.decision -> unit;
   port_tx : (Packet.t -> unit) option array;
   link_up : bool array;
   fired : int array;
@@ -90,49 +105,78 @@ let fire t ev =
 let run_handler t cls f ctx arg =
   Resil.Supervisor.call_unit t.sup t.sup_keys.(Event.cls_index cls) f ctx arg
 
-let handle_event t ev =
-  let ctx = get_ctx t in
+let dispatch_noop (_ : Event.t) = ()
+
+(* Rebuild the per-class dispatch table for the current subscription
+   epoch. Handler-absent classes get a no-op (the event was queued but
+   has nothing to run — not counted as handled, as before);
+   handler-present classes always route through the supervisor guard so
+   quarantine drop accounting stays exact even while unsubscribed. *)
+let rebuild_dispatch t =
+  t.dispatch_epoch <- t.subscription_toggles;
   let program = get_program t in
-  let ran =
-    match ev with
-    | Event.Enqueue b -> (
-        match program.Program.enqueue with
-        | Some f -> run_handler t Event.Buffer_enqueue f ctx b
-        | None -> false)
-    | Event.Dequeue b -> (
-        match program.Program.dequeue with
-        | Some f -> run_handler t Event.Buffer_dequeue f ctx b
-        | None -> false)
-    | Event.Overflow b -> (
-        match program.Program.overflow with
-        | Some f -> run_handler t Event.Buffer_overflow f ctx b
-        | None -> false)
-    | Event.Underflow u -> (
-        match program.Program.underflow with
-        | Some f -> run_handler t Event.Buffer_underflow f ctx u
-        | None -> false)
-    | Event.Transmitted x -> (
-        match program.Program.transmitted with
-        | Some f -> run_handler t Event.Packet_transmitted f ctx x
-        | None -> false)
-    | Event.Timer x -> (
-        match program.Program.timer with
-        | Some f -> run_handler t Event.Timer_expiration f ctx x
-        | None -> false)
-    | Event.Link_change l -> (
-        match program.Program.link_change with
-        | Some f -> run_handler t Event.Link_status_change f ctx l
-        | None -> false)
-    | Event.Control c -> (
-        match program.Program.control with
-        | Some f -> run_handler t Event.Control_plane f ctx c
-        | None -> false)
-    | Event.User u -> (
-        match program.Program.user with
-        | Some f -> run_handler t Event.User_event f ctx u
-        | None -> false)
+  let ctx = get_ctx t in
+  let d = t.dispatch in
+  Array.fill d 0 (Array.length d) dispatch_noop;
+  let ix = Event.cls_index in
+  let install cls run =
+    d.(ix cls) <- (fun ev -> if run ev then count_handled t cls)
   in
-  if ran then count_handled t (Event.cls_of ev)
+  (match program.Program.enqueue with
+  | None -> ()
+  | Some f ->
+      install Event.Buffer_enqueue (function
+        | Event.Enqueue b -> run_handler t Event.Buffer_enqueue f ctx b
+        | _ -> false));
+  (match program.Program.dequeue with
+  | None -> ()
+  | Some f ->
+      install Event.Buffer_dequeue (function
+        | Event.Dequeue b -> run_handler t Event.Buffer_dequeue f ctx b
+        | _ -> false));
+  (match program.Program.overflow with
+  | None -> ()
+  | Some f ->
+      install Event.Buffer_overflow (function
+        | Event.Overflow b -> run_handler t Event.Buffer_overflow f ctx b
+        | _ -> false));
+  (match program.Program.underflow with
+  | None -> ()
+  | Some f ->
+      install Event.Buffer_underflow (function
+        | Event.Underflow u -> run_handler t Event.Buffer_underflow f ctx u
+        | _ -> false));
+  (match program.Program.transmitted with
+  | None -> ()
+  | Some f ->
+      install Event.Packet_transmitted (function
+        | Event.Transmitted x -> run_handler t Event.Packet_transmitted f ctx x
+        | _ -> false));
+  (match program.Program.timer with
+  | None -> ()
+  | Some f ->
+      install Event.Timer_expiration (function
+        | Event.Timer x -> run_handler t Event.Timer_expiration f ctx x
+        | _ -> false));
+  (match program.Program.link_change with
+  | None -> ()
+  | Some f ->
+      install Event.Link_status_change (function
+        | Event.Link_change l -> run_handler t Event.Link_status_change f ctx l
+        | _ -> false));
+  (match program.Program.control with
+  | None -> ()
+  | Some f ->
+      install Event.Control_plane (function
+        | Event.Control c -> run_handler t Event.Control_plane f ctx c
+        | _ -> false));
+  match program.Program.user with
+  | None -> ()
+  | Some f ->
+      install Event.User_event (function
+        | Event.User u -> run_handler t Event.User_event f ctx u
+        | _ -> false)
+
 
 let set_subscribed t cls on =
   let i = Event.cls_index cls in
@@ -173,34 +217,72 @@ let apply_decision t pkt decision =
         t.program_drops <- t.program_drops + 1
       end
 
+(* Park a decided packet until its carrier exits the pipeline. *)
+let push_decision t pkt decision =
+  let cap = Array.length t.dq_pkt in
+  if t.dq_count = cap then begin
+    (* Grow by doubling, unrolling the ring from head. *)
+    let pkts = Array.make (2 * cap) Packet.nil in
+    let decs = Array.make (2 * cap) Program.Drop in
+    for i = 0 to cap - 1 do
+      let j = (t.dq_head + i) land (cap - 1) in
+      pkts.(i) <- t.dq_pkt.(j);
+      decs.(i) <- t.dq_dec.(j)
+    done;
+    t.dq_pkt <- pkts;
+    t.dq_dec <- decs;
+    t.dq_head <- 0
+  end;
+  let cap = Array.length t.dq_pkt in
+  let tail = (t.dq_head + t.dq_count) land (cap - 1) in
+  t.dq_pkt.(tail) <- pkt;
+  t.dq_dec.(tail) <- decision;
+  t.dq_count <- t.dq_count + 1
+
+let pop_decision t =
+  assert (t.dq_count > 0);
+  let i = t.dq_head in
+  let pkt = t.dq_pkt.(i) in
+  let decision = t.dq_dec.(i) in
+  t.dq_pkt.(i) <- Packet.nil;
+  t.dq_dec.(i) <- Program.Drop;
+  t.dq_head <- (i + 1) land (Array.length t.dq_pkt - 1);
+  t.dq_count <- t.dq_count - 1;
+  apply_decision t pkt decision
+
 let process_carrier t (carrier : Event_merger.carrier) ~exit_time =
-  (match carrier.Event_merger.pkt with
-  | None -> ()
-  | Some (kind, pkt) ->
-      let program = get_program t in
-      let handler, cls =
-        match kind with
-        | Event_merger.Ingress -> (program.Program.ingress, Event.Ingress_packet)
-        | Event_merger.Recirculated ->
-            ( Option.value program.Program.recirculated ~default:program.Program.ingress,
-              Event.Recirculated_packet )
-        | Event_merger.Generated ->
-            ( Option.value program.Program.generated ~default:program.Program.ingress,
-              Event.Generated_packet )
-      in
-      let key = t.sup_keys.(Event.cls_index cls) in
-      match Resil.Supervisor.call t.sup key handler (get_ctx t) pkt with
-      | Some decision ->
-          count_handled t cls;
-          (* The decision takes effect when the carrier exits the
-             pipeline. *)
-          Scheduler.post ~cls:"switch.decision" t.sched ~at:exit_time (fun () ->
-              apply_decision t pkt decision)
-      | None ->
-          (* Handler quarantined or crashed: the packet has no decision
-             and is lost — accounted so conservation still balances. *)
-          t.supervised_drops <- t.supervised_drops + 1);
-  List.iter (handle_event t) carrier.Event_merger.events
+  let pkt = carrier.Event_merger.pkt in
+  if not (Packet.is_nil pkt) then begin
+    let program = get_program t in
+    let handler, cls =
+      match carrier.Event_merger.kind with
+      | Event_merger.Ingress -> (program.Program.ingress, Event.Ingress_packet)
+      | Event_merger.Recirculated ->
+          ( Option.value program.Program.recirculated ~default:program.Program.ingress,
+            Event.Recirculated_packet )
+      | Event_merger.Generated ->
+          ( Option.value program.Program.generated ~default:program.Program.ingress,
+            Event.Generated_packet )
+    in
+    let key = t.sup_keys.(Event.cls_index cls) in
+    if Resil.Supervisor.call_sink t.sup key handler (get_ctx t) pkt ~sink:t.decision_sink then begin
+      count_handled t cls;
+      (* The decision takes effect when the carrier exits the pipeline.
+         Decisions are applied FIFO: exit times are monotone, and the
+         scheduler fires same-time posts in seq order. *)
+      push_decision t pkt t.pending_decision;
+      Scheduler.post ~cls:"switch.decision" t.sched ~at:exit_time t.decision_cb
+    end
+    else
+      (* Handler quarantined or crashed: the packet has no decision
+         and is lost — accounted so conservation still balances. *)
+      t.supervised_drops <- t.supervised_drops + 1
+  end;
+  if t.dispatch_epoch <> t.subscription_toggles then rebuild_dispatch t;
+  for i = 0 to carrier.Event_merger.n_events - 1 do
+    let ev = carrier.Event_merger.events.(i) in
+    t.dispatch.(Event.cls_ix_of ev) ev
+  done
 
 let create ~sched ?(id = 0) ~config ~program () =
   if config.num_ports <= 0 then invalid_arg "Event_switch.create: num_ports";
@@ -229,6 +311,15 @@ let create ~sched ?(id = 0) ~config ~program () =
       subscriptions = Array.make Event.num_classes false;
       base_subscriptions = Array.make Event.num_classes false;
       subscription_toggles = 0;
+      dispatch = Array.make Event.num_classes dispatch_noop;
+      dispatch_epoch = -1;
+      dq_pkt = Array.make 64 Packet.nil;
+      dq_dec = Array.make 64 Program.Drop;
+      dq_head = 0;
+      dq_count = 0;
+      decision_cb = (fun () -> ());
+      pending_decision = Program.Drop;
+      decision_sink = (fun _ -> ());
       port_tx = Array.make config.num_ports None;
       link_up = Array.make config.num_ports true;
       fired = Array.make Event.num_classes 0;
@@ -247,6 +338,8 @@ let create ~sched ?(id = 0) ~config ~program () =
       notify_cb = None;
     }
   in
+  t.decision_cb <- (fun () -> pop_decision t);
+  t.decision_sink <- (fun d -> t.pending_decision <- d);
   (* One supervision key per event class, in class-index order (the
      order fixes each key's split RNG). Quarantining a metadata class
      also drops its subscription, so events stop queueing for a handler
@@ -349,27 +442,71 @@ let create ~sched ?(id = 0) ~config ~program () =
     match (prog.Program.egress, Arch.supports config.arch Event.Egress_packet) with
     | Some f, true ->
         let key = t.sup_keys.(Event.cls_index Event.Egress_packet) in
+        (* One pre-built closure per port and a persistent result slot:
+           the per-packet call then allocates neither the [~port]
+           partial application nor the supervisor's [Some] wrapper. *)
+        let per_port =
+          Array.init config.num_ports (fun port -> fun ctx pkt -> f ctx ~port pkt)
+        in
+        let pending = ref None in
+        let sink r = pending := r in
         Some
           (fun ~port pkt ->
             count_fired t Event.Egress_packet;
             (* A quarantined or crashing egress handler yields no packet;
                the TM then counts the drop (egress_drops), so the loss is
                accounted exactly once. *)
-            match Resil.Supervisor.call sup key (fun ctx pkt -> f ctx ~port pkt) ctx pkt with
-            | Some result ->
-                count_handled t Event.Egress_packet;
-                result
-            | None -> None)
+            if Resil.Supervisor.call_sink sup key per_port.(port) ctx pkt ~sink then begin
+              count_handled t Event.Egress_packet;
+              let r = !pending in
+              pending := None;
+              r
+            end
+            else None)
     | Some _, false | None, _ -> None
   in
   let tm_config =
     { config.tm_config with Traffic_manager.num_ports = config.num_ports }
   in
+  (* The TM's unboxed event sink: count the fire, gate on the current
+     subscription mask, and write straight into the merger's store —
+     the boxed [fire] path is kept only for the rare timer / link /
+     control / user classes. *)
+  let events =
+    let ix_tx = Event.cls_index Event.Packet_transmitted in
+    let ix_enq = Event.cls_index Event.Buffer_enqueue in
+    let ix_deq = Event.cls_index Event.Buffer_dequeue in
+    let ix_ovf = Event.cls_index Event.Buffer_overflow in
+    let ix_und = Event.cls_index Event.Buffer_underflow in
+    let buffer cls_ix =
+      fun ~port ~qid ~pkt_len ~flow_id ~meta ~occupancy_pkts ~occupancy_bytes ~time ->
+       t.fired.(cls_ix) <- t.fired.(cls_ix) + 1;
+       if t.subscriptions.(cls_ix) then
+         ignore
+           (Event_merger.offer_buffer merger ~cls_ix ~port ~qid ~pkt_len ~flow_id ~meta
+              ~occupancy_pkts ~occupancy_bytes ~time
+             : bool)
+    in
+    {
+      Devents.Event_sink.enqueue = buffer ix_enq;
+      dequeue = buffer ix_deq;
+      overflow = buffer ix_ovf;
+      underflow =
+        (fun ~port ~qid ~time ->
+          t.fired.(ix_und) <- t.fired.(ix_und) + 1;
+          if t.subscriptions.(ix_und) then
+            ignore (Event_merger.offer_underflow merger ~port ~qid ~time : bool));
+      transmitted =
+        (fun ~port ~pkt_len ~flow_id ~time ->
+          t.fired.(ix_tx) <- t.fired.(ix_tx) + 1;
+          if t.subscriptions.(ix_tx) then
+            ignore (Event_merger.offer_transmitted merger ~port ~pkt_len ~flow_id ~time : bool));
+    }
+  in
   let tm =
     Traffic_manager.create ~sched ~config:tm_config
       ~emit:(fun ~port pkt -> transmit t ~port pkt)
-      ~events:(fun ev -> fire t ev)
-      ?egress ()
+      ~events ?egress ()
   in
   t.tm <- Some tm;
   t

@@ -63,23 +63,40 @@ let cls_index = function
 let num_classes = 13
 let cls_equal a b = cls_index a = cls_index b
 
+(* Fields are mutable so the off-heap event store can decode queued
+   events into reused per-class scratch records instead of allocating a
+   fresh record per event. Consumers treat events as read-only. *)
 type buffer_event = {
-  port : int;
-  qid : int;
-  pkt_len : int;
-  flow_id : int;
-  meta : int array;
-  occupancy_pkts : int;
-  occupancy_bytes : int;
-  time : int;
+  mutable port : int;
+  mutable qid : int;
+  mutable pkt_len : int;
+  mutable flow_id : int;
+  mutable meta : int array;
+  mutable occupancy_pkts : int;
+  mutable occupancy_bytes : int;
+  mutable time : int;
 }
 
-type underflow_event = { port : int; qid : int; time : int }
-type transmit_event = { port : int; pkt_len : int; flow_id : int; time : int }
-type timer_event = { id : int; period : int; scheduled : int; fired : int; count : int }
-type link_event = { port : int; up : bool; time : int }
-type control_event = { opcode : int; arg : int; time : int }
-type user_event = { tag : int; data : int; time : int }
+type underflow_event = { mutable port : int; mutable qid : int; mutable time : int }
+
+type transmit_event = {
+  mutable port : int;
+  mutable pkt_len : int;
+  mutable flow_id : int;
+  mutable time : int;
+}
+
+type timer_event = {
+  mutable id : int;
+  mutable period : int;
+  mutable scheduled : int;
+  mutable fired : int;
+  mutable count : int;
+}
+
+type link_event = { mutable port : int; mutable up : bool; mutable time : int }
+type control_event = { mutable opcode : int; mutable arg : int; mutable time : int }
+type user_event = { mutable tag : int; mutable data : int; mutable time : int }
 
 type t =
   | Enqueue of buffer_event
@@ -102,6 +119,19 @@ let cls_of = function
   | Link_change _ -> Link_status_change
   | Control _ -> Control_plane
   | User _ -> User_event
+
+(* Direct class index, skipping the intermediate [cls] constructor on
+   the dispatch hot path. *)
+let cls_ix_of = function
+  | Enqueue _ -> 5
+  | Dequeue _ -> 6
+  | Overflow _ -> 7
+  | Underflow _ -> 8
+  | Transmitted _ -> 4
+  | Timer _ -> 9
+  | Link_change _ -> 11
+  | Control _ -> 10
+  | User _ -> 12
 
 let time_of = function
   | Enqueue b | Dequeue b | Overflow b -> b.time

@@ -30,28 +30,47 @@ val cls_equal : cls -> cls -> bool
 (** Metadata carried by buffer events. [meta] is the packet's
     [enq_meta]/[deq_meta] slots as initialised by the ingress program
     (the paper's [enq_meta]/[deq_meta] mechanism). Occupancy fields are
-    the port's queue state immediately after the event. *)
+    the port's queue state immediately after the event.
+
+    Fields of every event record are mutable only so that
+    {!Event_store} can decode queued events into reused per-class
+    scratch records without allocating. Handlers must treat delivered
+    events as {b read-only} and copy any field they want to retain past
+    the handler's return — the record (and its [meta] array) is
+    overwritten by the next event of the same class. *)
 type buffer_event = {
-  port : int;
-  qid : int;
-  pkt_len : int;
-  flow_id : int;
-  meta : int array;
-  occupancy_pkts : int;
-  occupancy_bytes : int;
-  time : int;
+  mutable port : int;
+  mutable qid : int;
+  mutable pkt_len : int;
+  mutable flow_id : int;
+  mutable meta : int array;
+  mutable occupancy_pkts : int;
+  mutable occupancy_bytes : int;
+  mutable time : int;
 }
 
-type underflow_event = { port : int; qid : int; time : int }
-type transmit_event = { port : int; pkt_len : int; flow_id : int; time : int }
+type underflow_event = { mutable port : int; mutable qid : int; mutable time : int }
+
+type transmit_event = {
+  mutable port : int;
+  mutable pkt_len : int;
+  mutable flow_id : int;
+  mutable time : int;
+}
 
 (** [scheduled] is the ideal instant, [fired] the quantised actual
     instant; [count] is the per-timer firing sequence number. *)
-type timer_event = { id : int; period : int; scheduled : int; fired : int; count : int }
+type timer_event = {
+  mutable id : int;
+  mutable period : int;
+  mutable scheduled : int;
+  mutable fired : int;
+  mutable count : int;
+}
 
-type link_event = { port : int; up : bool; time : int }
-type control_event = { opcode : int; arg : int; time : int }
-type user_event = { tag : int; data : int; time : int }
+type link_event = { mutable port : int; mutable up : bool; mutable time : int }
+type control_event = { mutable opcode : int; mutable arg : int; mutable time : int }
+type user_event = { mutable tag : int; mutable data : int; mutable time : int }
 
 type t =
   | Enqueue of buffer_event
@@ -67,6 +86,10 @@ type t =
   | User of user_event
 
 val cls_of : t -> cls
+
+val cls_ix_of : t -> int
+(** [cls_ix_of ev = cls_index (cls_of ev)], in one match. *)
+
 val time_of : t -> int
 val pp_cls : Format.formatter -> cls -> unit
 val pp : Format.formatter -> t -> unit

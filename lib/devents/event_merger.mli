@@ -12,13 +12,24 @@
 
     Event classes drain highest-priority-first; the default order puts
     rare control-ish events (link change, timer, control) first and
-    high-volume buffer events after, matching the prototype. *)
+    high-volume buffer events after, matching the prototype.
+
+    Queued metadata events live off-heap in an {!Event_store} (flat
+    struct-of-arrays rings), and the carrier handed to [process] is a
+    single reused scratch record — steady-state admission allocates
+    zero minor words. *)
 
 type packet_kind = Ingress | Recirculated | Generated
 
+(** The merger's reused scratch carrier: valid only for the duration of
+    the [process] callback, after which both the packet slot and the
+    event slots (per-class scratch records of the event store) are
+    recycled. Copy anything you retain. *)
 type carrier = {
-  pkt : (packet_kind * Netcore.Packet.t) option;
-  events : Event.t list;  (** in priority order *)
+  mutable kind : packet_kind;  (** meaningful only when [pkt] is not nil *)
+  mutable pkt : Netcore.Packet.t;  (** {!Netcore.Packet.nil} for an empty carrier *)
+  events : Event.t array;  (** slots [0 .. n_events-1] valid, in priority order *)
+  mutable n_events : int;
 }
 
 type config = {
@@ -50,7 +61,33 @@ val offer_event : t -> Event.t -> bool
 (** [false] when that class's event queue overflowed (event lost,
     counted). A shed event returns [true] — it was deliberately
     absorbed, not lost to overflow — and is counted in
-    {!events_shed}. *)
+    {!events_shed}. Field values are snapshotted into the store; the
+    event itself is not retained. *)
+
+(** {1 Unboxed offers}
+
+    Same semantics as {!offer_event} for the high-volume buffer and
+    transmit classes, taking plain fields instead of a boxed event —
+    these write straight into the store's rings and allocate nothing.
+    [meta] is snapshotted at offer time. *)
+
+val offer_buffer :
+  t ->
+  cls_ix:int ->
+  port:int ->
+  qid:int ->
+  pkt_len:int ->
+  flow_id:int ->
+  meta:int array ->
+  occupancy_pkts:int ->
+  occupancy_bytes:int ->
+  time:int ->
+  bool
+(** [cls_ix] is the {!Event.cls_index} of [Buffer_enqueue],
+    [Buffer_dequeue] or [Buffer_overflow]. *)
+
+val offer_underflow : t -> port:int -> qid:int -> time:int -> bool
+val offer_transmitted : t -> port:int -> pkt_len:int -> flow_id:int -> time:int -> bool
 
 (** {1 Graceful degradation}
 

@@ -1,8 +1,9 @@
-(** Bounded FIFO used by the event merger for each event class.
+(** Bounded FIFO used by the event merger for its packet input queues.
 
     Hardware event queues are small fixed FIFOs; when one fills, new
-    events of that class are lost (and counted) — a measurable pressure
-    signal for experiments E4/E15. *)
+    elements are lost (and counted) — a measurable pressure signal for
+    experiments E4/E15. Implemented as a preallocated ring: a
+    steady-state push/pop cycle allocates nothing. *)
 
 type 'a t
 
@@ -11,6 +12,10 @@ val push : 'a t -> 'a -> bool
 (** [false] if the queue was full (the element is dropped). *)
 
 val pop : 'a t -> 'a option
+
+val pop_or : 'a t -> default:'a -> 'a
+(** Allocation-free pop: the head element, or [default] when empty. *)
+
 val peek : 'a t -> 'a option
 val length : 'a t -> int
 val is_empty : 'a t -> bool

@@ -1,0 +1,56 @@
+(* Unboxed event sink: the traffic manager reports buffer/transmit
+   activity by calling these labelled entry points with plain int
+   fields, so the hot TM -> switch -> merger -> event-store path never
+   materialises a boxed [Event.t]. *)
+
+type t = {
+  enqueue :
+    port:int -> qid:int -> pkt_len:int -> flow_id:int -> meta:int array ->
+    occupancy_pkts:int -> occupancy_bytes:int -> time:int -> unit;
+  dequeue :
+    port:int -> qid:int -> pkt_len:int -> flow_id:int -> meta:int array ->
+    occupancy_pkts:int -> occupancy_bytes:int -> time:int -> unit;
+  overflow :
+    port:int -> qid:int -> pkt_len:int -> flow_id:int -> meta:int array ->
+    occupancy_pkts:int -> occupancy_bytes:int -> time:int -> unit;
+  underflow : port:int -> qid:int -> time:int -> unit;
+  transmitted : port:int -> pkt_len:int -> flow_id:int -> time:int -> unit;
+}
+
+(* Boxed compatibility wrapper. The [meta] array is snapshotted
+   ([Array.copy]) because the produced events outlive the call, while
+   the caller keeps mutating the packet's metadata bus. *)
+let of_fn f =
+  let buffer ~port ~qid ~pkt_len ~flow_id ~meta ~occupancy_pkts ~occupancy_bytes ~time =
+    {
+      Event.port;
+      qid;
+      pkt_len;
+      flow_id;
+      meta = Array.copy meta;
+      occupancy_pkts;
+      occupancy_bytes;
+      time;
+    }
+  in
+  {
+    enqueue =
+      (fun ~port ~qid ~pkt_len ~flow_id ~meta ~occupancy_pkts ~occupancy_bytes ~time ->
+        f
+          (Event.Enqueue
+             (buffer ~port ~qid ~pkt_len ~flow_id ~meta ~occupancy_pkts ~occupancy_bytes ~time)));
+    dequeue =
+      (fun ~port ~qid ~pkt_len ~flow_id ~meta ~occupancy_pkts ~occupancy_bytes ~time ->
+        f
+          (Event.Dequeue
+             (buffer ~port ~qid ~pkt_len ~flow_id ~meta ~occupancy_pkts ~occupancy_bytes ~time)));
+    overflow =
+      (fun ~port ~qid ~pkt_len ~flow_id ~meta ~occupancy_pkts ~occupancy_bytes ~time ->
+        f
+          (Event.Overflow
+             (buffer ~port ~qid ~pkt_len ~flow_id ~meta ~occupancy_pkts ~occupancy_bytes ~time)));
+    underflow = (fun ~port ~qid ~time -> f (Event.Underflow { Event.port; qid; time }));
+    transmitted =
+      (fun ~port ~pkt_len ~flow_id ~time ->
+        f (Event.Transmitted { Event.port; pkt_len; flow_id; time }));
+  }

@@ -5,10 +5,17 @@ type mode = Multiport | Aggregated
 type side = Enq_side | Deq_side
 type drain_policy = Round_robin | Enq_first | Deq_first
 
+(* Pending-op queue as an int-pair ring ([q_idx], [q_cycle] in issue
+   order) rather than an [(int * int) Queue.t]: the stdlib queue costs
+   a tuple plus a cons cell per issued op, which puts two minor-heap
+   allocations on every buffer event in aggregated mode. *)
 type agg_side = {
   deltas : int array;
   dirty : bool array;
-  queue : (int * int) Queue.t; (* (index, issue_cycle) in issue order *)
+  mutable q_idx : int array;
+  mutable q_cycle : int array;
+  mutable q_head : int;
+  mutable q_count : int;
   side_staleness : Stats.Histogram.t;
 }
 
@@ -19,7 +26,11 @@ type t = {
   pipeline : Pipeline.t;
   main : Register_array.t;
   agg : agg_side array; (* [| enq; deq |], empty in Multiport mode *)
-  mutable drain_mark : Pipeline.mark;
+  (* Drain mark, inlined as two plain ints: [Pipeline.mark] would
+     allocate a record (and [idle_cycles_since] a result tuple) on
+     every [drain] — i.e. on every read/write/add of the register. *)
+  mutable mark_cycle : int;
+  mutable mark_admissions : int;
   mutable next_side : int; (* round-robin pointer between sides *)
   staleness : Stats.Histogram.t;
   mutable applied : int;
@@ -30,9 +41,33 @@ let make_side n =
   {
     deltas = Array.make n 0;
     dirty = Array.make n false;
-    queue = Queue.create ();
+    q_idx = Array.make 16 0;
+    q_cycle = Array.make 16 0;
+    q_head = 0;
+    q_count = 0;
     side_staleness = Stats.Histogram.log2 ~max_exponent:30;
   }
+
+(* Ring helpers; capacity is a power of two so indices are mask-derived. *)
+let side_q_grow s =
+  let cap = Array.length s.q_idx in
+  let idx = Array.make (2 * cap) 0 in
+  let cyc = Array.make (2 * cap) 0 in
+  for k = 0 to s.q_count - 1 do
+    let j = (s.q_head + k) land (cap - 1) in
+    idx.(k) <- s.q_idx.(j);
+    cyc.(k) <- s.q_cycle.(j)
+  done;
+  s.q_idx <- idx;
+  s.q_cycle <- cyc;
+  s.q_head <- 0
+
+let side_q_push s i cycle =
+  if s.q_count = Array.length s.q_idx then side_q_grow s;
+  let tail = (s.q_head + s.q_count) land (Array.length s.q_idx - 1) in
+  s.q_idx.(tail) <- i;
+  s.q_cycle.(tail) <- cycle;
+  s.q_count <- s.q_count + 1
 
 let create ~alloc ~pipeline ~mode ?(drain_policy = Round_robin) ~name ~entries ~width () =
   let main =
@@ -58,7 +93,8 @@ let create ~alloc ~pipeline ~mode ?(drain_policy = Round_robin) ~name ~entries ~
     pipeline;
     main;
     agg;
-    drain_mark = Pipeline.mark pipeline;
+    mark_cycle = Pipeline.current_cycle pipeline;
+    mark_admissions = Pipeline.admissions pipeline;
     next_side = 0;
     staleness = Stats.Histogram.log2 ~max_exponent:30;
     applied = 0;
@@ -69,18 +105,24 @@ let mode t = t.mode
 let entries t = Register_array.entries t.main
 
 let apply_one t side ~apply_cycle =
-  match Queue.take_opt side.queue with
-  | None -> false
-  | Some (index, issue_cycle) ->
-      side.dirty.(index) <- false;
-      let delta = side.deltas.(index) in
-      side.deltas.(index) <- 0;
-      ignore (Register_array.add t.main index delta);
-      t.applied <- t.applied + 1;
-      let stale = float_of_int (max 0 (apply_cycle - issue_cycle)) in
-      Stats.Histogram.add t.staleness stale;
-      Stats.Histogram.add side.side_staleness stale;
-      true
+  if side.q_count = 0 then false
+  else begin
+    let h = side.q_head in
+    let index = side.q_idx.(h) in
+    let issue_cycle = side.q_cycle.(h) in
+    side.q_head <- (h + 1) land (Array.length side.q_idx - 1);
+    side.q_count <- side.q_count - 1;
+    side.dirty.(index) <- false;
+    let delta = side.deltas.(index) in
+    side.deltas.(index) <- 0;
+    ignore (Register_array.add t.main index delta);
+    t.applied <- t.applied + 1;
+    let lag = apply_cycle - issue_cycle in
+    let stale = float_of_int (if lag > 0 then lag else 0) in
+    Stats.Histogram.add t.staleness stale;
+    Stats.Histogram.add side.side_staleness stale;
+    true
+  end
 
 (* Fold pending deltas into the main array, spending at most the
    idle-cycle budget accumulated since the last drain. Sides alternate
@@ -91,13 +133,19 @@ let drain t =
   match t.mode with
   | Multiport -> ()
   | Aggregated ->
-      let budget, mark' = Pipeline.idle_cycles_since t.pipeline t.drain_mark in
-      t.drain_mark <- mark';
       let current = Pipeline.current_cycle t.pipeline in
+      let adm = Pipeline.admissions t.pipeline in
+      let idle = current - t.mark_cycle - (adm - t.mark_admissions) in
+      let budget = if idle > 0 then idle else 0 in
+      t.mark_cycle <- current;
+      t.mark_admissions <- adm;
       let remaining = ref budget in
       let exhausted = ref false in
       while (not !exhausted) && !remaining > 0 do
-        let apply_cycle = max 0 (current - !remaining + 1) in
+        let apply_cycle =
+          let c = current - !remaining + 1 in
+          if c > 0 then c else 0
+        in
         let first =
           match t.drain_policy with
           | Round_robin ->
@@ -138,7 +186,7 @@ let event_add t side i delta =
       s.deltas.(i) <- s.deltas.(i) + delta;
       if not s.dirty.(i) then begin
         s.dirty.(i) <- true;
-        Queue.push (i, Pipeline.current_cycle t.pipeline) s.queue
+        side_q_push s i (Pipeline.current_cycle t.pipeline)
       end
 
 let event_read t i = read t i
@@ -152,7 +200,7 @@ let true_value t i =
 let pending_ops t =
   match t.mode with
   | Multiport -> 0
-  | Aggregated -> Queue.length t.agg.(0).queue + Queue.length t.agg.(1).queue
+  | Aggregated -> t.agg.(0).q_count + t.agg.(1).q_count
 
 let sync t =
   match t.mode with
@@ -160,15 +208,16 @@ let sync t =
   | Aggregated ->
       Array.iter
         (fun s ->
-          Queue.iter
-            (fun (i, _) ->
-              if s.dirty.(i) then begin
-                s.dirty.(i) <- false;
-                ignore (Register_array.add t.main i s.deltas.(i));
-                s.deltas.(i) <- 0
-              end)
-            s.queue;
-          Queue.clear s.queue)
+          for k = 0 to s.q_count - 1 do
+            let i = s.q_idx.((s.q_head + k) land (Array.length s.q_idx - 1)) in
+            if s.dirty.(i) then begin
+              s.dirty.(i) <- false;
+              ignore (Register_array.add t.main i s.deltas.(i));
+              s.deltas.(i) <- 0
+            end
+          done;
+          s.q_head <- 0;
+          s.q_count <- 0)
         t.agg
 
 let staleness t = t.staleness

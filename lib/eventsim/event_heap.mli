@@ -14,8 +14,18 @@ val push : 'a t -> time:int -> 'a -> unit
 (** Sequence numbers are assigned internally in [push] order. *)
 
 val peek_time : 'a t -> int option
+
+val next_time : 'a t -> int
+(** Earliest queued time, or [-1] when empty — the allocation-free
+    {!peek_time} for the scheduler hot path (times are non-negative). *)
+
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the earliest element with its time. *)
+
+val take : 'a t -> 'a
+(** Remove and return the earliest payload alone (allocation-free apart
+    from heap bookkeeping). Raises [Invalid_argument] when empty; pair
+    with {!next_time}. *)
 
 val drain_upto : 'a t -> limit:int -> (time:int -> 'a -> unit) -> unit
 (** Fire every element with [time <= limit] through [f], in (time, seq)

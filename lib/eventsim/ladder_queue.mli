@@ -1,0 +1,57 @@
+(** Ladder queue (Tang, Goh & Thng 2005): the adaptive calendar-style
+    scheduler queue backend.
+
+    Far-future events sit in an unsorted top bag; popping spreads them
+    across bucket rungs of progressively finer width, and only the
+    handful of imminent events are ever kept sorted (the bottom list).
+    Unlike {!Timing_wheel} there is no fixed resolution or horizon: the
+    bucket widths adapt to the actual event-time distribution, so both
+    dense same-instant bursts and sparse far-future parking stay
+    amortised O(1) per event.
+
+    Firing order is identical to {!Event_heap}: non-decreasing time,
+    FIFO among same-time events (every node carries a push sequence
+    number and the bottom list is sorted by (time, seq)).
+
+    Internal nodes are free-listed and the sort scratch is reused, so a
+    steady-state push/pop cycle allocates nothing. Not thread-safe.
+    Times are {!Sim_time} picoseconds and must be non-negative. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Queue [payload] at [time].
+
+    @raise Invalid_argument if [time] is before {!position} (the ladder
+    cannot travel backwards). *)
+
+val peek_time : 'a t -> int option
+(** Earliest queued time, without removing anything (the refill this
+    may trigger is order-neutral). *)
+
+val next_time : 'a t -> int
+(** Earliest queued time, or [-1] when empty — the allocation-free
+    {!peek_time} for the scheduler hot path. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event as [(time, payload)],
+    advancing the ladder position to [time]. *)
+
+val take : 'a t -> 'a
+(** Remove and return the earliest payload alone — allocation-free.
+    Raises [Invalid_argument] when empty; pair with {!next_time}. *)
+
+val drain_upto : 'a t -> limit:int -> (time:int -> 'a -> unit) -> unit
+(** Fire every event with [time <= limit] through [f], in order,
+    including events that [f] itself pushes at already-reached times
+    (they sort into the bottom list behind their same-time
+    predecessors). The position never advances past the earliest
+    remaining event, so it never exceeds [limit]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val position : 'a t -> int
+(** Latest popped time: pushes before this raise. *)

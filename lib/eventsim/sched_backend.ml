@@ -1,12 +1,13 @@
-type t = Heap | Wheel
+type t = Heap | Wheel | Ladder
 
-let to_string = function Heap -> "heap" | Wheel -> "wheel"
+let to_string = function Heap -> "heap" | Wheel -> "wheel" | Ladder -> "ladder"
 
 let of_string = function
   | "heap" -> Some Heap
   | "wheel" -> Some Wheel
+  | "ladder" -> Some Ladder
   | _ -> None
 
-let names = [ "heap"; "wheel" ]
-let all = [ Heap; Wheel ]
+let names = [ "heap"; "wheel"; "ladder" ]
+let all = [ Heap; Wheel; Ladder ]
 let default = ref Wheel

@@ -3,11 +3,14 @@
     [Heap] is the binary min-heap ({!Event_heap}): O(log n) per event,
     allocation per push. [Wheel] is the hierarchical timing wheel
     ({!Timing_wheel}): amortised O(1) per event with internally recycled
-    nodes. Both produce the exact same firing order — non-decreasing
-    time, FIFO among ties — so simulations are byte-identical under
-    either backend; the choice is purely a performance knob. *)
+    nodes. [Ladder] is the adaptive ladder queue ({!Ladder_queue}):
+    amortised O(1) with bucket widths that track the event-time
+    distribution instead of a fixed resolution. All three produce the
+    exact same firing order — non-decreasing time, FIFO among ties — so
+    simulations are byte-identical under any backend; the choice is
+    purely a performance knob. *)
 
-type t = Heap | Wheel
+type t = Heap | Wheel | Ladder
 
 val to_string : t -> string
 val of_string : string -> t option

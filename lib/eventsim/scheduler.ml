@@ -26,10 +26,15 @@ let rec nil_cell =
     free_next = nil_cell;
   }
 
-type queue = QHeap of cell Event_heap.t | QWheel of cell Timing_wheel.t
+type queue =
+  | QHeap of cell Event_heap.t
+  | QWheel of cell Timing_wheel.t
+  | QLadder of cell Ladder_queue.t
 
 type prof = {
   reg : Obs.Metrics.t;
+  enabled : bool ref; (* the registry's own flag, cached: one load to
+                         skip the whole profiling block per event *)
   labels : Obs.Metrics.labels;
   wall : bool;
   depth : Obs.Metrics.Gauge.t;
@@ -46,27 +51,11 @@ type t = {
   mutable depth_hwm : int;
   mutable free : cell; (* pool of recycled fire-and-forget cells *)
   mutable prof : prof option;
+  mutable dispatch_cb : time:int -> cell -> unit;
+      (* persistent drain callback (advance clock, fire): [run] and
+         [drain_until_horizon] would otherwise rebuild this closure on
+         every call *)
 }
-
-let create ?backend () =
-  let backend =
-    match backend with Some b -> b | None -> !Sched_backend.default
-  in
-  let queue =
-    match backend with
-    | Sched_backend.Heap -> QHeap (Event_heap.create ())
-    | Sched_backend.Wheel -> QWheel (Timing_wheel.create ())
-  in
-  {
-    queue;
-    backend;
-    clock = 0;
-    executed = 0;
-    live = ref 0;
-    depth_hwm = 0;
-    free = nil_cell;
-    prof = None;
-  }
 
 let now t = t.clock
 let backend t = t.backend
@@ -112,9 +101,10 @@ let enqueue_cell t ~time cell =
   if !(t.live) > t.depth_hwm then t.depth_hwm <- !(t.live);
   (match t.queue with
   | QHeap h -> Event_heap.push h ~time cell
-  | QWheel w -> Timing_wheel.push w ~time cell);
+  | QWheel w -> Timing_wheel.push w ~time cell
+  | QLadder l -> Ladder_queue.push l ~time cell);
   match t.prof with
-  | Some p when Obs.Metrics.is_enabled p.reg -> Obs.Metrics.Gauge.set p.depth !(t.live)
+  | Some p when !(p.enabled) -> Obs.Metrics.Gauge.set p.depth !(t.live)
   | Some _ | None -> ()
 
 let schedule ?(cls = "callback") t ~at f =
@@ -204,8 +194,7 @@ let fire t cell =
     decr t.live;
     t.executed <- t.executed + 1;
     (match t.prof with
-    | Some p when Obs.Metrics.is_enabled p.reg ->
-        Obs.Metrics.Counter.incr (cls_counter p cell.cls)
+    | Some p when !(p.enabled) -> Obs.Metrics.Counter.incr (cls_counter p cell.cls)
     | Some _ | None -> ());
     if cell.pooled then begin
       let f = cell.callback in
@@ -216,34 +205,80 @@ let fire t cell =
   end
   else if cell.pooled then release_cell t cell
 
-let step t =
-  let popped =
-    match t.queue with
-    | QHeap h -> Event_heap.pop h
-    | QWheel w -> Timing_wheel.pop w
+let create ?backend () =
+  let backend =
+    match backend with Some b -> b | None -> !Sched_backend.default
   in
-  match popped with
-  | None -> false
-  | Some (time, cell) ->
-      t.clock <- max t.clock time;
-      fire t cell;
-      true
+  let queue =
+    match backend with
+    | Sched_backend.Heap -> QHeap (Event_heap.create ())
+    | Sched_backend.Wheel -> QWheel (Timing_wheel.create ())
+    | Sched_backend.Ladder -> QLadder (Ladder_queue.create ())
+  in
+  let t =
+    {
+      queue;
+      backend;
+      clock = 0;
+      executed = 0;
+      live = ref 0;
+      depth_hwm = 0;
+      free = nil_cell;
+      prof = None;
+      dispatch_cb = (fun ~time:_ _ -> ());
+    }
+  in
+  t.dispatch_cb <-
+    (fun ~time cell ->
+      if time > t.clock then t.clock <- time;
+      fire t cell);
+  t
+
+(* Allocation-free single step: peek the next time as a bare int, then
+   take the payload alone — no [Some (time, cell)] tuple per event. *)
+let step t =
+  match t.queue with
+  | QHeap h ->
+      let time = Event_heap.next_time h in
+      if time < 0 then false
+      else begin
+        let cell = Event_heap.take h in
+        if time > t.clock then t.clock <- time;
+        fire t cell;
+        true
+      end
+  | QWheel w ->
+      let time = Timing_wheel.next_time w in
+      if time < 0 then false
+      else begin
+        let cell = Timing_wheel.take w ~time in
+        if time > t.clock then t.clock <- time;
+        fire t cell;
+        true
+      end
+  | QLadder l ->
+      let time = Ladder_queue.next_time l in
+      if time < 0 then false
+      else begin
+        let cell = Ladder_queue.take l in
+        if time > t.clock then t.clock <- time;
+        fire t cell;
+        true
+      end
 
 let run ?until t =
   let wall0 =
     match t.prof with
-    | Some p when p.wall && Obs.Metrics.is_enabled p.reg -> Some (Sys.time (), t.clock)
+    | Some p when p.wall && !(p.enabled) -> Some (Sys.time (), t.clock)
     | Some _ | None -> None
   in
   let executed0 = t.executed in
   let limit = match until with Some l -> l | None -> max_int in
-  let dispatch ~time cell =
-    t.clock <- max t.clock time;
-    fire t cell
-  in
+  let dispatch = t.dispatch_cb in
   (match t.queue with
   | QHeap h -> Event_heap.drain_upto h ~limit dispatch
-  | QWheel w -> Timing_wheel.drain_upto w ~limit dispatch);
+  | QWheel w -> Timing_wheel.drain_upto w ~limit dispatch
+  | QLadder l -> Ladder_queue.drain_upto l ~limit dispatch);
   (match until with Some limit when limit > t.clock -> t.clock <- limit | Some _ | None -> ());
   match (t.prof, wall0) with
   | Some p, Some (w0, sim0) ->
@@ -261,13 +296,11 @@ let drain_until_horizon t ~horizon =
       (Printf.sprintf "Scheduler.drain_until_horizon: horizon=%d is before now=%d" horizon
          t.clock);
   let limit = horizon - 1 in
-  let dispatch ~time cell =
-    t.clock <- max t.clock time;
-    fire t cell
-  in
+  let dispatch = t.dispatch_cb in
   (match t.queue with
   | QHeap h -> Event_heap.drain_upto h ~limit dispatch
-  | QWheel w -> Timing_wheel.drain_upto w ~limit dispatch);
+  | QWheel w -> Timing_wheel.drain_upto w ~limit dispatch
+  | QLadder l -> Ladder_queue.drain_upto l ~limit dispatch);
   if horizon > t.clock then t.clock <- horizon
 
 let pending t = !(t.live)
@@ -280,6 +313,7 @@ let set_metrics ?(labels = []) ?(wall = true) t reg =
     Some
       {
         reg;
+        enabled = Obs.Metrics.on_ref reg;
         labels;
         wall;
         depth = Obs.Metrics.gauge reg ~labels "scheduler.queue_depth";

@@ -272,30 +272,39 @@ let rec advance_to t tm =
 
 (* {2 Removal} *)
 
+(* Remove the earliest event, whose time [tm] = [next_time t] the
+   caller has already computed (and checked >= 0). *)
+let take_at t tm =
+  if t.wheel_len = 0 then begin
+    (* Everything queued lives in the overflow: jump to its minimum's
+       page and refill the wheel. *)
+    t.base <- tm;
+    drain_overflow t
+  end;
+  advance_to t tm;
+  let li = tm land slot_mask in
+  let n = Array.unsafe_get t.heads li in
+  Array.unsafe_set t.heads li n.next;
+  if is_nil n.next then begin
+    Array.unsafe_set t.tails li (nil ());
+    clear_bit t li
+  end;
+  n.next <- nil ();
+  t.wheel_len <- t.wheel_len - 1;
+  let payload = n.payload in
+  release_node t n;
+  payload
+
 let pop t =
   let tm = next_time t in
-  if tm < 0 then None
-  else begin
-    if t.wheel_len = 0 then begin
-      (* Everything queued lives in the overflow: jump to its minimum's
-         page and refill the wheel. *)
-      t.base <- tm;
-      drain_overflow t
-    end;
-    advance_to t tm;
-    let li = tm land slot_mask in
-    let n = Array.unsafe_get t.heads li in
-    Array.unsafe_set t.heads li n.next;
-    if is_nil n.next then begin
-      Array.unsafe_set t.tails li (nil ());
-      clear_bit t li
-    end;
-    n.next <- nil ();
-    t.wheel_len <- t.wheel_len - 1;
-    let payload = n.payload in
-    release_node t n;
-    Some (tm, payload)
-  end
+  if tm < 0 then None else Some (tm, take_at t tm)
+
+(* [time] is the value {!next_time} just returned: re-scanning the
+   levels here would double the per-event peek cost on the scheduler
+   hot path, so the caller hands the time back instead. *)
+let take t ~time =
+  if time < 0 || is_empty t then invalid_arg "Timing_wheel.take: empty wheel";
+  take_at t time
 
 let drain_upto t ~limit f =
   let continue = ref true in

@@ -24,9 +24,19 @@ val push : 'a t -> time:int -> 'a -> unit
 val peek_time : 'a t -> int option
 (** Earliest queued time, without removing or advancing anything. *)
 
+val next_time : 'a t -> int
+(** Earliest queued time, or [-1] when empty — the allocation-free
+    {!peek_time} for the scheduler hot path. *)
+
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the earliest event as [(time, payload)], advancing
     the wheel position to [time]. *)
+
+val take : 'a t -> time:int -> 'a
+(** Remove and return the earliest payload alone — allocation-free.
+    [time] must be the value {!next_time} just returned (handing it
+    back avoids a second level scan on the scheduler hot path).
+    Raises [Invalid_argument] when the wheel is empty or [time < 0]. *)
 
 val drain_upto : 'a t -> limit:int -> (time:int -> 'a -> unit) -> unit
 (** Fire every event with [time <= limit] through [f], in order,

@@ -1,6 +1,9 @@
 (** Ethernet II header. *)
 
-type t = { dst : Mac_addr.t; src : Mac_addr.t; ethertype : int }
+(** Fields are mutable only for in-place reuse by
+    {!Packet_arena}-recycled packets; treat received headers as
+    read-only. *)
+type t = { mutable dst : Mac_addr.t; mutable src : Mac_addr.t; mutable ethertype : int }
 
 val size : int
 (** 14 bytes (no VLAN tag). *)
@@ -11,6 +14,10 @@ val ethertype_event : int
     generated control/event packets (probes, echoes, reports). *)
 
 val make : dst:Mac_addr.t -> src:Mac_addr.t -> ethertype:int -> t
+
+val set : t -> dst:Mac_addr.t -> src:Mac_addr.t -> ethertype:int -> unit
+(** Refill every field in place, as {!make} would — allocation-free. *)
+
 val write : Cursor.writer -> t -> unit
 val read : Cursor.reader -> t
 val equal : t -> t -> bool

@@ -1,12 +1,12 @@
 type t = {
-  dscp : int;
-  ecn : int;
-  total_len : int;
-  ident : int;
-  ttl : int;
-  proto : int;
-  src : Ipv4_addr.t;
-  dst : Ipv4_addr.t;
+  mutable dscp : int;
+  mutable ecn : int;
+  mutable total_len : int;
+  mutable ident : int;
+  mutable ttl : int;
+  mutable proto : int;
+  mutable src : Ipv4_addr.t;
+  mutable dst : Ipv4_addr.t;
 }
 
 let size = 20
@@ -24,6 +24,18 @@ let make ?(dscp = 0) ?(ecn = 0) ?(ident = 0) ?(ttl = 64) ~proto ~src ~dst ~paylo
     src;
     dst;
   }
+
+(* In-place refill for arena-recycled packets: same masking as [make],
+   zero allocation. *)
+let set ?(dscp = 0) ?(ecn = 0) ?(ident = 0) ?(ttl = 64) t ~proto ~src ~dst ~payload_len =
+  t.dscp <- dscp land 0x3f;
+  t.ecn <- ecn land 0x3;
+  t.total_len <- size + payload_len;
+  t.ident <- ident land 0xffff;
+  t.ttl <- ttl land 0xff;
+  t.proto <- proto land 0xff;
+  t.src <- src;
+  t.dst <- dst
 
 let checksum buf ~off ~len =
   let sum = ref 0 in

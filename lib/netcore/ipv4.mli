@@ -1,14 +1,17 @@
 (** IPv4 header (no options). *)
 
+(** Fields are mutable only for in-place reuse by
+    {!Packet_arena}-recycled packets; treat received headers as
+    read-only. *)
 type t = {
-  dscp : int; (* 6 bits *)
-  ecn : int; (* 2 bits *)
-  total_len : int; (* header + payload, bytes *)
-  ident : int;
-  ttl : int;
-  proto : int;
-  src : Ipv4_addr.t;
-  dst : Ipv4_addr.t;
+  mutable dscp : int; (* 6 bits *)
+  mutable ecn : int; (* 2 bits *)
+  mutable total_len : int; (* header + payload, bytes *)
+  mutable ident : int;
+  mutable ttl : int;
+  mutable proto : int;
+  mutable src : Ipv4_addr.t;
+  mutable dst : Ipv4_addr.t;
 }
 
 val size : int
@@ -20,6 +23,11 @@ val proto_udp : int
 val make :
   ?dscp:int -> ?ecn:int -> ?ident:int -> ?ttl:int -> proto:int ->
   src:Ipv4_addr.t -> dst:Ipv4_addr.t -> payload_len:int -> unit -> t
+
+val set :
+  ?dscp:int -> ?ecn:int -> ?ident:int -> ?ttl:int -> t -> proto:int ->
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t -> payload_len:int -> unit
+(** Refill every field in place, as {!make} would — allocation-free. *)
 
 val checksum : bytes -> off:int -> len:int -> int
 (** Internet checksum over [len] bytes at [off]. *)

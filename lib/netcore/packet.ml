@@ -12,14 +12,17 @@ type meta = {
   deq_meta : int array;
 }
 
+(* All fields are mutable so a {!Packet_arena} can recycle packet
+   records in place; outside arena reuse they are set once at creation
+   and treated as immutable. *)
 type t = {
-  uid : int;
-  eth : Ethernet.t;
-  ip : Ipv4.t option;
-  l4 : l4;
+  mutable uid : int;
+  mutable eth : Ethernet.t;
+  mutable ip : Ipv4.t option;
+  mutable l4 : l4;
   mutable payload : payload;
-  payload_len : int;
-  created_at : int;
+  mutable payload_len : int;
+  mutable created_at : int;
   meta : meta;
 }
 
@@ -28,6 +31,7 @@ let meta_slots = 4
 (* Atomic so uids stay unique when several simulation shards (OCaml
    domains) create packets concurrently. *)
 let next_uid = Atomic.make 0
+let fresh_uid () = 1 + Atomic.fetch_and_add next_uid 1
 
 let fresh_meta () =
   {
@@ -41,8 +45,24 @@ let fresh_meta () =
   }
 
 let create ?ip ?(l4 = No_l4) ?(payload = Opaque) ?(payload_len = 0) ?(created_at = 0) ~eth () =
-  let uid = 1 + Atomic.fetch_and_add next_uid 1 in
+  let uid = fresh_uid () in
   { uid; eth; ip; l4; payload; payload_len; created_at; meta = fresh_meta () }
+
+(* Distinguished "no packet" sentinel, identity-checked. Built as a
+   literal so it consumes no uid (uid numbering stays reproducible). *)
+let nil =
+  {
+    uid = -1;
+    eth = Ethernet.make ~dst:(Mac_addr.host 0) ~src:(Mac_addr.host 0) ~ethertype:0;
+    ip = None;
+    l4 = No_l4;
+    payload = Opaque;
+    payload_len = 0;
+    created_at = 0;
+    meta = fresh_meta ();
+  }
+
+let is_nil t = t == nil
 
 let udp_packet ?(created_at = 0) ?(payload = Opaque) ~src ~dst ~src_port ~dst_port ~payload_len () =
   let udp = Udp.make ~src_port ~dst_port ~payload_len in
@@ -91,6 +111,15 @@ let flow t =
 let flow_exn t =
   match flow t with Some f -> f | None -> invalid_arg "Packet.flow_exn: no IP header"
 
+(* Same key {!Flow.hash_addresses} feeds to the mixer, without building
+   the flow record, the port tuple, or the option on the way — the
+   per-packet hashing hot path must not allocate. [-1] (impossible for
+   a real key: both addresses are non-negative) marks "no IP header". *)
+let flow_key t =
+  match t.ip with
+  | None -> -1
+  | Some ip -> (Ipv4_addr.to_int ip.Ipv4.src lsl 16) lxor Ipv4_addr.to_int ip.Ipv4.dst
+
 let with_meta_of dst src =
   dst.meta.ingress_port <- src.meta.ingress_port;
   dst.meta.flow_id <- src.meta.flow_id;
@@ -101,7 +130,7 @@ let with_meta_of dst src =
   Array.blit src.meta.deq_meta 0 dst.meta.deq_meta 0 meta_slots
 
 let clone_for_forward ?eth ?ip t =
-  let uid = 1 + Atomic.fetch_and_add next_uid 1 in
+  let uid = fresh_uid () in
   let copy =
     {
       t with

@@ -27,26 +27,40 @@ type meta = {
   deq_meta : int array;
 }
 
+(** All fields are mutable so {!Packet_arena} can recycle packet
+    records in place (and data-plane programs rewrite payloads in
+    flight, as P4 programs rewrite headers). Outside arena reuse, the
+    header fields are set once at creation and must be treated as
+    immutable. *)
 type t = {
-  uid : int;  (** unique per-process packet id *)
-  eth : Ethernet.t;
-  ip : Ipv4.t option;
-  l4 : l4;
+  mutable uid : int;  (** unique per-process packet id *)
+  mutable eth : Ethernet.t;
+  mutable ip : Ipv4.t option;
+  mutable l4 : l4;
   mutable payload : payload;
-      (** mutable: data-plane programs rewrite payloads in flight
-          (turning an echo request into a reply, stamping telemetry),
-          as P4 programs rewrite headers *)
-  payload_len : int;
-  created_at : int;  (** creation timestamp, ps *)
+  mutable payload_len : int;
+  mutable created_at : int;  (** creation timestamp, ps *)
   meta : meta;
 }
 
 val meta_slots : int
 (** Number of 32-bit slots in [enq_meta]/[deq_meta] (4). *)
 
+val fresh_uid : unit -> int
+(** Next packet uid from the global counter — what {!create} assigns.
+    Exposed for {!Packet_arena}, which recycles records in place but
+    must still give each logical packet a distinct identity. *)
+
 val create :
   ?ip:Ipv4.t -> ?l4:l4 -> ?payload:payload -> ?payload_len:int -> ?created_at:int ->
   eth:Ethernet.t -> unit -> t
+
+val nil : t
+(** Distinguished "no packet" sentinel (identity-checked with
+    {!is_nil}); lets hot-path slots hold a plain [t] instead of a
+    [t option]. Never inject, enqueue, or mutate it. *)
+
+val is_nil : t -> bool
 
 val udp_packet :
   ?created_at:int -> ?payload:payload -> src:Ipv4_addr.t -> dst:Ipv4_addr.t ->
@@ -69,6 +83,12 @@ val flow : t -> Flow.t option
 (** Five-tuple, when the packet has an IP header. *)
 
 val flow_exn : t -> Flow.t
+
+val flow_key : t -> int
+(** The address key {!Flow.hash_addresses} mixes — i.e.
+    [Hashes.mix64 (flow_key t)] equals [Flow.hash_addresses f] for the
+    packet's flow [f] — computed without allocating the flow record.
+    [-1] when the packet has no IP header. *)
 
 val with_meta_of : t -> t -> unit
 (** [with_meta_of dst src] copies the metadata bus of [src] into [dst]

@@ -60,6 +60,7 @@ let create ?(enabled = true) () = { on = ref enabled; tbl = Hashtbl.create 64 }
 let enable t = t.on := true
 let disable t = t.on := false
 let is_enabled t = !(t.on)
+let on_ref t = t.on
 
 let canonical labels =
   List.sort

@@ -31,6 +31,13 @@ val enable : t -> unit
 val disable : t -> unit
 val is_enabled : t -> bool
 
+val on_ref : t -> bool ref
+(** The registry's shared enabled flag itself. Hot paths that guard a
+    whole block of instrument updates (rather than one instrument) can
+    cache this ref once and test it with a single load — cheaper than
+    calling {!is_enabled} through a module boundary per event. The ref
+    tracks {!enable}/{!disable} live; never write to it directly. *)
+
 (** {1 Instruments} *)
 
 module Counter : sig

@@ -33,7 +33,9 @@ let clock t = fun () -> current_cycle t
 let earliest_admission t =
   let now = Eventsim.Scheduler.now t.sched in
   let free_slot = (t.last_admit_cycle + 1) * t.clock_period in
-  max now free_slot
+  (* Plain int compare: [Stdlib.max] is a polymorphic-compare call, and
+     this runs once per admitted carrier. *)
+  if now > free_slot then now else free_slot
 
 let admit t ~has_packet =
   let cycle = current_cycle t in

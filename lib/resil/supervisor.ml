@@ -220,6 +220,30 @@ let call t key f a b =
         None
   end
 
+(* Like [call], but delivers the result through a (persistent) sink
+   instead of wrapping it in an option — no [Some] allocation per
+   guarded invocation on the packet hot path. *)
+let call_sink t key f a b ~sink =
+  if key.permanent || not key.active_ then begin
+    key.dropped <- key.dropped + 1;
+    false
+  end
+  else begin
+    let prev = t.current in
+    match
+      enter t key;
+      f a b
+    with
+    | r ->
+        t.current <- prev;
+        sink r;
+        true
+    | exception exn ->
+        t.current <- prev;
+        trap t key exn;
+        false
+  end
+
 let call_unit t key f a b =
   if key.permanent || not key.active_ then begin
     key.dropped <- key.dropped + 1;

@@ -69,6 +69,11 @@ val call : t -> key -> ('a -> 'b -> 'r) -> 'a -> 'b -> 'r option
     failed and the policy absorbed it. Under [Fail_fast] a failure
     raises {!Failed} instead. *)
 
+val call_sink : t -> key -> ('a -> 'b -> 'r) -> 'a -> 'b -> sink:('r -> unit) -> bool
+(** Like {!call}, but the result is passed to [sink] (called only on
+    success, before returning [true]) instead of being wrapped in an
+    option — allocation-free when [sink] is a persistent closure. *)
+
 val call_unit : t -> key -> ('a -> 'b -> unit) -> 'a -> 'b -> bool
 (** Allocation-free variant of {!call} for [unit] handlers; [true] iff
     the handler ran to completion. *)

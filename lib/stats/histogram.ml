@@ -9,8 +9,10 @@ type t = {
   mutable underflow : int;
   mutable overflow : int;
   mutable total : int;
-  mutable sum : float;
-  mutable max_seen : float;
+  (* [sum; max_seen] in a flat float array: as mutable fields of this
+     mixed record each store would box a fresh float, and [add] sits on
+     per-event hot paths (staleness tracking in the shared registers). *)
+  acc : float array;
 }
 
 let make layout bounds =
@@ -21,8 +23,7 @@ let make layout bounds =
     underflow = 0;
     overflow = 0;
     total = 0;
-    sum = 0.;
-    max_seen = neg_infinity;
+    acc = [| 0.; neg_infinity |];
   }
 
 let linear ~lo ~hi ~buckets =
@@ -53,13 +54,24 @@ let bucket_index t x =
       if x < 0. then -1
       else if x < 1. then 0
       else
-        let i = 1 + int_of_float (Float.log2 x) in
+        (* floor(log2 x) = floor(log2 (floor x)) for x >= 1 (both lie in
+           the same [2^k, 2^(k+1)) octave), so the bucket falls out of a
+           few shift probes — no [Float.log2] C call per observation. *)
+        let n = int_of_float x in
+        let n = ref n and k = ref 0 in
+        if !n lsr 32 <> 0 then begin n := !n lsr 32; k := !k + 32 end;
+        if !n lsr 16 <> 0 then begin n := !n lsr 16; k := !k + 16 end;
+        if !n lsr 8 <> 0 then begin n := !n lsr 8; k := !k + 8 end;
+        if !n lsr 4 <> 0 then begin n := !n lsr 4; k := !k + 4 end;
+        if !n lsr 2 <> 0 then begin n := !n lsr 2; k := !k + 2 end;
+        if !n lsr 1 <> 0 then incr k;
+        let i = 1 + !k in
         if i >= Array.length t.counts then Array.length t.counts else i
 
 let add_n t x n =
   t.total <- t.total + n;
-  t.sum <- t.sum +. (x *. float_of_int n);
-  if x > t.max_seen then t.max_seen <- x;
+  t.acc.(0) <- t.acc.(0) +. (x *. float_of_int n);
+  if x > t.acc.(1) then t.acc.(1) <- x;
   let i = bucket_index t x in
   if i < 0 then t.underflow <- t.underflow + n
   else if i >= Array.length t.counts then t.overflow <- t.overflow + n
@@ -69,8 +81,8 @@ let add t x = add_n t x 1
 let count t = t.total
 let underflow t = t.underflow
 let overflow t = t.overflow
-let mean t = if t.total = 0 then 0. else t.sum /. float_of_int t.total
-let max_seen t = t.max_seen
+let mean t = if t.total = 0 then 0. else t.acc.(0) /. float_of_int t.total
+let max_seen t = t.acc.(1)
 
 let percentile t q =
   if t.total = 0 then nan
@@ -86,10 +98,10 @@ let percentile t q =
            raise Exit
          end
        done;
-       result := t.max_seen
+       result := t.acc.(1)
      with Exit -> ());
     (* Never report beyond the observed maximum. *)
-    Float.min !result t.max_seen
+    Float.min !result t.acc.(1)
   end
 
 let buckets t =
@@ -106,9 +118,9 @@ let clear t =
   t.underflow <- 0;
   t.overflow <- 0;
   t.total <- 0;
-  t.sum <- 0.;
-  t.max_seen <- neg_infinity
+  t.acc.(0) <- 0.;
+  t.acc.(1) <- neg_infinity
 
 let pp ppf t =
   Format.fprintf ppf "n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g" t.total (mean t)
-    (percentile t 0.5) (percentile t 0.99) t.max_seen
+    (percentile t 0.5) (percentile t 0.99) t.acc.(1)

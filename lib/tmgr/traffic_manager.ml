@@ -39,7 +39,7 @@ type port = {
   (* The wire carries at most one packet per port ([busy]), so a single
      slot plus one persistent completion closure covers every
      transmission — no closure allocation per packet. *)
-  mutable tx_pkt : Packet.t option;
+  mutable tx_pkt : Packet.t; (* Packet.nil when idle *)
   mutable tx_done : unit -> unit;
 }
 
@@ -49,7 +49,7 @@ type t = {
   pool : Buffer_pool.t;
   ports : port array;
   emit : port:int -> Packet.t -> unit;
-  events : Event.t -> unit;
+  events : Devents.Event_sink.t;
   egress : (port:int -> Packet.t -> Packet.t option) option;
   mutable enqueues : int;
   mutable dequeues : int;
@@ -58,6 +58,12 @@ type t = {
   mutable drops : int;
   mutable egress_drops : int;
   mutable in_flight : int;
+  (* One-entry serialization-time memo. The port rate is fixed for the
+     lifetime of the TM and traffic repeats packet lengths, so this
+     skips the float multiply/divide/round in {!Sim_time.tx_time} on
+     nearly every transmission. [-1] = empty. *)
+  mutable tx_memo_bytes : int;
+  mutable tx_memo_time : int;
 }
 
 let make_port config index =
@@ -77,20 +83,8 @@ let make_port config index =
     busy = false;
     occupancy_bytes = 0;
     occupancy_pkts = 0;
-    tx_pkt = None;
+    tx_pkt = Packet.nil;
     tx_done = (fun () -> ());
-  }
-
-let buffer_event t port (pkt : Packet.t) ~meta_slots =
-  {
-    Event.port = port.index;
-    qid = pkt.Packet.meta.Packet.qid;
-    pkt_len = Packet.len pkt;
-    flow_id = pkt.Packet.meta.Packet.flow_id;
-    meta = Array.copy meta_slots;
-    occupancy_pkts = port.occupancy_pkts;
-    occupancy_bytes = port.occupancy_bytes;
-    time = Scheduler.now t.sched;
   }
 
 let select_queue t port =
@@ -123,15 +117,18 @@ let rec try_dequeue t port =
         | None -> ()
         | Some pkt ->
             let len = Packet.len pkt in
+            let meta = pkt.Packet.meta in
             port.occupancy_bytes <- port.occupancy_bytes - len;
             port.occupancy_pkts <- port.occupancy_pkts - 1;
             Buffer_pool.free t.pool len;
             t.dequeues <- t.dequeues + 1;
-            t.events (Event.Dequeue (buffer_event t port pkt ~meta_slots:pkt.Packet.meta.Packet.deq_meta));
+            t.events.Devents.Event_sink.dequeue ~port:port.index ~qid:meta.Packet.qid
+              ~pkt_len:len ~flow_id:meta.Packet.flow_id ~meta:meta.Packet.deq_meta
+              ~occupancy_pkts:port.occupancy_pkts ~occupancy_bytes:port.occupancy_bytes
+              ~time:(Scheduler.now t.sched);
             if port.occupancy_pkts = 0 then
-              t.events
-                (Event.Underflow
-                   { port = port.index; qid = pkt.Packet.meta.Packet.qid; time = Scheduler.now t.sched });
+              t.events.Devents.Event_sink.underflow ~port:port.index ~qid:meta.Packet.qid
+                ~time:(Scheduler.now t.sched);
             let outgoing =
               match t.egress with
               | None -> Some pkt
@@ -144,26 +141,30 @@ let rec try_dequeue t port =
                 try_dequeue t port
             | Some pkt ->
                 port.busy <- true;
-                port.tx_pkt <- Some pkt;
+                port.tx_pkt <- pkt;
                 t.in_flight <- t.in_flight + 1;
-                let tx = Sim_time.tx_time ~bytes:(Packet.len pkt) ~gbps:t.config.port_rate_gbps in
+                let bytes = Packet.len pkt in
+                let tx =
+                  if bytes = t.tx_memo_bytes then t.tx_memo_time
+                  else begin
+                    let tx = Sim_time.tx_time ~bytes ~gbps:t.config.port_rate_gbps in
+                    t.tx_memo_bytes <- bytes;
+                    t.tx_memo_time <- tx;
+                    tx
+                  end
+                in
                 Scheduler.post_after ~cls:"tm.tx" t.sched ~delay:tx port.tx_done))
 
 and finish_tx t port =
-  let pkt = match port.tx_pkt with Some p -> p | None -> assert false in
-  port.tx_pkt <- None;
+  let pkt = port.tx_pkt in
+  if Packet.is_nil pkt then assert false;
+  port.tx_pkt <- Packet.nil;
   port.busy <- false;
   t.in_flight <- t.in_flight - 1;
   t.transmitted <- t.transmitted + 1;
   t.transmitted_bytes <- t.transmitted_bytes + Packet.len pkt;
-  t.events
-    (Event.Transmitted
-       {
-         port = port.index;
-         pkt_len = Packet.len pkt;
-         flow_id = pkt.Packet.meta.Packet.flow_id;
-         time = Scheduler.now t.sched;
-       });
+  t.events.Devents.Event_sink.transmitted ~port:port.index ~pkt_len:(Packet.len pkt)
+    ~flow_id:pkt.Packet.meta.Packet.flow_id ~time:(Scheduler.now t.sched);
   t.emit ~port:port.index pkt;
   try_dequeue t port
 
@@ -185,6 +186,8 @@ let create ~sched ~config ~emit ~events ?egress () =
       drops = 0;
       egress_drops = 0;
       in_flight = 0;
+      tx_memo_bytes = -1;
+      tx_memo_time = 0;
     }
   in
   Array.iter (fun port -> port.tx_done <- (fun () -> finish_tx t port)) t.ports;
@@ -192,20 +195,30 @@ let create ~sched ~config ~emit ~events ?egress () =
 
 let reject t port pkt =
   t.drops <- t.drops + 1;
-  t.events (Event.Overflow (buffer_event t port pkt ~meta_slots:pkt.Packet.meta.Packet.enq_meta))
+  let meta = pkt.Packet.meta in
+  t.events.Devents.Event_sink.overflow ~port:port.index ~qid:meta.Packet.qid
+    ~pkt_len:(Packet.len pkt) ~flow_id:meta.Packet.flow_id ~meta:meta.Packet.enq_meta
+    ~occupancy_pkts:port.occupancy_pkts ~occupancy_bytes:port.occupancy_bytes
+    ~time:(Scheduler.now t.sched)
+
+(* Post-admission bookkeeping for [enqueue]. Top-level (not a local
+   closure of [enqueue]: capturing [t]/[p]/[len]/[pkt] would allocate
+   one closure per packet on the enqueue hot path). *)
+let accept t p len pkt =
+  p.occupancy_bytes <- p.occupancy_bytes + len;
+  p.occupancy_pkts <- p.occupancy_pkts + 1;
+  t.enqueues <- t.enqueues + 1;
+  let meta = pkt.Packet.meta in
+  t.events.Devents.Event_sink.enqueue ~port:p.index ~qid:meta.Packet.qid ~pkt_len:len
+    ~flow_id:meta.Packet.flow_id ~meta:meta.Packet.enq_meta ~occupancy_pkts:p.occupancy_pkts
+    ~occupancy_bytes:p.occupancy_bytes ~time:(Scheduler.now t.sched);
+  try_dequeue t p
 
 let enqueue t ~port pkt =
   if port < 0 || port >= Array.length t.ports then
     invalid_arg (Printf.sprintf "Traffic_manager.enqueue: bad port %d" port);
   let p = t.ports.(port) in
   let len = Packet.len pkt in
-  let accept () =
-    p.occupancy_bytes <- p.occupancy_bytes + len;
-    p.occupancy_pkts <- p.occupancy_pkts + 1;
-    t.enqueues <- t.enqueues + 1;
-    t.events (Event.Enqueue (buffer_event t p pkt ~meta_slots:pkt.Packet.meta.Packet.enq_meta));
-    try_dequeue t p
-  in
   match p.queues with
   | Fifos queues ->
       let qid =
@@ -215,7 +228,7 @@ let enqueue t ~port pkt =
       pkt.Packet.meta.Packet.qid <- qid;
       if Fifo_queue.can_accept queues.(qid) len && Buffer_pool.try_alloc t.pool len then begin
         Fifo_queue.push queues.(qid) pkt;
-        accept ();
+        accept t p len pkt;
         true
       end
       else begin
@@ -226,7 +239,7 @@ let enqueue t ~port pkt =
       if Buffer_pool.try_alloc t.pool len then begin
         match Pifo.push_evict pifo ~rank:pkt.Packet.meta.Packet.priority pkt with
         | `Accepted ->
-            accept ();
+            accept t p len pkt;
             true
         | `Evicted victim ->
             let vlen = Packet.len victim in
@@ -234,7 +247,7 @@ let enqueue t ~port pkt =
             p.occupancy_pkts <- p.occupancy_pkts - 1;
             Buffer_pool.free t.pool vlen;
             reject t p victim;
-            accept ();
+            accept t p len pkt;
             true
         | `Rejected ->
             Buffer_pool.free t.pool len;

@@ -37,12 +37,14 @@ val create :
   sched:Eventsim.Scheduler.t ->
   config:config ->
   emit:(port:int -> Netcore.Packet.t -> unit) ->
-  events:(Devents.Event.t -> unit) ->
+  events:Devents.Event_sink.t ->
   ?egress:(port:int -> Netcore.Packet.t -> Netcore.Packet.t option) ->
   unit ->
   t
 (** [egress] runs at dequeue time (PSA egress processing); returning
-    [None] drops the packet (counted, no Transmitted event). *)
+    [None] drops the packet (counted, no Transmitted event). [events]
+    receives buffer/transmit notifications as plain fields — wrap a
+    boxed handler with {!Devents.Event_sink.of_fn} if needed. *)
 
 val enqueue : t -> port:int -> Netcore.Packet.t -> bool
 (** Route a packet to [port], queue [pkt.meta.qid]. [false] if it was

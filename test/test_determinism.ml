@@ -69,14 +69,18 @@ let test_seed_changes_behaviour () =
   let t1, _, _ = run_once ~seed:7 () and t2, _, _ = run_once ~seed:8 () in
   Alcotest.(check bool) "different seeds diverge" false (t1 = t2)
 
-(* The two scheduler backends must be observationally identical: same
-   seed, different backend, byte-identical trace and metrics. *)
+(* The scheduler backends must be observationally identical: same seed,
+   different backend, byte-identical trace and metrics. *)
 let test_backends_identical () =
   let th, jh, ch = run_once ~backend:Eventsim.Sched_backend.Heap ~seed:7 () in
   let tw, jw, cw = run_once ~backend:Eventsim.Sched_backend.Wheel ~seed:7 () in
+  let tl, jl, cl = run_once ~backend:Eventsim.Sched_backend.Ladder ~seed:7 () in
   Alcotest.(check (list (pair int string))) "heap/wheel identical trace" th tw;
   Alcotest.(check string) "heap/wheel identical metrics JSON" jh jw;
-  Alcotest.(check string) "heap/wheel identical metrics CSV" ch cw
+  Alcotest.(check string) "heap/wheel identical metrics CSV" ch cw;
+  Alcotest.(check (list (pair int string))) "heap/ladder identical trace" th tl;
+  Alcotest.(check string) "heap/ladder identical metrics JSON" jh jl;
+  Alcotest.(check string) "heap/ladder identical metrics CSV" ch cl
 
 (* Run [f] with the process-wide default backend forced to [backend] —
    this is what [evsim --sched-backend] does, and it covers code that
@@ -122,10 +126,15 @@ let test_chaos_backends_identical () =
       let name = Faults.Profile.to_string profile in
       let r1, j1 = run Eventsim.Sched_backend.Heap in
       let r2, j2 = run Eventsim.Sched_backend.Wheel in
+      let r3, j3 = run Eventsim.Sched_backend.Ladder in
       Alcotest.(check string) (name ^ ": heap/wheel identical chaos metrics") j1 j2;
       Alcotest.(check int)
         (name ^ ": heap/wheel identical receive count")
-        r1.Experiments.E21_chaos.received r2.Experiments.E21_chaos.received)
+        r1.Experiments.E21_chaos.received r2.Experiments.E21_chaos.received;
+      Alcotest.(check string) (name ^ ": heap/ladder identical chaos metrics") j1 j3;
+      Alcotest.(check int)
+        (name ^ ": heap/ladder identical receive count")
+        r1.Experiments.E21_chaos.received r3.Experiments.E21_chaos.received)
     [ Faults.Profile.Burst_storm; Faults.Profile.Handler_faults ]
 
 let test_chaos_seed_diverges () =
@@ -426,6 +435,9 @@ let qcheck_efsm_evolution_conforms =
           (Eventsim.Sched_backend.Wheel, 1);
           (Eventsim.Sched_backend.Wheel, 2);
           (Eventsim.Sched_backend.Wheel, 4);
+          (Eventsim.Sched_backend.Ladder, 1);
+          (Eventsim.Sched_backend.Ladder, 2);
+          (Eventsim.Sched_backend.Ladder, 4);
         ])
 
 (* CEP extension: the detector's [pisa.efsm.*] series must be

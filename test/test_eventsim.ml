@@ -4,6 +4,7 @@ module Sim_time = Eventsim.Sim_time
 module Scheduler = Eventsim.Scheduler
 module Event_heap = Eventsim.Event_heap
 module Timing_wheel = Eventsim.Timing_wheel
+module Ladder_queue = Eventsim.Ladder_queue
 module Sched_backend = Eventsim.Sched_backend
 module Trace = Eventsim.Trace
 
@@ -184,6 +185,121 @@ let test_wheel_drain_reentry () =
   Alcotest.(check (option int)) "beyond-limit event kept" (Some 200)
     (Timing_wheel.peek_time w)
 
+let test_ladder_ordering () =
+  let l = Ladder_queue.create () in
+  Ladder_queue.push l ~time:30 "c";
+  Ladder_queue.push l ~time:10 "a";
+  Ladder_queue.push l ~time:20 "b";
+  Alcotest.(check (option int)) "peek" (Some 10) (Ladder_queue.peek_time l);
+  let order =
+    List.init 3 (fun _ -> match Ladder_queue.pop l with Some (_, x) -> x | None -> "?")
+  in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] order;
+  Alcotest.(check bool) "empty" true (Ladder_queue.is_empty l)
+
+let test_ladder_fifo_ties () =
+  let l = Ladder_queue.create () in
+  List.iter (fun x -> Ladder_queue.push l ~time:5 x) [ 1; 2; 3; 4; 5 ];
+  let order =
+    List.init 5 (fun _ -> match Ladder_queue.pop l with Some (_, x) -> x | None -> -1)
+  in
+  Alcotest.(check (list int)) "fifo among equal times" [ 1; 2; 3; 4; 5 ] order
+
+let test_ladder_spans_rungs () =
+  (* Times spread over ten orders of magnitude so the first pop spreads
+     the top bag across several progressively finer rungs; order must
+     still be exact. *)
+  let times = [ 3; 300; 30_000; 3_000_000; 300_000_000; 1 lsl 35; (1 lsl 35) + 1 ] in
+  let l = Ladder_queue.create () in
+  List.iteri (fun i time -> Ladder_queue.push l ~time i) (List.rev times);
+  Alcotest.(check int) "length" (List.length times) (Ladder_queue.length l);
+  List.iteri
+    (fun expect_i expect_t ->
+      match Ladder_queue.pop l with
+      | Some (t, i) ->
+          Alcotest.(check int) "time order" expect_t t;
+          Alcotest.(check int) "payload" (List.length times - 1 - expect_i) i
+      | None -> Alcotest.fail "queue emptied early")
+    times
+
+let test_ladder_past_push_raises () =
+  let l = Ladder_queue.create () in
+  Ladder_queue.push l ~time:100 ();
+  ignore (Ladder_queue.pop l);
+  Alcotest.(check int) "position advanced" 100 (Ladder_queue.position l);
+  Alcotest.check_raises "past push"
+    (Invalid_argument "Ladder_queue.push: time=50 is before ladder position 100")
+    (fun () -> Ladder_queue.push l ~time:50 ())
+
+let test_ladder_releases_payloads () =
+  (* Free-listed nodes must not pin their old payload after the pop. *)
+  let l = Ladder_queue.create () in
+  let weak = Weak.create 1 in
+  let tracked = Bytes.create 64 in
+  Weak.set weak 0 (Some tracked);
+  Ladder_queue.push l ~time:7 tracked;
+  Ladder_queue.push l ~time:(1 lsl 40) (Bytes.create 64);
+  ignore (Ladder_queue.pop l);
+  ignore (Ladder_queue.pop l);
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" false (Weak.check weak 0)
+
+let test_ladder_drain_reentry () =
+  (* Same-instant events pushed from inside the drain callback fire in
+     the same drain, after their same-time predecessors. *)
+  let log = ref [] in
+  let l = Ladder_queue.create () in
+  Ladder_queue.push l ~time:10 `First;
+  Ladder_queue.push l ~time:10 `Second;
+  Ladder_queue.drain_upto l ~limit:50 (fun ~time x ->
+      log := (time, x) :: !log;
+      if x = `First then begin
+        Ladder_queue.push l ~time `Nested;
+        Ladder_queue.push l ~time:200 `Late
+      end);
+  Alcotest.(check int) "drained three" 3 (List.length !log);
+  Alcotest.(check bool) "order"
+    true
+    (List.rev !log = [ (10, `First); (10, `Second); (10, `Nested) ]);
+  Alcotest.(check (option int)) "late event still queued" (Some 200) (Ladder_queue.peek_time l)
+
+let test_next_time_take_agree () =
+  (* next_time/take is the allocation-free peek/pop pair the scheduler
+     hot path uses; it must agree with peek_time/pop on all three
+     backends, report -1 on empty, and raise on an empty take. *)
+  let h = Event_heap.create () and w = Timing_wheel.create () and l = Ladder_queue.create () in
+  Alcotest.(check int) "heap empty" (-1) (Event_heap.next_time h);
+  Alcotest.(check int) "wheel empty" (-1) (Timing_wheel.next_time w);
+  Alcotest.(check int) "ladder empty" (-1) (Ladder_queue.next_time l);
+  List.iter
+    (fun (time, x) ->
+      Event_heap.push h ~time x;
+      Timing_wheel.push w ~time x;
+      Ladder_queue.push l ~time x)
+    [ (20, "b"); (10, "a"); (10, "a2"); (30, "c") ];
+  let drain name next take =
+    let order =
+      List.init 4 (fun _ ->
+          let tm = next () in
+          Alcotest.(check bool) (name ^ " next_time nonnegative") true (tm >= 0);
+          take tm)
+    in
+    Alcotest.(check (list string)) (name ^ " take order") [ "a"; "a2"; "b"; "c" ] order;
+    Alcotest.(check int) (name ^ " drained") (-1) (next ())
+  in
+  drain "heap" (fun () -> Event_heap.next_time h) (fun _ -> Event_heap.take h);
+  drain "wheel"
+    (fun () -> Timing_wheel.next_time w)
+    (fun time -> Timing_wheel.take w ~time);
+  drain "ladder" (fun () -> Ladder_queue.next_time l) (fun _ -> Ladder_queue.take l);
+  Alcotest.check_raises "heap empty take"
+    (Invalid_argument "Event_heap.take: empty heap") (fun () -> ignore (Event_heap.take h));
+  Alcotest.check_raises "wheel empty take"
+    (Invalid_argument "Timing_wheel.take: empty wheel") (fun () ->
+      ignore (Timing_wheel.take w ~time:(Timing_wheel.next_time w)));
+  Alcotest.check_raises "ladder empty take"
+    (Invalid_argument "Ladder_queue.take: empty queue") (fun () -> ignore (Ladder_queue.take l))
+
 (* Property: the wheel agrees with the heap (the reference) on every
    pop under random interleavings of pushes and pops, including FIFO
    order among time ties and times spread far enough to exercise all
@@ -234,12 +350,58 @@ let qcheck_wheel_matches_heap =
       done;
       !ok)
 
+(* Same property against the ladder queue: its adaptive rung spreading
+   must reproduce the heap's exact (time, seq) pop sequence, ties
+   included. *)
+let qcheck_ladder_matches_heap =
+  QCheck.Test.make ~name:"ladder pops exactly match heap (order and ties)" ~count:300
+    QCheck.(pair small_int (int_bound 300))
+    (fun (seed, nops) ->
+      let rng = Stats.Rng.create ~seed in
+      let h = Event_heap.create () in
+      let l = Ladder_queue.create () in
+      let seq = ref 0 in
+      let floor = ref 0 in
+      let ok = ref true in
+      for _ = 1 to nops do
+        if Stats.Rng.int rng 3 < 2 then begin
+          let delta =
+            match Stats.Rng.int rng 4 with
+            | 0 -> Stats.Rng.int rng 4
+            | 1 -> Stats.Rng.int rng 1000
+            | 2 -> Stats.Rng.int rng 100_000_000
+            | _ -> (1 lsl 33) + Stats.Rng.int rng 1000
+          in
+          let time = !floor + delta in
+          Event_heap.push h ~time !seq;
+          Ladder_queue.push l ~time !seq;
+          incr seq
+        end
+        else begin
+          (match (Event_heap.pop h, Ladder_queue.pop l) with
+          | Some (ht, hx), Some (lt, lx) ->
+              if ht <> lt || hx <> lx then ok := false;
+              floor := max !floor ht
+          | None, None -> ()
+          | _ -> ok := false);
+          if Event_heap.length h <> Ladder_queue.length l then ok := false
+        end
+      done;
+      let continue = ref true in
+      while !ok && !continue do
+        match (Event_heap.pop h, Ladder_queue.pop l) with
+        | Some (ht, hx), Some (lt, lx) -> if ht <> lt || hx <> lx then ok := false
+        | None, None -> continue := false
+        | _ -> ok := false
+      done;
+      !ok)
+
 (* Satellite: backend parity at the scheduler level. A random program
    of schedule / post / every / cancel, replayed against a Heap-backed
    and a Wheel-backed scheduler, must fire the same (time, id) sequence
    and agree on the pending/executed counters throughout. *)
 let qcheck_backend_parity =
-  QCheck.Test.make ~name:"scheduler backends fire identically (heap vs wheel)"
+  QCheck.Test.make ~name:"scheduler backends fire identically (heap vs wheel vs ladder)"
     ~count:150
     QCheck.(pair small_int (int_bound 80))
     (fun (seed, n) ->
@@ -271,7 +433,8 @@ let qcheck_backend_parity =
         List.iter Scheduler.cancel !handles;
         (List.rev !fired, pending_before, Scheduler.executed sched, Scheduler.now sched)
       in
-      replay Sched_backend.Heap = replay Sched_backend.Wheel)
+      let heap = replay Sched_backend.Heap in
+      heap = replay Sched_backend.Wheel && heap = replay Sched_backend.Ladder)
 
 let test_post_pool_reuse () =
   (* post/post_after recycle their cells; a post made from inside a
@@ -294,6 +457,34 @@ let test_post_pool_reuse () =
   Alcotest.check_raises "past post raises"
     (Invalid_argument "Scheduler.post: at=1 is before now=30") (fun () ->
       Scheduler.post sched ~at:1 (fun () -> ()))
+
+(* Satellite: the event hot path — post into a warm scheduler, step it —
+   must be allocation-free on every backend. Cells come from the
+   scheduler pool, wheel/ladder nodes from their free lists, the heap
+   stores events in its parallel SoA arrays, and step peeks/takes
+   without building options or tuples, so a steady-state cycle touches
+   the minor heap not at all. *)
+let test_scheduler_zero_alloc backend () =
+  let sched = Scheduler.create ~backend () in
+  let cb () = () in
+  let cycle n =
+    for _ = 1 to n do
+      Scheduler.post sched ~at:(Scheduler.now sched + 1) cb;
+      ignore (Scheduler.step sched : bool)
+    done
+  in
+  (* Warm the cell pool and the backend's node free list. *)
+  cycle 256;
+  let iters = 10_000 in
+  let w0 = Gc.minor_words () in
+  cycle iters;
+  let delta = Gc.minor_words () -. w0 in
+  (* The [Gc.minor_words] floats themselves cost a few boxed words;
+     anything beyond that means a per-event allocation crept in. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %d post/step cycles allocated %.0f minor words"
+       (Sched_backend.to_string backend) iters delta)
+    true (delta < 64.)
 
 let test_wheel_run_until_then_schedule () =
   (* Regression for the base/clock invariant: [run ~until] moves the
@@ -560,9 +751,24 @@ let suite =
     Alcotest.test_case "wheel rejects past pushes" `Quick test_wheel_past_push_raises;
     Alcotest.test_case "wheel releases payloads" `Quick test_wheel_releases_payloads;
     Alcotest.test_case "wheel drain reentry" `Quick test_wheel_drain_reentry;
+    Alcotest.test_case "ladder ordering" `Quick test_ladder_ordering;
+    Alcotest.test_case "ladder FIFO ties" `Quick test_ladder_fifo_ties;
+    Alcotest.test_case "ladder spans rungs" `Quick test_ladder_spans_rungs;
+    Alcotest.test_case "ladder rejects past pushes" `Quick test_ladder_past_push_raises;
+    Alcotest.test_case "ladder releases payloads" `Quick test_ladder_releases_payloads;
+    Alcotest.test_case "ladder drain reentry" `Quick test_ladder_drain_reentry;
+    Alcotest.test_case "next_time/take agree across backends" `Quick
+      test_next_time_take_agree;
     QCheck_alcotest.to_alcotest qcheck_wheel_matches_heap;
+    QCheck_alcotest.to_alcotest qcheck_ladder_matches_heap;
     QCheck_alcotest.to_alcotest qcheck_backend_parity;
     Alcotest.test_case "post pool reuse" `Quick test_post_pool_reuse;
+    Alcotest.test_case "zero-alloc post/step (heap)" `Quick
+      (test_scheduler_zero_alloc Sched_backend.Heap);
+    Alcotest.test_case "zero-alloc post/step (wheel)" `Quick
+      (test_scheduler_zero_alloc Sched_backend.Wheel);
+    Alcotest.test_case "zero-alloc post/step (ladder)" `Quick
+      (test_scheduler_zero_alloc Sched_backend.Ladder);
     Alcotest.test_case "wheel run-until then schedule" `Quick
       test_wheel_run_until_then_schedule;
     Alcotest.test_case "zero-event run records no wall sample" `Quick

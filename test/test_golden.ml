@@ -29,10 +29,13 @@ let variants =
   [
     ("sequential-heap", Sched_backend.Heap, 1);
     ("sequential-wheel", Sched_backend.Wheel, 1);
+    ("sequential-ladder", Sched_backend.Ladder, 1);
     ("2-shard-heap", Sched_backend.Heap, 2);
     ("2-shard-wheel", Sched_backend.Wheel, 2);
+    ("2-shard-ladder", Sched_backend.Ladder, 2);
     ("4-shard-heap", Sched_backend.Heap, 4);
     ("4-shard-wheel", Sched_backend.Wheel, 4);
+    ("4-shard-ladder", Sched_backend.Ladder, 4);
   ]
 
 let test_variant ~seed (name, backend, shards) () =

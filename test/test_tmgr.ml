@@ -118,7 +118,7 @@ let tm_fixture ?(config = Traffic_manager.default_config) () =
   let tm =
     Traffic_manager.create ~sched ~config
       ~emit:(fun ~port pkt -> emitted := (port, pkt) :: !emitted)
-      ~events:(fun ev -> events := ev :: !events)
+      ~events:(Devents.Event_sink.of_fn (fun ev -> events := ev :: !events))
       ()
   in
   (sched, tm, emitted, events)
@@ -210,7 +210,7 @@ let test_tm_egress_drop () =
   let tm =
     Traffic_manager.create ~sched ~config:Traffic_manager.default_config
       ~emit:(fun ~port:_ _ -> incr emitted)
-      ~events:(fun _ -> ())
+      ~events:(Devents.Event_sink.of_fn (fun _ -> ()))
       ~egress:(fun ~port:_ pkt -> if Packet.len pkt > 500 then None else Some pkt)
       ()
   in
@@ -349,7 +349,7 @@ let qcheck_tm_conservation =
       let tm =
         Traffic_manager.create ~sched ~config
           ~emit:(fun ~port:_ _ -> incr emitted)
-          ~events:(fun _ -> ())
+          ~events:(Devents.Event_sink.of_fn (fun _ -> ()))
           ~egress:(fun ~port:_ pkt ->
             (* Randomly-ish drop some at egress (deterministic in size). *)
             if Netcore.Packet.len pkt mod 7 = 0 then None else Some pkt)
