@@ -245,6 +245,32 @@ let bench_meter =
          now := !now + 800_000;
          ignore (Pisa.Meter.mark meter ~now_ps:!now ~bytes:1000)))
 
+(* E26 kernel: one complete two-phase policy commit — install, flip,
+   drain, GC across 8 switches over the modeled control plane — as
+   whole-transaction wall time. Scheduler, agents and controller
+   persist across iterations; each run proposes the next version
+   (alternating two ring policies so every table genuinely changes)
+   and drives the event loop until the update commits. *)
+let bench_netupd_commit =
+  let sched = Eventsim.Scheduler.create ~backend:Eventsim.Sched_backend.Heap () in
+  let agents =
+    Array.init 8 (fun sw ->
+        Some (Netupd.Agent.create ~switch:sw ~keys:8 ~edge_port:(fun p -> p = 0) ()))
+  in
+  let ctrl =
+    Netupd.Controller.create ~sched ~switches:8 ~agents
+      ~initial:(Netupd.Policy.with_version (Netupd.Policy.ring_uniform ~switches:8 ~name:"cw" ()) 1)
+      ~seed:42 ()
+  in
+  let split = Netupd.Policy.ring_threshold ~switches:8 ~ccw_at:5 ~name:"split5" () in
+  let cw = Netupd.Policy.ring_uniform ~switches:8 ~name:"cw" () in
+  let i = ref 0 in
+  Test.make ~name:"netupd/commit-latency"
+    (Staged.stage (fun () ->
+         incr i;
+         Netupd.Controller.propose ctrl (if !i land 1 = 0 then cw else split);
+         Eventsim.Scheduler.run sched))
+
 (* E23 kernel: one full (short) fat-tree scale run per iteration, at a
    given shard count — the sequential-vs-sharded throughput curve as
    whole-simulation wall time. The simulated work is identical at
@@ -282,6 +308,7 @@ let benchmarks =
       bench_lpm;
       bench_frame;
       bench_meter;
+      bench_netupd_commit;
     ]
     @ bench_e23_shards)
 

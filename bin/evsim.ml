@@ -70,6 +70,7 @@ let set_shards = function
       Experiments.E23_scale.default_shard_counts := counts;
       Experiments.E24_efsm.default_shard_counts := counts;
       Experiments.E25_cep.default_shard_counts := counts;
+      Experiments.E26_netupd.default_shard_counts := counts;
       None
   | Some n -> Some (Printf.sprintf "--shards must be positive, got %d" n)
 

@@ -38,8 +38,27 @@ val notify : t -> (unit -> unit) -> unit
     channel latency (no rate limit — the device pushes). *)
 
 val ops : t -> int
-(** Operations executed on the device so far. *)
+(** Operations executed on the device so far (a supervised op counts
+    only when the guard let it run to completion). *)
+
+val dropped_ops : t -> int
+(** Supervised ops the guard refused (quarantined key) or absorbed
+    after a crash — submitted but never completed on the device.
+    [ops + dropped_ops] equals the number of submissions that have
+    reached their execution time. *)
 
 val notifications : t -> int
+
+val pending : t -> int
+(** Submitted ops whose execution time has not yet arrived. *)
+
+val queue_depth_hwm : t -> int
+(** High-water mark of {!pending} — the deepest the submit queue got. *)
+
 val ops_per_sec_limit : t -> float
 val latency : t -> Eventsim.Sim_time.t
+
+val export_metrics : ?labels:Obs.Metrics.labels -> t -> Obs.Metrics.t -> unit
+(** Publish [cp.ops], [cp.dropped_ops], [cp.notifications] and
+    [cp.queue_depth] (HWM gauge). Idempotent set-style export — call
+    after (or periodically during) a run. *)

@@ -82,6 +82,7 @@ type t = {
   notifications : (int * string) Queue.t;
   mutable notification_count : int;
   mutable notify_cb : (time:int -> string -> unit) option;
+  mutable link_change_cb : (port:int -> up:bool -> unit) option;
 }
 
 let get_merger t = match t.merger with Some m -> m | None -> assert false
@@ -336,6 +337,7 @@ let create ~sched ?(id = 0) ~config ~program () =
       notifications = Queue.create ();
       notification_count = 0;
       notify_cb = None;
+      link_change_cb = None;
     }
   in
   t.decision_cb <- (fun () -> pop_decision t);
@@ -531,6 +533,7 @@ let link_status t ~port ~up =
   if port < 0 || port >= t.config.num_ports then invalid_arg "Event_switch.link_status: bad port";
   if t.link_up.(port) <> up then begin
     t.link_up.(port) <- up;
+    (match t.link_change_cb with None -> () | Some cb -> cb ~port ~up);
     fire t (Event.Link_change { port; up; time = Scheduler.now t.sched })
   end
 
@@ -541,6 +544,7 @@ let subscribed t cls = t.subscriptions.(Event.cls_index cls)
 let subscription_toggles t = t.subscription_toggles
 
 let on_notification t cb = t.notify_cb <- Some cb
+let on_link_change t cb = t.link_change_cb <- Some cb
 let id t = t.id
 let arch t = t.config.arch
 let program_name t = (get_program t).Program.name

@@ -165,6 +165,12 @@ let all =
       paper_artifact = "Sec 3 event-driven apps (complex-event patterns)";
       run_and_print = (fun ~metrics ~seed -> E25_cep.print (E25_cep.run ?metrics ~seed ()));
     };
+    {
+      name = E26_netupd.name;
+      experiment_id = "E26";
+      paper_artifact = "Sec 5 event-driven control (consistent updates)";
+      run_and_print = (fun ~metrics ~seed -> E26_netupd.print (E26_netupd.run ?metrics ~seed ()));
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -8,6 +8,7 @@ type meta = {
   mutable priority : int;
   mutable qid : int;
   mutable mark : int;
+  mutable version : int;
   enq_meta : int array;
   deq_meta : int array;
 }
@@ -40,6 +41,7 @@ let fresh_meta () =
     priority = 0;
     qid = 0;
     mark = 0;
+    version = 0;
     enq_meta = Array.make meta_slots 0;
     deq_meta = Array.make meta_slots 0;
   }
@@ -126,6 +128,7 @@ let with_meta_of dst src =
   dst.meta.priority <- src.meta.priority;
   dst.meta.qid <- src.meta.qid;
   dst.meta.mark <- src.meta.mark;
+  dst.meta.version <- src.meta.version;
   Array.blit src.meta.enq_meta 0 dst.meta.enq_meta 0 meta_slots;
   Array.blit src.meta.deq_meta 0 dst.meta.deq_meta 0 meta_slots
 

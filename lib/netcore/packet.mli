@@ -23,6 +23,9 @@ type meta = {
   mutable priority : int;  (** PIFO rank / scheduling priority. *)
   mutable qid : int;  (** output queue id chosen by ingress *)
   mutable mark : int;  (** application marking, e.g. multi-bit ECN *)
+  mutable version : int;
+      (** policy version the packet entered the network under (stamped
+          at the ingress edge by [Netupd.Agent]); 0 = unversioned *)
   enq_meta : int array;
   deq_meta : int array;
 }

@@ -48,6 +48,7 @@ let recycle t ~created_at =
   m.Packet.priority <- 0;
   m.Packet.qid <- 0;
   m.Packet.mark <- 0;
+  m.Packet.version <- 0;
   Array.fill m.Packet.enq_meta 0 Packet.meta_slots 0;
   Array.fill m.Packet.deq_meta 0 Packet.meta_slots 0;
   p

@@ -38,6 +38,11 @@ let create ~sched ?(policy = Record) ?(period = Sim_time.us 100) () =
 let add t ~name fn =
   t.checks <- { c_name = name; c_fn = fn; c_violations = 0 } :: t.checks
 
+let add_zero t ~name read =
+  add t ~name (fun () ->
+      let v = read () in
+      if v = 0 then None else Some (Printf.sprintf "%s = %d, expected 0" name v))
+
 let record t check msg =
   check.c_violations <- check.c_violations + 1;
   t.violations_ <- t.violations_ + 1;

@@ -32,6 +32,12 @@ val add : t -> name:string -> (unit -> string option) -> unit
 (** Register a check. A check that raises is itself recorded as a
     violation (checks must not crash the checker). *)
 
+val add_zero : t -> name:string -> (unit -> int) -> unit
+(** Register a check over a counter that must stay exactly zero (the
+    common shape for "this must never happen" counters, e.g.
+    [Netupd.Agent] mixed-version forwardings). The violation message
+    reports the offending value. *)
+
 val run_once : t -> int
 (** Sweep every check now; returns the number of new violations. *)
 

@@ -61,4 +61,22 @@ let () =
       List.iter (fun (label, hex) -> Printf.fprintf oc "%s %s\n" label hex) digests;
       close_out oc;
       Printf.printf "wrote %s (%d digests)\n" path (List.length digests))
-    Experiments.E25_cep.golden_seeds
+    Experiments.E25_cep.golden_seeds;
+  (* E26: the consistent-update protocol — per leg (clean storm, chaos)
+     one trace digest and one metrics digest; the metrics digest embeds
+     the netupd op ledger and the mixed-version counters, so a protocol
+     change that lets a packet observe two versions (or unbalances the
+     books) fails the pin. Canon as above: sequential under the heap
+     backend. *)
+  List.iter
+    (fun seed ->
+      let digests =
+        Experiments.E26_netupd.golden_digests ~backend:Eventsim.Sched_backend.Heap ~shards:1
+          ~seed ()
+      in
+      let path = Filename.concat dir (Experiments.E26_netupd.golden_file seed) in
+      let oc = open_out path in
+      List.iter (fun (label, hex) -> Printf.fprintf oc "%s %s\n" label hex) digests;
+      close_out oc;
+      Printf.printf "wrote %s (%d digests)\n" path (List.length digests))
+    Experiments.E26_netupd.golden_seeds

@@ -144,6 +144,46 @@ let test_e25_variant ~seed (name, backend, shards) () =
       | None -> Alcotest.failf "%s seed %d: digest %s missing" name seed label)
     golden
 
+(* E26: the consistent-update protocol. Two legs per seed — the clean
+   update storm and the chaos leg (op loss + CP crash injection + link
+   flaps) — each pinned by a trace digest and a metrics digest; the
+   metrics digest embeds the mixed-version counters (must stay zero)
+   and the control-op conservation books, so both the safety invariant
+   and the retry/rollback schedules are pinned across backends and
+   shard counts. *)
+
+module E26 = Experiments.E26_netupd
+
+let read_e26_golden seed =
+  let path = Filename.concat "golden" (E26.golden_file seed) in
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> (
+        match String.index_opt line ' ' with
+        | Some i ->
+            go
+              ((String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+              :: acc)
+        | None -> go acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_e26_variant ~seed (name, backend, shards) () =
+  let golden = read_e26_golden seed in
+  Alcotest.(check int) "golden digest count" 4 (List.length golden);
+  let got = E26.golden_digests ~backend ~shards ~seed () in
+  List.iter
+    (fun (label, want) ->
+      match List.assoc_opt label got with
+      | Some hex ->
+          Alcotest.(check string) (Printf.sprintf "%s seed %d: %s" name seed label) want hex
+      | None -> Alcotest.failf "%s seed %d: digest %s missing" name seed label)
+    golden
+
 let suite =
   List.concat_map
     (fun seed ->
@@ -177,3 +217,12 @@ let suite =
               `Quick (test_e25_variant ~seed v))
           variants)
       E25.golden_seeds
+  @ List.concat_map
+      (fun seed ->
+        List.map
+          (fun ((name, _, _) as v) ->
+            Alcotest.test_case
+              (Printf.sprintf "netupd: %s reproduces golden (seed %d)" name seed)
+              `Quick (test_e26_variant ~seed v))
+          variants)
+      E26.golden_seeds

@@ -33,5 +33,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("p4dsl", Test_p4dsl.suite);
       ("parsim", Test_parsim.suite);
+      ("netupd", Test_netupd.suite);
       ("golden", Test_golden.suite);
     ]
