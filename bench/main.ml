@@ -289,6 +289,24 @@ let make_e23_run ~shards =
 
 let bench_e23_shards = List.map (fun shards -> make_e23_run ~shards) [ 1; 2; 4 ]
 
+(* E27 kernel: the k=16 datacenter scenario at golden size (320
+   switches, ~15k streaming Zipf flows, arrival digest on) — prices
+   the adaptive-horizon round protocol and the streaming flow source
+   at a topology 16x the E23 tree. Same caveat as E23: on a
+   single-core host the sharded entries measure synchronization
+   overhead, not speedup. *)
+let make_e27_run ~shards =
+  let topo = Experiments.E27_dcscale.topo () in
+  Test.make ~name:(Printf.sprintf "e27/scale-run-%dshard" shards)
+    (Staged.stage (fun () ->
+         let cfg =
+           Experiments.E27_dcscale.scenario ~shards ~seed:42
+             ~knobs:Experiments.E27_dcscale.golden_knobs ()
+         in
+         ignore (Parsim.run cfg topo : Parsim.result)))
+
+let bench_e27_shards = List.map (fun shards -> make_e27_run ~shards) [ 1; 4 ]
+
 let benchmarks =
   Test.make_grouped ~name:"evpp"
     ([
@@ -310,7 +328,7 @@ let benchmarks =
       bench_meter;
       bench_netupd_commit;
     ]
-    @ bench_e23_shards)
+    @ bench_e23_shards @ bench_e27_shards)
 
 let run_microbenches () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in

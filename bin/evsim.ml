@@ -59,20 +59,23 @@ let guarded f =
   | exception Failure msg -> `Error (false, msg)
   | exception exn -> `Error (false, Printexc.to_string exn)
 
-(* --shards N narrows the sharded experiments' sweep (E23, E24) to
+(* --shards N narrows the sharded experiments' sweep (E23-E27) to
    {1, N}: the sequential reference plus the requested sharding, which
-   is what the conformance check needs. Other experiments are
+   is what the conformance check needs. --shards 0 asks Parsim to pick
+   the shard count itself (recommended_domain_count, capped by the
+   topology) — the sweep becomes {1, auto}. Other experiments are
    single-switch and ignore it. *)
 let set_shards = function
   | None -> None
-  | Some n when n >= 1 ->
+  | Some n when n >= 0 ->
       let counts = if n = 1 then [ 1 ] else [ 1; n ] in
       Experiments.E23_scale.default_shard_counts := counts;
       Experiments.E24_efsm.default_shard_counts := counts;
       Experiments.E25_cep.default_shard_counts := counts;
       Experiments.E26_netupd.default_shard_counts := counts;
+      Experiments.E27_dcscale.default_shard_counts := counts;
       None
-  | Some n -> Some (Printf.sprintf "--shards must be positive, got %d" n)
+  | Some n -> Some (Printf.sprintf "--shards must be non-negative, got %d" n)
 
 let run_cmd backend policy watermark shards name seed metrics_out =
   match configure ~backend ~policy ~watermark with
@@ -280,10 +283,12 @@ let shards_arg =
     & info [ "shards" ] ~docv:"N"
         ~doc:
           "Parallel shard count for the sharded experiments. On $(b,run), the \
-           $(b,scale) experiment (E23) compares the sequential run against an \
-           $(docv)-shard run (default sweep: 1, 2, 4). On $(b,chaos) with \
-           $(docv) > 1, runs the sharded fat-tree chaos scenario with one \
-           fault engine per shard instead of E21.")
+           sharded experiments (E23-E27) compare the sequential run against \
+           an $(docv)-shard run (default sweep: 1, 2, 4 ... ). $(docv) = 0 \
+           lets the engine pick the shard count from the machine's \
+           recommended domain count, capped by the topology size. On \
+           $(b,chaos) with $(docv) > 1, runs the sharded fat-tree chaos \
+           scenario with one fault engine per shard instead of E21.")
 
 let run_term =
   Term.(

@@ -64,6 +64,25 @@ let max_port t sw =
   in
   List.fold_left (fun acc at -> fold_ep acc (at.switch, at.port)) acc t.attachments
 
+(* Port counts for every switch in one pass over the link/attachment
+   lists. [max_port] per switch is O(switches * links) across a whole
+   topology — quadratic, and it shows at 1000+ switches. *)
+let ports t =
+  let n = Array.make t.switches 0 in
+  let claim (sw, p) = if p + 1 > n.(sw) then n.(sw) <- p + 1 in
+  List.iter
+    (fun l ->
+      claim l.a;
+      claim l.b)
+    t.links;
+  List.iter (fun at -> claim (at.switch, at.port)) t.attachments;
+  n
+
+let host_counts t =
+  let n = Array.make t.switches 0 in
+  List.iter (fun at -> n.(at.switch) <- n.(at.switch) + 1) t.attachments;
+  n
+
 let min_link_delay t =
   match t.links with
   | [] -> invalid_arg "Topology.min_link_delay: no switch-to-switch links"
@@ -184,10 +203,11 @@ type built = {
 
 let build ~sched ~config ~program t =
   validate t;
+  let nports = ports t in
   let switches =
     Array.init t.switches (fun sw ->
         let cfg = config sw in
-        let cfg = { cfg with Event_switch.num_ports = max cfg.Event_switch.num_ports (max_port t sw + 1) } in
+        let cfg = { cfg with Event_switch.num_ports = max cfg.Event_switch.num_ports nports.(sw) } in
         Event_switch.create ~sched ~id:sw ~config:cfg ~program:(program sw) ())
   in
   let hosts = Array.init t.hosts (fun h -> Host.create ~sched ~id:h ()) in

@@ -44,6 +44,16 @@ val validate : t -> unit
 val max_port : t -> int -> int
 (** Highest port used on a switch ([-1] if none). *)
 
+val ports : t -> int array
+(** Port count ([max_port + 1]) for every switch, computed in one pass
+    over the links and attachments. Prefer this to calling {!max_port}
+    per switch when building a whole topology — the per-switch form is
+    quadratic and shows at 1000+ switches. *)
+
+val host_counts : t -> int array
+(** Number of hosts attached to every switch, one pass. Feeds the
+    event-rate weights of [Parsim.default_weights]. *)
+
 val min_link_delay : t -> Eventsim.Sim_time.t
 (** Smallest switch-to-switch link delay — the global conservative
     lookahead bound. Raises [Invalid_argument] if there are no links. *)

@@ -266,6 +266,16 @@ let step t =
         true
       end
 
+(* Earliest queued timestamp as a bare int, negative when the queue is
+   empty. A cancelled cell still parks at its timestamp until popped, so
+   the value is a conservative lower bound on the next live event — safe
+   for horizon computations, which only ever need "no event before t". *)
+let next_time t =
+  match t.queue with
+  | QHeap h -> Event_heap.next_time h
+  | QWheel w -> Timing_wheel.next_time w
+  | QLadder l -> Ladder_queue.next_time l
+
 let run ?until t =
   let wall0 =
     match t.prof with

@@ -68,6 +68,14 @@ val drain_until_horizon : t -> horizon:Sim_time.t -> unit
     timestamps open the next window. Honoured identically by both
     backends. A horizon before [now] raises [Invalid_argument]. *)
 
+val next_time : t -> Sim_time.t
+(** Timestamp of the earliest queued cell, or a negative value when the
+    queue is empty. The earliest cell may be a cancelled event (it parks
+    at its slot until popped), so treat the result as a {e conservative
+    lower bound} on the next live event — exactly what adaptive-horizon
+    computations need. After {!drain_until_horizon} the result is never
+    below {!now}. *)
+
 val pending : t -> int
 (** Number of queued live events. Cancelled events are excluded, so
     this is a truthful queue-depth gauge. *)

@@ -96,7 +96,20 @@ let golden_seeds = [ 42; 7 ]
 let golden_scenario ?(shards = 1) ?backend ~seed () =
   scenario ~shards ?backend ~record_trace:true ~seed ~until:golden_until ()
 
-let golden_file seed = Printf.sprintf "e23_seed%d.trace" seed
+let golden_file seed = Printf.sprintf "e23_seed%d.digest" seed
+
+let digest_trace trace = Digest.to_hex (Digest.string (String.concat "\n" trace))
+
+(* The digest lines pinned by test/golden/e23_seedN.digest: the trace
+   and merged-metrics MD5s of the scenario — same fixture shape as
+   E24-E26, replacing the old ~4700-line committed trace files. *)
+let golden_digests ?backend ?(shards = 1) ~seed () =
+  let cfg = golden_scenario ~shards ?backend ~seed () in
+  let r = Parsim.run cfg (topo ()) in
+  [
+    ("trace", digest_trace r.Parsim.trace);
+    ("metrics", Digest.to_hex (Digest.string r.Parsim.metrics_json));
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Forwarding conformance + throughput                                 *)
@@ -120,8 +133,6 @@ type result = {
   variants : variant list;
   all_conformant : bool;
 }
-
-let digest_trace trace = Digest.to_hex (Digest.string (String.concat "\n" trace))
 
 let run ?metrics ?(seed = 42) ?(shard_counts = !default_shard_counts)
     ?(until = Sim_time.ms 1) () =
@@ -152,7 +163,9 @@ let run ?metrics ?(seed = 42) ?(shard_counts = !default_shard_counts)
               (Obs.Metrics.counter reg ~labels "e23.cross_messages")
               r.cross_sent);
         {
-          shards;
+          (* Report the resolved count: [--shards 0] (auto) runs with
+             the recommended domain count, not the literal 0. *)
+          shards = r.plan.Parsim.part.Parsim.shards;
           rounds = r.rounds_executed;
           events = r.events;
           cross_sent = r.cross_sent;

@@ -52,7 +52,14 @@ val golden_scenario :
 (** {!scenario} pinned to {!golden_until} with the trace recorded. *)
 
 val golden_file : int -> string
-(** Trace filename for a seed, e.g. ["e23_seed42.trace"]. *)
+(** Digest filename for a seed, e.g. ["e23_seed42.digest"]. *)
+
+val golden_digests :
+  ?backend:Eventsim.Sched_backend.t -> ?shards:int -> seed:int -> unit -> (string * string) list
+(** [(label, md5-hex)] lines pinned by the golden digest files: the
+    merged trace and merged metrics of {!golden_scenario}. Every
+    backend x shard-count combination must reproduce the committed
+    sequential-heap values byte-for-byte. *)
 
 type variant = {
   shards : int;

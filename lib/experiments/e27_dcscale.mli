@@ -1,0 +1,140 @@
+(** E27 — datacenter-scale simulation (Sec 4 at k=16).
+
+    Runs a k=16 fat tree (320 switches, 1024 hosts) under a streaming
+    Zipf/Pareto/Poisson flow mix ({!Workloads.Flowgen.install}, O(live
+    flows) memory) at shard counts [1; 2; 4; 8] and checks conformance
+    on [Parsim]'s order-independent arrival digest — the trace itself
+    is too large to retain. Two further legs: adaptive-vs-static
+    lookahead on sparse traffic (k=8, 16 senders at 500 us spacing)
+    and a 1024-switch ring at the auto shard count. *)
+
+val name : string
+
+val k : int
+val num_hosts : int
+val hosts_per_pod : int
+
+val default_shard_counts : int list ref
+(** Shard counts {!run} sweeps by default ([[1; 2; 4; 8]]); the CLI's
+    [--shards N] flag rewrites it to [[1; N]]. *)
+
+val topo : unit -> Evcore.Topology.t
+val addr_of_host : int -> Netcore.Ipv4_addr.t
+
+val routing_program : Evcore.Program.spec
+val switch_config : seed:int -> int -> Evcore.Event_switch.config
+
+val dst_of : h:int -> int -> int
+(** Rank -> destination host for sender [h]: ranks <= 100 stay in the
+    sender's pod, the Zipf tail crosses pods. Shard-count independent. *)
+
+(** Workload sizing (simulated time + rates). [until] leaves room for
+    every flow started before [arrival_stop] to finish and drain. *)
+type knobs = {
+  until : Eventsim.Sim_time.t;
+  arrival_stop : Eventsim.Sim_time.t;
+  arrival_rate_per_host : float;
+  rate_pps : float;  (** per-flow emission rate *)
+  mean_packets : float;
+  max_packets : int;
+  concurrency_target : int;  (** min peak live flows expected; 0 = unchecked *)
+}
+
+val full_knobs : knobs
+(** The headline configuration: ~233k flows, ~115k concurrently live
+    at steady state, ~0.7M packets. *)
+
+val scenario :
+  ?shards:int ->
+  ?backend:Eventsim.Sched_backend.t ->
+  ?horizon:Parsim.horizon_mode ->
+  ?record_digest:bool ->
+  ?samples:int array array ->
+  ?sources:Workloads.Flowgen.source_stats list ref ->
+  seed:int ->
+  knobs:knobs ->
+  unit ->
+  Parsim.config
+(** The full streaming scenario as a [Parsim] config. [samples] (one
+    row per shard, {!num_samples} columns) receives the per-shard live
+    flow counts probed at fixed simulated instants; [sources]
+    accumulates every host's {!Workloads.Flowgen.source_stats}. *)
+
+val num_samples : int
+
+(** {1 Golden digests}
+
+    A scaled-down (still ~15k-flow, 320-switch) version of the
+    workload whose arrival digest and merged-metrics MD5 are pinned in
+    [test/golden/] — every backend x shard-count combination must
+    reproduce the sequential-heap values byte-for-byte. *)
+
+val golden_knobs : knobs
+val golden_seeds : int list  (** [[42; 7]] *)
+
+val golden_file : int -> string
+(** Digest filename for a seed, e.g. ["e27_seed42.digest"]. *)
+
+val golden_digests :
+  ?backend:Eventsim.Sched_backend.t -> ?shards:int -> seed:int -> unit -> (string * string) list
+
+type variant = {
+  shards : int;
+  rounds : int;
+  events : int;
+  cross_sent : int;
+  flows : int;
+  packets : int;
+  received : int;
+  ties : int;  (** {!Parsim.result.tie_arrivals}; must be 0 for the guarantee *)
+  wall_s : float;
+  mev_per_s : float;
+  arrival_digest : string;
+  metrics_digest : string;
+  conformant : bool;
+}
+
+type sparse = {
+  sp_shards : int;
+  static_rounds : int;
+  adaptive_rounds : int;
+  static_wall : float;
+  adaptive_wall : float;
+  round_reduction : float;  (** static_rounds / adaptive_rounds *)
+}
+
+type ring_leg = {
+  rg_switches : int;
+  rg_shards : int;
+  rg_rounds : int;
+  rg_events : int;
+  rg_received : int;
+  rg_wall : float;
+}
+
+type result = {
+  seed : int;
+  knobs : knobs;
+  variants : variant list;
+  all_conformant : bool;
+  peak_live : int;
+  concurrency_ok : bool;
+  sparse : sparse;
+  ring : ring_leg;
+}
+
+val run_sparse : seed:int -> shards:int -> sparse
+(** The sparse adaptive-vs-static leg alone (cheap; used by tests). *)
+
+val run_ring : seed:int -> ring_leg
+(** The 1024-switch ring leg alone. *)
+
+val run :
+  ?metrics:Obs.Metrics.t ->
+  ?seed:int ->
+  ?shard_counts:int list ->
+  ?knobs:knobs ->
+  unit ->
+  result
+
+val print : result -> unit

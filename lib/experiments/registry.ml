@@ -171,6 +171,12 @@ let all =
       paper_artifact = "Sec 5 event-driven control (consistent updates)";
       run_and_print = (fun ~metrics ~seed -> E26_netupd.print (E26_netupd.run ?metrics ~seed ()));
     };
+    {
+      name = E27_dcscale.name;
+      experiment_id = "E27";
+      paper_artifact = "Sec 4 at datacenter scale (k=16, adaptive lookahead)";
+      run_and_print = (fun ~metrics ~seed -> E27_dcscale.print (E27_dcscale.run ?metrics ~seed ()));
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -13,27 +13,83 @@ type partition = {
   shards : int;
   shard_of_switch : int array;
   shard_of_host : int array;
+  shard_weight : int array;
 }
 
-let partition (topo : Topology.t) ~shards =
+(* Expected event rate of a switch: every wired port carries link
+   events, and an attached host adds traffic generation, host-link and
+   delivery events on top — empirically about a 4x multiplier over a
+   plain switch-to-switch port. Edge switches therefore weigh several
+   times a same-degree core switch, which is exactly the imbalance the
+   contiguous equal-count split got wrong on fat trees. *)
+let default_weights (topo : Topology.t) =
+  let w = Array.make topo.switches 1 in
+  List.iter
+    (fun (l : Topology.link) ->
+      w.(fst l.a) <- w.(fst l.a) + 1;
+      w.(fst l.b) <- w.(fst l.b) + 1)
+    topo.links;
+  List.iter
+    (fun (at : Topology.attachment) -> w.(at.switch) <- w.(at.switch) + 4)
+    topo.attachments;
+  w
+
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())
+
+let partition ?weights (topo : Topology.t) ~shards =
   if shards < 1 || shards > topo.switches then
     invalid_arg
       (Printf.sprintf "Parsim.partition: %d shards for %d switches" shards topo.switches);
-  let shard_of_switch = Array.make topo.switches 0 in
-  let base = topo.switches / shards and rem = topo.switches mod shards in
-  let sw = ref 0 in
+  let w =
+    match weights with
+    | None -> default_weights topo
+    | Some w ->
+        if Array.length w <> topo.switches then
+          invalid_arg "Parsim.partition: weights length <> switches";
+        Array.iter
+          (fun x -> if x < 0 then invalid_arg "Parsim.partition: negative weight")
+          w;
+        w
+  in
+  let nsw = topo.switches in
+  let prefix = Array.make (nsw + 1) 0 in
+  for i = 0 to nsw - 1 do
+    prefix.(i + 1) <- prefix.(i) + w.(i)
+  done;
+  let total = prefix.(nsw) in
+  let shard_of_switch = Array.make nsw 0 in
+  let shard_weight = Array.make shards 0 in
+  let cut = ref 0 in
   for s = 0 to shards - 1 do
-    let width = base + if s < rem then 1 else 0 in
-    for _ = 1 to width do
-      shard_of_switch.(!sw) <- s;
-      incr sw
-    done
+    let hi =
+      if s = shards - 1 then nsw
+      else begin
+        (* Ideal cumulative weight after this shard, rounded to
+           nearest. The boundary is clamped so every shard keeps at
+           least one switch and leaves one per remaining shard — a
+           skewed weight vector can therefore never produce an empty
+           shard, it just degrades toward the equal-count split. *)
+        let target = ((total * (s + 1)) + (shards / 2)) / shards in
+        let lo = !cut + 1 and cap = nsw - (shards - 1 - s) in
+        let e = ref lo in
+        while !e < cap && prefix.(!e) < target do
+          incr e
+        done;
+        if !e > lo && target - prefix.(!e - 1) < prefix.(!e) - target then decr e;
+        !e
+      end
+    in
+    for sw = !cut to hi - 1 do
+      shard_of_switch.(sw) <- s
+    done;
+    shard_weight.(s) <- prefix.(hi) - prefix.(!cut);
+    cut := hi
   done;
   let shard_of_host = Array.make topo.hosts 0 in
   List.iter
     (fun (at : Topology.attachment) -> shard_of_host.(at.host) <- shard_of_switch.(at.switch))
     topo.attachments;
-  { shards; shard_of_switch; shard_of_host }
+  { shards; shard_of_switch; shard_of_host; shard_weight }
 
 type cross_link = { link : Topology.link; shard_a : int; shard_b : int }
 
@@ -43,6 +99,7 @@ type plan = {
   cross : cross_link list;
   channels : (int * int) list;
   lookahead : Eventsim.Sim_time.t;
+  pair_delays : (int * int * int) list;
 }
 
 (* With nothing crossing there is no one to wait for: one window covers
@@ -50,9 +107,9 @@ type plan = {
    overflow, hence not [max_int]). *)
 let infinite_lookahead = max_int / 4
 
-let plan (topo : Topology.t) ~shards =
+let plan ?weights (topo : Topology.t) ~shards =
   Topology.validate topo;
-  let part = partition topo ~shards in
+  let part = partition ?weights topo ~shards in
   let local, cross =
     List.partition_map
       (fun (l : Topology.link) ->
@@ -67,7 +124,21 @@ let plan (topo : Topology.t) ~shards =
   let lookahead =
     List.fold_left (fun acc c -> min acc c.link.delay) infinite_lookahead cross
   in
-  { part; local_links = local; cross; channels; lookahead }
+  let pair_delays =
+    let tbl = Hashtbl.create 16 in
+    let note src dst d =
+      match Hashtbl.find_opt tbl (src, dst) with
+      | Some d0 when d0 <= d -> ()
+      | _ -> Hashtbl.replace tbl (src, dst) d
+    in
+    List.iter
+      (fun c ->
+        note c.shard_a c.shard_b c.link.delay;
+        note c.shard_b c.shard_a c.link.delay)
+      cross;
+    Hashtbl.fold (fun (s, d) dl acc -> (s, d, dl) :: acc) tbl [] |> List.sort compare
+  in
+  { part; local_links = local; cross; channels; lookahead; pair_delays }
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                       *)
@@ -81,20 +152,36 @@ type shard_ctx = {
   links : (int * Link.t) list;
 }
 
+type horizon_mode = Adaptive | Static
+
 type config = {
   shards : int;
   until : Eventsim.Sim_time.t;
   channel_capacity : int;
   backend : Eventsim.Sched_backend.t option;
+  horizon : horizon_mode;
   record_trace : bool;
+  record_digest : bool;
   switch_config : int -> Event_switch.config;
   program : int -> Evcore.Program.spec;
   on_shard : shard_ctx -> unit;
 }
 
-let config ?(shards = 1) ?(channel_capacity = 1024) ?backend ?(record_trace = false)
-    ?(on_shard = fun _ -> ()) ~until ~switch_config ~program () =
-  { shards; until; channel_capacity; backend; record_trace; switch_config; program; on_shard }
+let config ?(shards = 1) ?(channel_capacity = 1024) ?backend ?(horizon = Adaptive)
+    ?(record_trace = false) ?(record_digest = false) ?(on_shard = fun _ -> ()) ~until
+    ~switch_config ~program () =
+  {
+    shards;
+    until;
+    channel_capacity;
+    backend;
+    horizon;
+    record_trace;
+    record_digest;
+    switch_config;
+    program;
+    on_shard;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
@@ -117,6 +204,8 @@ type shard_state = {
   mutable ctx : shard_ctx;
   mutable staging : message list;
   mutable trace : entry list;  (* reversed *)
+  mutable digest : int;  (* commutative arrival-multiset accumulator *)
+  mutable ties : int;  (* same-instant arrivals at one entity observed *)
   mutable cross_sent : int;
   mutable cross_delivered : int;
 }
@@ -124,11 +213,14 @@ type shard_state = {
 type engine = {
   n : int;
   until : int;
-  lookahead : int;
+  adaptive : bool;
+  lookahead : int;  (* static bound: global min cross-link delay *)
+  min_out : int array;  (* per shard, min delay of outgoing cross links *)
   states : shard_state array;
   chans : message Spsc.t option array array;
   progress : int Atomic.t array;  (* published horizon (null message), ps *)
-  votes : int Atomic.t array;  (* completed_rounds * 2 + quiet? *)
+  next_ev : int Atomic.t array;  (* published next-event time, per round *)
+  next_tag : int Atomic.t array;  (* round number stamping [next_ev] *)
   xdeliver : (Netcore.Packet.t -> unit) array;  (* by mkey; receiver-owned *)
 }
 
@@ -200,47 +292,71 @@ let wait_progress eng shard ~horizon =
     end
   done
 
-let neighbor_horizons eng = Array.to_list (Array.map Atomic.get eng.progress)
-
 (* The lockstep round loop of one shard. Returns the number of rounds
-   it executed (identical on every shard). *)
+   (windows) it executed — identical on every shard, since every horizon
+   and the stop verdict are computed from identically published data.
+
+   Round structure:
+   {ol
+   {- Publish our earliest queued event time, then stamp it with the
+      round number. Value-before-tag ordering plus the progress barrier
+      below make torn reads impossible: a peer cannot publish round
+      [r+1] before it saw our round-[r] progress store, which happens
+      after we read its round-[r] publication.}
+   {- Rendezvous on the tags and read every peer's next-event time. No
+      peer can be blocked mid-send here — sends only happen inside a
+      window, after that shard already published its tag.}
+   {- If even the earliest published event is past [until], every shard
+      sees it and stops — this subsumes the old quiescence vote
+      (a quiescent fleet publishes only [Horizon.no_event]s).}
+   {- Otherwise execute one window up to the shared horizon: adaptive
+      ([Horizon.adaptive_bound] — safe because staged release means a
+      shard sends nothing before its published next event) or static
+      ([cur + min cross delay], the classic bound).}
+   {- Progress barrier, then pop and release staged messages exactly as
+      before.}} *)
 let run_shard eng shard =
   let st = eng.states.(shard) in
   let sched = st.ctx.sched in
-  let total = Horizon.rounds ~until:eng.until ~lookahead:eng.lookahead in
-  let r = ref 0 and stop = ref false in
-  while (not !stop) && !r < total do
-    let _, horizon = Horizon.window ~round:!r ~lookahead:eng.lookahead ~until:eng.until in
-    (* The conservative contract: every peer has published at least the
-       previous window's horizon, so [horizon] is within the safe
-       bound. *)
-    assert (horizon <= Horizon.safe ~neighbor_horizons:(neighbor_horizons eng) ~lookahead:eng.lookahead);
-    Scheduler.drain_until_horizon sched ~horizon;
-    Atomic.set eng.progress.(shard) horizon;
-    (* Barrier phase 1: everyone reaches [horizon]; all messages sent
-       in this round are then poppable (pushes happen-before the
-       horizon store). Drain while waiting to relieve backpressure. *)
-    wait_progress eng shard ~horizon;
-    drain_inbound eng shard;
-    release_staged eng shard;
-    let quiet = Scheduler.pending sched = 0 in
-    Atomic.set eng.votes.(shard) (((!r + 1) * 2) + if quiet then 1 else 0);
-    (* Barrier phase 2: collect this round's votes. A peer cannot be
-       past round [!r + 1]'s vote yet (that would need our next window
-       executed), so every vote read is for exactly this round and all
-       shards reach the same verdict. *)
-    let all_quiet = ref true in
+  let nexts = Array.make eng.n 0 in
+  let r = ref 0 and cur = ref 0 and stop = ref false in
+  while not !stop do
+    let mine = Scheduler.next_time sched in
+    let mine = if mine < 0 then Horizon.no_event else mine in
+    Atomic.set eng.next_ev.(shard) mine;
+    Atomic.set eng.next_tag.(shard) (!r + 1);
     for j = 0 to eng.n - 1 do
-      let v = ref (Atomic.get eng.votes.(j)) and spins = ref 0 in
-      while !v / 2 < !r + 1 do
+      let spins = ref 0 in
+      while Atomic.get eng.next_tag.(j) < !r + 1 do
         backoff !spins;
-        incr spins;
-        v := Atomic.get eng.votes.(j)
+        incr spins
       done;
-      if !v land 1 = 0 then all_quiet := false
+      nexts.(j) <- Atomic.get eng.next_ev.(j)
     done;
-    if !all_quiet then stop := true;
-    incr r
+    let earliest = Array.fold_left min Horizon.no_event nexts in
+    if earliest > eng.until then stop := true
+    else begin
+      let horizon =
+        if eng.adaptive then
+          Horizon.adaptive_bound ~min_out_delays:eng.min_out ~next_events:nexts
+            ~until:eng.until
+        else min (!cur + eng.lookahead) (eng.until + 1)
+      in
+      (* Progress is structural: the bound sits past the earliest
+         published event, so every round retires at least one event
+         fleet-wide (or closes the run). *)
+      assert (horizon > !cur);
+      Scheduler.drain_until_horizon sched ~horizon;
+      Atomic.set eng.progress.(shard) horizon;
+      (* Barrier: everyone reaches [horizon]; all messages sent in this
+         round are then poppable (pushes happen-before the horizon
+         store). Drain while waiting to relieve backpressure. *)
+      wait_progress eng shard ~horizon;
+      drain_inbound eng shard;
+      release_staged eng shard;
+      cur := horizon;
+      incr r
+    end
   done;
   !r
 
@@ -254,6 +370,8 @@ type result = {
   cross_sent : int;
   cross_delivered : int;
   trace : string list;
+  arrival_digest : string;
+  tie_arrivals : int;
   registries : Obs.Metrics.t list;
   metrics_json : string;
   host_sent : int array;
@@ -262,6 +380,21 @@ type result = {
   wall_s : float;
   ctxs : shard_ctx array;
 }
+
+(* Order-independent arrival digest. The full trace's sort key
+   (t, kind, id, seq) is a total order — [seq] is unique per entity —
+   so the multiset of arrival records determines the merged trace and
+   vice versa. Hashing each record into a commutative accumulator
+   (sum mod 2^62) therefore pins exactly what the trace pins, without
+   retaining millions of entries: per-shard sums merge in any order and
+   the result is shard-count independent. Field nesting (not xor of
+   independent hashes) keeps permuted field values from colliding. *)
+let digest_arrival ~t ~kind ~id ~seq ~port ~len ~fkey =
+  let mix = Netcore.Hashes.mix64 in
+  mix (t + mix (kind + mix (id + mix (seq + mix (port + mix (len + mix fkey))))))
+
+let digest_add st ~t ~kind ~id ~seq ~port ~len ~fkey =
+  st.digest <- (st.digest + digest_arrival ~t ~kind ~id ~seq ~port ~len ~fkey) land max_int
 
 let flow_detail pkt =
   match Netcore.Packet.flow pkt with
@@ -281,19 +414,23 @@ let render_entry e =
     e.edetail
 
 let run cfg (topo : Topology.t) =
-  let pl = plan topo ~shards:cfg.shards in
-  let n = cfg.shards in
+  (* [shards = 0] means auto: one shard per recommended domain, capped
+     by the switch count. *)
+  let n =
+    if cfg.shards = 0 then min (recommended_domains ()) topo.switches else cfg.shards
+  in
+  let pl = plan topo ~shards:n in
   let backend = match cfg.backend with None -> !Eventsim.Sched_backend.default | Some b -> b in
   let scheds = Array.init n (fun _ -> Scheduler.create ~backend ()) in
   let sched_of_sw sw = scheds.(pl.part.shard_of_switch.(sw)) in
+  let nports = Topology.ports topo in
   let switches =
     Array.init topo.switches (fun sw ->
         let cfg_sw = cfg.switch_config sw in
         let cfg_sw =
           {
             cfg_sw with
-            Event_switch.num_ports =
-              max cfg_sw.Event_switch.num_ports (Topology.max_port topo sw + 1);
+            Event_switch.num_ports = max cfg_sw.Event_switch.num_ports nports.(sw);
           }
         in
         Event_switch.create ~sched:(sched_of_sw sw) ~id:sw ~config:cfg_sw
@@ -329,6 +466,8 @@ let run cfg (topo : Topology.t) =
             };
           staging = [];
           trace = [];
+          digest = 0;
+          ties = 0;
           cross_sent = 0;
           cross_delivered = 0;
         })
@@ -338,52 +477,77 @@ let run cfg (topo : Topology.t) =
     (fun (src, dst) -> chans.(src).(dst) <- Some (Spsc.create ~capacity:cfg.channel_capacity))
     pl.channels;
   let n_links = List.length topo.links in
+  let min_out = Array.make n Horizon.no_event in
+  List.iter
+    (fun (src, _dst, d) -> if d < min_out.(src) then min_out.(src) <- d)
+    pl.pair_delays;
   let eng =
     {
       n;
       until = cfg.until;
+      adaptive = (cfg.horizon = Adaptive);
       lookahead = pl.lookahead;
+      min_out;
       states;
       chans;
       progress = Array.init n (fun _ -> Atomic.make 0);
-      votes = Array.init n (fun _ -> Atomic.make 0);
+      next_ev = Array.init n (fun _ -> Atomic.make 0);
+      next_tag = Array.init n (fun _ -> Atomic.make 0);
       xdeliver = Array.make (2 * n_links) (fun _ -> assert false);
       }
   in
   (* Trace hooks: per-entity sequence numbers are global arrays, but
      each entity is touched by exactly one shard's domain. *)
   let sw_seq = Array.make topo.switches 0 and host_seq = Array.make topo.hosts 0 in
+  (* Same-instant arrival detector: the conformance order (time, kind,
+     id, seq) is layout-independent only while no entity sees two
+     arrivals on one picosecond — the precondition the topology
+     builders' link skew and the workloads' jitter exist to uphold.
+     When a workload violates it anyway, the runs may still agree, but
+     the guarantee is gone; recording the count makes the hazard
+     observable instead of a silent digest mismatch. *)
+  let sw_last_t = Array.make topo.switches min_int
+  and host_last_t = Array.make topo.hosts min_int in
+  let record = cfg.record_trace || cfg.record_digest in
   let sw_rx shard sw port pkt =
     let st = states.(shard) in
-    if cfg.record_trace then begin
+    if record then begin
       let seq = sw_seq.(sw) in
       sw_seq.(sw) <- seq + 1;
-      st.trace <-
-        {
-          et = Scheduler.now st.ctx.sched;
-          ekind = 0;
-          eid = sw;
-          eseq = seq;
-          edetail = Printf.sprintf "port=%d %s" port (flow_detail pkt);
-        }
-        :: st.trace
+      let t = Scheduler.now st.ctx.sched in
+      if t = sw_last_t.(sw) then st.ties <- st.ties + 1;
+      sw_last_t.(sw) <- t;
+      if cfg.record_trace then
+        st.trace <-
+          {
+            et = t;
+            ekind = 0;
+            eid = sw;
+            eseq = seq;
+            edetail = Printf.sprintf "port=%d %s" port (flow_detail pkt);
+          }
+          :: st.trace;
+      if cfg.record_digest then
+        digest_add st ~t ~kind:0 ~id:sw ~seq ~port ~len:(Netcore.Packet.len pkt)
+          ~fkey:(Netcore.Packet.flow_key pkt)
     end;
     Event_switch.inject switches.(sw) ~port pkt
   in
   let host_rx shard h pkt =
     let st = states.(shard) in
-    if cfg.record_trace then begin
+    if record then begin
       let seq = host_seq.(h) in
       host_seq.(h) <- seq + 1;
-      st.trace <-
-        {
-          et = Scheduler.now st.ctx.sched;
-          ekind = 1;
-          eid = h;
-          eseq = seq;
-          edetail = flow_detail pkt;
-        }
-        :: st.trace
+      let t = Scheduler.now st.ctx.sched in
+      if t = host_last_t.(h) then st.ties <- st.ties + 1;
+      host_last_t.(h) <- t;
+      if cfg.record_trace then
+        st.trace <-
+          { et = t; ekind = 1; eid = h; eseq = seq; edetail = flow_detail pkt }
+          :: st.trace;
+      if cfg.record_digest then
+        digest_add st ~t ~kind:1 ~id:h ~seq ~port:(-1) ~len:(Netcore.Packet.len pkt)
+          ~fkey:(Netcore.Packet.flow_key pkt)
     end;
     Host.deliver hosts.(h) pkt
   in
@@ -479,6 +643,12 @@ let run cfg (topo : Topology.t) =
       |> List.sort compare_entry
       |> List.map render_entry
   in
+  let arrival_digest =
+    if not cfg.record_digest then ""
+    else
+      Printf.sprintf "%016x"
+        (Array.fold_left (fun acc (st : shard_state) -> (acc + st.digest) land max_int) 0 states)
+  in
   {
     plan = pl;
     rounds_executed;
@@ -486,6 +656,9 @@ let run cfg (topo : Topology.t) =
     cross_sent = Array.fold_left (fun acc (st : shard_state) -> acc + st.cross_sent) 0 states;
     cross_delivered = Array.fold_left (fun acc (st : shard_state) -> acc + st.cross_delivered) 0 states;
     trace;
+    arrival_digest;
+    tie_arrivals =
+      Array.fold_left (fun acc (st : shard_state) -> acc + st.ties) 0 states;
     registries;
     metrics_json = Obs.Metrics.merged_json registries;
     host_sent = Array.map Host.sent hosts;

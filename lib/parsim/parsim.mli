@@ -3,22 +3,37 @@
 
     Partitions a declarative {!Evcore.Topology} into per-domain shards
     — one {!Eventsim.Scheduler} plus its switches, hosts and
-    intra-shard links per OCaml domain — synchronized conservatively.
-    The global lookahead [L] is the minimum cross-shard link
-    propagation delay; simulated time is tiled into windows of width
-    [L] and every shard executes window [r] only after all shards have
-    published horizon [r*L] (the null-message horizon update, a pair of
-    atomic per-shard cells). A packet crossing shards departs inside
-    some window and arrives at least [L] later, i.e. no earlier than
-    the next window — no shard ever receives an event in its past.
+    intra-shard links per OCaml domain — synchronized conservatively in
+    lockstep windows. Each round every shard publishes the timestamp of
+    its earliest queued event (or {!Horizon.no_event}); the fleet-wide
+    window horizon is then computed identically everywhere. Two modes
+    ({!horizon_mode}):
+
+    - {e Adaptive} (default): the horizon is
+      [min_j (next_event_j + min cross-link delay out of j)], clamped
+      to [until + 1] ({!Horizon.adaptive_bound}). Safe because
+      cross-shard sends are staged until the barrier: shard [j] sends
+      nothing timestamped before its published next event, and the
+      packet still rides a real link delay. Quiescent shards publish
+      {!Horizon.no_event} and stop constraining the fleet, so sparse
+      traffic advances in a handful of windows instead of serializing
+      at min-delay granularity.
+    - {e Static}: the classic bound [current + L] where the global
+      lookahead [L] is the minimum cross-shard link delay — one window
+      of width [L] per round regardless of queue contents.
+
+    A packet crossing shards departs inside some window at or after the
+    sender's published next event and arrives at least its link delay
+    later, i.e. at or after the shared horizon — no shard ever receives
+    an event in its past.
 
     Cross-shard deliveries travel through bounded {!Spsc} channels, are
     staged at the round barrier, sorted by (arrival time, link,
     sequence) and released into the receiving scheduler. A shard that
     finds an outbound channel full drains its own inbound channels
-    while retrying, so backpressure cannot deadlock the barrier. When a
-    round ends with every shard's queue empty the fleet votes itself
-    quiescent and stops early.
+    while retrying, so backpressure cannot deadlock the barrier. When
+    every published next event is past [until] the fleet stops — the
+    quiescence vote falls out of the same published data.
 
     [shards = 1] takes the true sequential path — one scheduler, plain
     {!Eventsim.Scheduler.run}, no channels — so a sharded run can be
@@ -37,11 +52,25 @@ type partition = {
   shards : int;
   shard_of_switch : int array;
   shard_of_host : int array;  (** a host lives with its edge switch *)
+  shard_weight : int array;  (** summed switch weights per shard *)
 }
 
-val partition : Evcore.Topology.t -> shards:int -> partition
-(** Contiguous, balanced blocks of switch ids. [shards] must be between
-    1 and the switch count. *)
+val default_weights : Evcore.Topology.t -> int array
+(** Expected-event-rate weight per switch: [1 + wired ports + 4 per
+    attached host]. Edge switches (hosts, traffic generation, delivery)
+    weigh several times a same-degree core switch. *)
+
+val recommended_domains : unit -> int
+(** [max 1 (Domain.recommended_domain_count ())] — the shard count
+    [shards = 0] resolves to (capped by the switch count). *)
+
+val partition : ?weights:int array -> Evcore.Topology.t -> shards:int -> partition
+(** Contiguous blocks of switch ids, balanced by weight ({!default_weights}
+    unless [weights] overrides; length must equal the switch count,
+    entries non-negative). Boundaries are the nearest-prefix-sum cuts,
+    clamped so that no shard is ever empty — arbitrarily skewed weights
+    degrade toward the equal-count split instead of producing an empty
+    shard. [shards] must be between 1 and the switch count. *)
 
 type cross_link = {
   link : Evcore.Topology.link;
@@ -58,11 +87,15 @@ type plan = {
       (** directed (src, dst) shard pairs carrying at least one
           cross-link direction — each gets one SPSC channel *)
   lookahead : Eventsim.Sim_time.t;
-      (** min cross-link delay; effectively infinite when nothing
-          crosses (a single window covers the whole run) *)
+      (** static bound: min cross-link delay; effectively infinite when
+          nothing crosses (a single window covers the whole run) *)
+  pair_delays : (int * int * int) list;
+      (** directed (src shard, dst shard, min link delay) for every
+          shard pair joined by at least one cross link — the adaptive
+          horizon's per-pair reachability data *)
 }
 
-val plan : Evcore.Topology.t -> shards:int -> plan
+val plan : ?weights:int array -> Evcore.Topology.t -> shards:int -> plan
 
 type shard_ctx = {
   shard : int;
@@ -78,16 +111,26 @@ type shard_ctx = {
           lookahead contract); restrict chaos to these. *)
 }
 
+type horizon_mode =
+  | Adaptive  (** per-window bound from published next-event times *)
+  | Static  (** fixed windows of the global min cross-link delay *)
+
 type config = {
-  shards : int;
+  shards : int;  (** [0] = auto: {!recommended_domains}, capped by switches *)
   until : Eventsim.Sim_time.t;  (** execute events with time <= until *)
   channel_capacity : int;
   backend : Eventsim.Sched_backend.t option;
       (** per-shard scheduler backend; [None] = [!Sched_backend.default] *)
+  horizon : horizon_mode;
   record_trace : bool;
       (** record every switch-port/host packet arrival; the merged
           trace is the conformance artefact (costs allocation — leave
           off for throughput runs) *)
+  record_digest : bool;
+      (** fold every arrival into the order-independent
+          {!result.arrival_digest} instead of retaining entries — the
+          conformance artefact for runs whose full trace would not fit
+          in memory. O(1) space, no allocation per arrival. *)
   switch_config : int -> Evcore.Event_switch.config;
       (** per-switch; [num_ports] is raised to cover the topology.
           Must not depend on the shard count, or determinism across
@@ -103,18 +146,24 @@ val config :
   ?shards:int ->
   ?channel_capacity:int ->
   ?backend:Eventsim.Sched_backend.t ->
+  ?horizon:horizon_mode ->
   ?record_trace:bool ->
+  ?record_digest:bool ->
   ?on_shard:(shard_ctx -> unit) ->
   until:Eventsim.Sim_time.t ->
   switch_config:(int -> Evcore.Event_switch.config) ->
   program:(int -> Evcore.Program.spec) ->
   unit ->
   config
-(** Defaults: 1 shard, capacity 1024, default backend, no trace. *)
+(** Defaults: 1 shard, capacity 1024, default backend, adaptive
+    horizon, no trace, no digest. *)
 
 type result = {
   plan : plan;
   rounds_executed : int;
+      (** lockstep windows executed (identical on every shard); [1] on
+          the sequential path. Adaptive runs on sparse traffic execute
+          far fewer rounds than static runs of the same scenario. *)
   events : int;  (** callbacks executed, summed over shards *)
   cross_sent : int;
   cross_delivered : int;  (** < [cross_sent] when [until] cut arrivals off *)
@@ -122,6 +171,20 @@ type result = {
       (** merged arrival trace, deterministically ordered by
           (time, entity kind, entity id, per-entity seq); empty unless
           [record_trace] *)
+  arrival_digest : string;
+      (** 16-hex-digit commutative hash of the arrival multiset — the
+          sort key (time, kind, id, per-entity seq) is a total order,
+          so the multiset determines the merged trace and the digest
+          pins exactly what the trace pins, shard-count independently.
+          Empty unless [record_digest]. *)
+  tie_arrivals : int;
+      (** arrivals observed on the same picosecond as the previous
+          arrival at the same entity (counted only when recording).
+          Non-zero means the workload violated the no-simultaneous-
+          arrivals precondition the conformance guarantee rests on:
+          runs at different shard counts may still agree, but are no
+          longer guaranteed to. Conformance scenarios should keep
+          this at zero (source jitter, link skew). *)
   registries : Obs.Metrics.t list;  (** per shard *)
   metrics_json : string;
       (** {!Obs.Metrics.merged_json} of the per-shard registries:
@@ -136,4 +199,5 @@ type result = {
 
 val run : config -> Evcore.Topology.t -> result
 (** Build, execute, merge. Validates the topology; raises
-    [Invalid_argument] on a bad shard count. *)
+    [Invalid_argument] on a bad shard count. [shards = 0] resolves to
+    [min (recommended_domains ()) switches] before planning. *)

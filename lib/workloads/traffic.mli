@@ -11,6 +11,13 @@ val sent : t -> int
 val sent_bytes : t -> int
 val stop_now : t -> unit
 
+val make_packet :
+  sched:Eventsim.Scheduler.t -> flow:Netcore.Flow.t -> pkt_bytes:int -> Netcore.Packet.t
+(** One UDP packet for the five-tuple, [pkt_bytes] on the wire
+    (headers + payload), stamped [created_at = now]. The building block
+    every source here shares; exposed for streaming generators that
+    schedule their own emissions. *)
+
 val cbr :
   sched:Eventsim.Scheduler.t ->
   flow:Netcore.Flow.t ->

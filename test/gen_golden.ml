@@ -12,24 +12,20 @@
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let topo = Experiments.E23_scale.topo () in
+  (* E23: the k=4 fat-tree forwarding scenario — an MD5 of the merged
+     trace plus one of the merged metrics (replacing the old ~4700-line
+     committed trace files with the same pinning power). *)
   List.iter
     (fun seed ->
-      let cfg =
-        Experiments.E23_scale.golden_scenario ~shards:1 ~backend:Eventsim.Sched_backend.Heap
+      let digests =
+        Experiments.E23_scale.golden_digests ~backend:Eventsim.Sched_backend.Heap ~shards:1
           ~seed ()
       in
-      let r = Parsim.run cfg topo in
       let path = Filename.concat dir (Experiments.E23_scale.golden_file seed) in
       let oc = open_out path in
-      List.iter
-        (fun line ->
-          output_string oc line;
-          output_char oc '\n')
-        r.Parsim.trace;
+      List.iter (fun (label, hex) -> Printf.fprintf oc "%s %s\n" label hex) digests;
       close_out oc;
-      Printf.printf "wrote %s (%d trace lines, %d events)\n" path (List.length r.Parsim.trace)
-        r.Parsim.events)
+      Printf.printf "wrote %s (%d digests)\n" path (List.length digests))
     Experiments.E23_scale.golden_seeds;
   (* E24: the stateful (EFSM) apps' golden digests — per app, one trace
      digest and one metrics digest (which embeds pisa.efsm.state_hash,
@@ -79,4 +75,20 @@ let () =
       List.iter (fun (label, hex) -> Printf.fprintf oc "%s %s\n" label hex) digests;
       close_out oc;
       Printf.printf "wrote %s (%d digests)\n" path (List.length digests))
-    Experiments.E26_netupd.golden_seeds
+    Experiments.E26_netupd.golden_seeds;
+  (* E27: datacenter scale — the k=16 streaming-mix scenario pinned by
+     its order-independent arrival digest plus the merged metrics MD5;
+     the raw trace (hundreds of thousands of arrivals) is never
+     materialized. Canon as above: sequential under the heap backend. *)
+  List.iter
+    (fun seed ->
+      let digests =
+        Experiments.E27_dcscale.golden_digests ~backend:Eventsim.Sched_backend.Heap ~shards:1
+          ~seed ()
+      in
+      let path = Filename.concat dir (Experiments.E27_dcscale.golden_file seed) in
+      let oc = open_out path in
+      List.iter (fun (label, hex) -> Printf.fprintf oc "%s %s\n" label hex) digests;
+      close_out oc;
+      Printf.printf "wrote %s (%d digests)\n" path (List.length digests))
+    Experiments.E27_dcscale.golden_seeds

@@ -1,29 +1,47 @@
-(* Golden-trace conformance: the canonical sequential/heap traces of
-   the E23 golden scenario (seeds 42 and 7, recorded in test/golden/ by
-   gen_golden.ml) must be reproduced byte-for-byte by the wheel
-   backend and by sharded runs at 1, 2 and 4 shards — the tentpole
-   guarantee pinned to files under review, so a silent behaviour change
-   in any layer (scheduler backends, switch pipeline, parsim barrier)
-   fails loudly. *)
+(* Golden conformance: the canonical sequential/heap digests of the
+   golden scenarios (seeds 42 and 7, recorded in test/golden/ by
+   gen_golden.ml) must be reproduced byte-for-byte by every other
+   backend and shard count — the tentpole guarantee pinned to files
+   under review, so a silent behaviour change in any layer (scheduler
+   backends, switch pipeline, parsim barrier, adaptive horizon) fails
+   loudly.
+
+   Every golden file holds "label hex" digest lines: E23 pins its
+   merged trace and merged metrics (MD5), E24-E26 pin their app legs,
+   and E27 pins the order-independent arrival digest of a k=16
+   fat-tree streaming run whose full trace would be unreasonable to
+   commit. *)
 
 module E23 = Experiments.E23_scale
 module Sched_backend = Eventsim.Sched_backend
 
-let read_golden seed =
-  let path = Filename.concat "golden" (E23.golden_file seed) in
+let read_digest_golden file =
+  let path = Filename.concat "golden" file in
   let ic = open_in path in
   let rec go acc =
     match input_line ic with
-    | line -> go (line :: acc)
+    | line -> (
+        match String.index_opt line ' ' with
+        | Some i ->
+            go
+              ((String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+              :: acc)
+        | None -> go acc)
     | exception End_of_file ->
         close_in ic;
         List.rev acc
   in
   go []
 
-let run_variant ~seed ~backend ~shards =
-  let cfg = E23.golden_scenario ~shards ~backend ~seed () in
-  Parsim.run cfg (E23.topo ())
+let check_digests ~name ~seed ~count golden got =
+  Alcotest.(check int) "golden digest count" count (List.length golden);
+  List.iter
+    (fun (label, want) ->
+      match List.assoc_opt label got with
+      | Some hex ->
+          Alcotest.(check string) (Printf.sprintf "%s seed %d: %s" name seed label) want hex
+      | None -> Alcotest.failf "%s seed %d: digest %s missing" name seed label)
+    golden
 
 let variants =
   [
@@ -39,150 +57,89 @@ let variants =
   ]
 
 let test_variant ~seed (name, backend, shards) () =
-  let golden = read_golden seed in
-  Alcotest.(check bool) "golden trace non-empty" true (golden <> []);
-  let r = run_variant ~seed ~backend ~shards in
-  if shards > 1 then
-    Alcotest.(check bool) "cross-shard messages flowed" true (r.Parsim.cross_sent > 0);
-  (* Compare line counts first for a readable failure, then the exact
-     lines. *)
-  Alcotest.(check int)
-    (Printf.sprintf "%s seed %d: trace length" name seed)
-    (List.length golden) (List.length r.Parsim.trace);
-  List.iteri
-    (fun i (want, got) ->
-      if want <> got then
-        Alcotest.failf "%s seed %d: line %d diverges\n  golden: %s\n  got:    %s" name seed
-          (i + 1) want got)
-    (List.combine golden r.Parsim.trace)
+  let golden = read_digest_golden (E23.golden_file seed) in
+  let got = E23.golden_digests ~backend ~shards ~seed () in
+  check_digests ~name ~seed ~count:2 golden got
 
 (* The sharded runs must also agree on the merged metrics snapshot —
-   the trace files pin arrivals, this pins the counters. *)
+   the trace digest pins arrivals, this pins the counters. *)
 let test_metrics_conformance ~seed () =
-  let seq = run_variant ~seed ~backend:Sched_backend.Heap ~shards:1 in
+  let run ~backend ~shards = Parsim.run (E23.golden_scenario ~shards ~backend ~seed ()) (E23.topo ()) in
+  let seq = run ~backend:Sched_backend.Heap ~shards:1 in
   List.iter
     (fun shards ->
-      let r = run_variant ~seed ~backend:Sched_backend.Wheel ~shards in
+      let r = run ~backend:Sched_backend.Wheel ~shards in
+      Alcotest.(check bool) "cross-shard messages flowed" true (r.Parsim.cross_sent > 0);
       Alcotest.(check string)
         (Printf.sprintf "metrics json, %d shards, seed %d" shards seed)
         seq.Parsim.metrics_json r.Parsim.metrics_json)
     [ 2; 4 ]
 
-(* E24: the stateful (EFSM) apps. The golden files hold digests rather
-   than raw traces — one trace digest and one metrics digest per app,
-   the latter embedding each switch's pisa.efsm.state_hash — so every
-   variant must reproduce the sequential/heap run's entire flow-state
-   evolution, not just its arrivals. *)
+(* E24: the stateful (EFSM) apps — one trace digest and one metrics
+   digest per app, the latter embedding each switch's
+   pisa.efsm.state_hash, so every variant must reproduce the
+   sequential/heap run's entire flow-state evolution. *)
 
 module E24 = Experiments.E24_efsm
 
-let read_e24_golden seed =
-  let path = Filename.concat "golden" (E24.golden_file seed) in
-  let ic = open_in path in
-  let rec go acc =
-    match input_line ic with
-    | line -> (
-        match String.index_opt line ' ' with
-        | Some i ->
-            go
-              ((String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
-              :: acc)
-        | None -> go acc)
-    | exception End_of_file ->
-        close_in ic;
-        List.rev acc
-  in
-  go []
-
 let test_e24_variant ~seed (name, backend, shards) () =
-  let golden = read_e24_golden seed in
-  Alcotest.(check int) "golden digest count" 4 (List.length golden);
+  let golden = read_digest_golden (E24.golden_file seed) in
   let got = E24.golden_digests ~backend ~shards ~seed () in
-  List.iter
-    (fun (label, want) ->
-      match List.assoc_opt label got with
-      | Some hex ->
-          Alcotest.(check string) (Printf.sprintf "%s seed %d: %s" name seed label) want hex
-      | None -> Alcotest.failf "%s seed %d: digest %s missing" name seed label)
-    golden
+  check_digests ~name ~seed ~count:4 golden got
 
-(* E25: the CEP detector apps. Same digest-file scheme as E24, with
-   three legs per seed — syn flood, burst forensics, and the chaos leg
-   (crash injection + quarantine + shedding) — so the compiled pattern
-   automata, their window ticks and their recovery path are all pinned
-   across backends and shard counts. *)
+(* E25: the CEP detector apps — three legs per seed (syn flood, burst
+   forensics, chaos), so the compiled pattern automata, their window
+   ticks and their recovery path are all pinned. *)
 
 module E25 = Experiments.E25_cep
 
-let read_e25_golden seed =
-  let path = Filename.concat "golden" (E25.golden_file seed) in
-  let ic = open_in path in
-  let rec go acc =
-    match input_line ic with
-    | line -> (
-        match String.index_opt line ' ' with
-        | Some i ->
-            go
-              ((String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
-              :: acc)
-        | None -> go acc)
-    | exception End_of_file ->
-        close_in ic;
-        List.rev acc
-  in
-  go []
-
 let test_e25_variant ~seed (name, backend, shards) () =
-  let golden = read_e25_golden seed in
-  Alcotest.(check int) "golden digest count" 6 (List.length golden);
+  let golden = read_digest_golden (E25.golden_file seed) in
   let got = E25.golden_digests ~backend ~shards ~seed () in
-  List.iter
-    (fun (label, want) ->
-      match List.assoc_opt label got with
-      | Some hex ->
-          Alcotest.(check string) (Printf.sprintf "%s seed %d: %s" name seed label) want hex
-      | None -> Alcotest.failf "%s seed %d: digest %s missing" name seed label)
-    golden
+  check_digests ~name ~seed ~count:6 golden got
 
-(* E26: the consistent-update protocol. Two legs per seed — the clean
-   update storm and the chaos leg (op loss + CP crash injection + link
-   flaps) — each pinned by a trace digest and a metrics digest; the
+(* E26: the consistent-update protocol — clean storm + chaos legs; the
    metrics digest embeds the mixed-version counters (must stay zero)
-   and the control-op conservation books, so both the safety invariant
-   and the retry/rollback schedules are pinned across backends and
-   shard counts. *)
+   and the control-op conservation books. *)
 
 module E26 = Experiments.E26_netupd
 
-let read_e26_golden seed =
-  let path = Filename.concat "golden" (E26.golden_file seed) in
-  let ic = open_in path in
-  let rec go acc =
-    match input_line ic with
-    | line -> (
-        match String.index_opt line ' ' with
-        | Some i ->
-            go
-              ((String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
-              :: acc)
-        | None -> go acc)
-    | exception End_of_file ->
-        close_in ic;
-        List.rev acc
-  in
-  go []
-
 let test_e26_variant ~seed (name, backend, shards) () =
-  let golden = read_e26_golden seed in
-  Alcotest.(check int) "golden digest count" 4 (List.length golden);
+  let golden = read_digest_golden (E26.golden_file seed) in
   let got = E26.golden_digests ~backend ~shards ~seed () in
-  List.iter
-    (fun (label, want) ->
-      match List.assoc_opt label got with
-      | Some hex ->
-          Alcotest.(check string) (Printf.sprintf "%s seed %d: %s" name seed label) want hex
-      | None -> Alcotest.failf "%s seed %d: digest %s missing" name seed label)
-    golden
+  check_digests ~name ~seed ~count:4 golden got
+
+(* E27: datacenter scale. The golden files pin the ORDER-INDEPENDENT
+   arrival digest (plus merged metrics) of a k=16 fat tree under a
+   ~15k-flow streaming Zipf mix — a population whose raw trace is too
+   large to commit. A reduced variant matrix (one backend per shard
+   count) keeps the suite's wall time in check; the cross-product of
+   backends is already covered by E23-E26 on the same engine. *)
+
+module E27 = Experiments.E27_dcscale
+
+let e27_variants =
+  [
+    ("sequential-heap", Sched_backend.Heap, 1);
+    ("2-shard-heap", Sched_backend.Heap, 2);
+    ("4-shard-wheel", Sched_backend.Wheel, 4);
+    ("8-shard-ladder", Sched_backend.Ladder, 8);
+  ]
+
+let test_e27_variant ~seed (name, backend, shards) () =
+  let golden = read_digest_golden (E27.golden_file seed) in
+  let got = E27.golden_digests ~backend ~shards ~seed () in
+  check_digests ~name ~seed ~count:2 golden got
+
+(* The digest guarantee rests on no entity seeing two arrivals on one
+   picosecond; assert the pinned scenarios actually run tie-free. *)
+let test_e27_tie_free ~seed () =
+  let r =
+    Parsim.run (E27.scenario ~shards:1 ~seed ~knobs:E27.golden_knobs ()) (E27.topo ())
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "same-instant arrivals, seed %d" seed)
+    0 r.Parsim.tie_arrivals
 
 let suite =
   List.concat_map
@@ -226,3 +183,17 @@ let suite =
               `Quick (test_e26_variant ~seed v))
           variants)
       E26.golden_seeds
+  @ List.concat_map
+      (fun seed ->
+        List.map
+          (fun ((name, _, _) as v) ->
+            Alcotest.test_case
+              (Printf.sprintf "dcscale: %s reproduces golden (seed %d)" name seed)
+              `Quick (test_e27_variant ~seed v))
+          e27_variants
+        @ [
+            Alcotest.test_case
+              (Printf.sprintf "dcscale: golden scenario tie-free (seed %d)" seed)
+              `Quick (test_e27_tie_free ~seed);
+          ])
+      E27.golden_seeds

@@ -33,12 +33,19 @@ let test_partition_exactly_once () =
           counts.(s) <- counts.(s) + 1)
         p.Parsim.shard_of_switch;
       (* Every switch lands in exactly one shard (it has exactly one
-         array slot), every shard is populated, and blocks are balanced
-         to within one switch. *)
-      let mn = Array.fold_left min max_int counts
-      and mx = Array.fold_left max 0 counts in
+         array slot), every shard is populated, and weights balance to
+         within one switch's worth: a boundary moved by one switch
+         cannot improve the heaviest shard. *)
+      let mn = Array.fold_left min max_int counts in
       Alcotest.(check bool) "no empty shard" true (mn >= 1);
-      Alcotest.(check bool) "balanced" true (mx - mn <= 1);
+      let weights = Parsim.default_weights topo in
+      let wmax = Array.fold_left max 0 weights in
+      let wmn = Array.fold_left min max_int p.Parsim.shard_weight
+      and wmx = Array.fold_left max 0 p.Parsim.shard_weight in
+      Alcotest.(check bool) "weight-balanced" true (wmx - wmn <= 2 * wmax);
+      let wtotal = Array.fold_left ( + ) 0 weights in
+      Alcotest.(check int) "weights conserved" wtotal
+        (Array.fold_left ( + ) 0 p.Parsim.shard_weight);
       (* Contiguous blocks: assignments never decrease with switch id. *)
       Array.iteri
         (fun i s ->
@@ -177,6 +184,119 @@ let qcheck_horizon_tiling =
       Horizon.safe ~neighbor_horizons:[ start; start ] ~lookahead >= horizon)
 
 (* ------------------------------------------------------------------ *)
+(* Adaptive horizon                                                    *)
+
+let test_adaptive_bound () =
+  (* Two shards 5 apart: the bound tracks the earliest next event plus
+     the cheapest outgoing edge, never the static tiling. *)
+  Alcotest.(check int) "bound follows earliest + delay" 105
+    (Horizon.adaptive_bound ~min_out_delays:[| 5; 5 |] ~next_events:[| 100; 250 |]
+       ~until:10_000);
+  (* A quiescent shard publishes no_event and stops constraining. *)
+  Alcotest.(check int) "quiescent shard ignored" 255
+    (Horizon.adaptive_bound ~min_out_delays:[| 5; 5 |]
+       ~next_events:[| Horizon.no_event; 250 |] ~until:10_000);
+  (* Everyone quiescent: one final window closes the run. *)
+  Alcotest.(check int) "all quiescent -> until + 1" 10_001
+    (Horizon.adaptive_bound ~min_out_delays:[| 5; 5 |]
+       ~next_events:[| Horizon.no_event; Horizon.no_event |] ~until:10_000);
+  (* No cross links at all (min_out = no_event sentinel). *)
+  Alcotest.(check int) "no edges -> until + 1" 10_001
+    (Horizon.adaptive_bound ~min_out_delays:[| Horizon.no_event; Horizon.no_event |]
+       ~next_events:[| 3; 4 |] ~until:10_000);
+  (* Clamped to until + 1 from above. *)
+  Alcotest.(check int) "clamped to until+1" 101
+    (Horizon.adaptive_bound ~min_out_delays:[| 50 |] ~next_events:[| 90 |] ~until:100);
+  match
+    Horizon.adaptive_bound ~min_out_delays:[| 1 |] ~next_events:[| 1; 2 |] ~until:10
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted"
+
+(* The adaptive bound never exceeds the static bound's safety envelope:
+   with every next event at or after the fleet clock [cur], the bound
+   still satisfies the conservative contract — nothing any shard can
+   send lands before it — and it never falls at or below [cur] (every
+   round progresses). *)
+let qcheck_adaptive_safety =
+  QCheck.Test.make ~count:300 ~name:"adaptive bound stays in the safety envelope"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 8) (pair (int_range 0 5_000) (int_range 1 1_000)))
+        (int_range 0 50_000))
+    (fun (shard_specs, cur) ->
+      let next_events =
+        Array.of_list (List.map (fun (off, _) -> cur + off) shard_specs)
+      in
+      let min_out = Array.of_list (List.map snd shard_specs) in
+      let until = cur + 100_000 in
+      let bound = Horizon.adaptive_bound ~min_out_delays:min_out ~next_events ~until in
+      (* Safety: no shard j can deliver before next_events.(j) +
+         min_out.(j); the bound is the min of exactly those reaches. *)
+      let safe_envelope = ref (until + 1) in
+      Array.iteri
+        (fun j d -> safe_envelope := min !safe_envelope (next_events.(j) + d))
+        min_out;
+      bound <= !safe_envelope
+      (* Progress: static would give cur + min delay; adaptive gives at
+         least that (next events are at or after cur). *)
+      && bound > cur
+      &&
+      let static = min (cur + Array.fold_left min max_int min_out) (until + 1) in
+      bound >= static)
+
+(* ------------------------------------------------------------------ *)
+(* Weighted partitioning                                               *)
+
+(* Regression: skewed weights must never produce an empty shard — the
+   boundary clamp degrades toward the equal-count split instead. *)
+let test_partition_skewed_weights () =
+  let topo = Topology.ring ~switches:8 () in
+  let cases =
+    [
+      ([| 1000; 1; 1; 1; 1; 1; 1; 1 |], 3);
+      ([| 1; 1; 1; 1; 1; 1; 1; 1000 |], 4);
+      ([| 0; 0; 0; 0; 0; 0; 0; 0 |], 5);
+      ([| 1000; 1000; 0; 0; 0; 0; 1000; 1000 |], 8);
+    ]
+  in
+  List.iter
+    (fun (weights, shards) ->
+      let p = Parsim.partition ~weights topo ~shards in
+      let counts = Array.make shards 0 in
+      Array.iter (fun s -> counts.(s) <- counts.(s) + 1) p.Parsim.shard_of_switch;
+      Array.iteri
+        (fun s c ->
+          if c = 0 then
+            Alcotest.failf "shard %d empty for weights=%s shards=%d" s
+              (String.concat ";" (Array.to_list (Array.map string_of_int weights)))
+              shards)
+        counts)
+    cases;
+  (match Parsim.partition ~weights:[| 1; 2 |] topo ~shards:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short weight vector accepted");
+  match Parsim.partition ~weights:(Array.make 8 (-1)) topo ~shards:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative weights accepted"
+
+let qcheck_partition_never_empty =
+  QCheck.Test.make ~count:200 ~name:"weighted partition never yields an empty shard"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 2 24) (int_range 0 1000))
+        (int_range 1 24))
+    (fun (weights, shards) ->
+      let switches = List.length weights in
+      QCheck.assume (shards <= switches);
+      let topo = Topology.ring ~switches () in
+      let p = Parsim.partition ~weights:(Array.of_list weights) topo ~shards in
+      let counts = Array.make shards 0 in
+      Array.iter (fun s -> counts.(s) <- counts.(s) + 1) p.Parsim.shard_of_switch;
+      Array.for_all (fun c -> c >= 1) counts
+      && Array.for_all (fun w -> w >= 0) p.Parsim.shard_weight)
+
+(* ------------------------------------------------------------------ *)
 (* SPSC channel                                                        *)
 
 let test_spsc_fifo_and_backpressure () =
@@ -282,6 +402,32 @@ let test_topology_validate () =
   (* The builders themselves must pass their own validator. *)
   Topology.validate (Topology.ring ~switches:5 ());
   Topology.validate (Topology.fat_tree ~k:4 ())
+
+(* Port-claim collisions only show at scale: k=16 wires 320 switches /
+   2048 links, k=32 wires 1280 / 16384, and the 1024-switch ring
+   stresses the skewed-delay accumulation. The validator hashes every
+   (switch, port) claim, so a builder bug anywhere in the lattice
+   raises. Also pins sizes so a builder regression is loud, and checks
+   [Topology.ports] agrees with the quadratic [max_port]. *)
+let test_topology_validate_at_scale () =
+  let check ~switches ~hosts ~links topo =
+    Topology.validate topo;
+    Alcotest.(check int) "switches" switches topo.Topology.switches;
+    Alcotest.(check int) "hosts" hosts topo.Topology.hosts;
+    Alcotest.(check int) "links" links (List.length topo.Topology.links);
+    let ports = Topology.ports topo in
+    List.iter
+      (fun sw ->
+        Alcotest.(check int) "ports agrees with max_port"
+          (Topology.max_port topo sw + 1)
+          ports.(sw))
+      [ 0; switches / 2; switches - 1 ]
+  in
+  (* k-ary fat tree: (k/2)^2 cores + k^2 switches in pods, k^3/4 hosts,
+     core-agg k^3/4 + agg-edge k^3/4 links. *)
+  check ~switches:320 ~hosts:1024 ~links:2048 (Topology.fat_tree ~k:16 ());
+  check ~switches:1280 ~hosts:8192 ~links:16384 (Topology.fat_tree ~k:32 ());
+  check ~switches:1024 ~hosts:1024 ~links:1024 (Topology.ring ~switches:1024 ())
 
 (* Follow the deterministic routing function through the topology graph
    and confirm every (source, destination) pair reaches the destination
@@ -412,9 +558,14 @@ let suite =
     Alcotest.test_case "partition: bad shard counts raise" `Quick test_partition_bad_counts;
     Alcotest.test_case "plan: link coverage + channels" `Quick test_plan_link_coverage;
     Alcotest.test_case "plan: single shard" `Quick test_plan_single_shard;
+    Alcotest.test_case "partition: skewed weights never empty" `Quick
+      test_partition_skewed_weights;
+    QCheck_alcotest.to_alcotest qcheck_partition_never_empty;
     Alcotest.test_case "horizon: safe bound" `Quick test_horizon_safe;
     Alcotest.test_case "horizon: window tiling" `Quick test_horizon_tiling;
+    Alcotest.test_case "horizon: adaptive bound" `Quick test_adaptive_bound;
     QCheck_alcotest.to_alcotest qcheck_horizon_tiling;
+    QCheck_alcotest.to_alcotest qcheck_adaptive_safety;
     Alcotest.test_case "spsc: fifo + backpressure" `Quick test_spsc_fifo_and_backpressure;
     Alcotest.test_case "spsc: capacity rounding" `Quick test_spsc_capacity_rounding;
     Alcotest.test_case "spsc: cross-domain stress" `Quick test_spsc_cross_domain;
@@ -423,6 +574,8 @@ let suite =
     Alcotest.test_case "drain_until_horizon (wheel)" `Quick
       (test_drain_until_horizon Sched_backend.Wheel);
     Alcotest.test_case "topology: validate" `Quick test_topology_validate;
+    Alcotest.test_case "topology: validate at scale (k=16/k=32/ring-1024)" `Quick
+      test_topology_validate_at_scale;
     Alcotest.test_case "fat-tree routing reaches destination" `Quick test_fat_tree_route_reaches;
     Alcotest.test_case "ring routing reaches destination" `Quick test_ring_route_reaches;
     Alcotest.test_case "ring: sharded = sequential" `Quick test_ring_conformance;

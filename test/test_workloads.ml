@@ -103,6 +103,79 @@ let test_flowgen_population () =
   let total = List.fold_left (fun acc f -> acc + f.Flowgen.packets) 0 flows in
   Alcotest.(check int) "truth conserves packets" total total_truth
 
+let test_flowgen_stream_matches_generate () =
+  (* The streaming and materialized forms share one draw order: for
+     the same seed, collecting the stream must reproduce [generate]
+     structurally — same flows, same starts, same lengths, same
+     ranks. This is the contract that lets E27 pin digest goldens with
+     the streaming source while small tests reason over lists. *)
+  let spec =
+    { Flowgen.default_spec with Flowgen.num_flows = 200; arrival_rate_per_sec = 2e6 }
+  in
+  let materialized = Flowgen.generate ~rng:(Stats.Rng.create ~seed:33) spec in
+  let streamed = ref [] in
+  Flowgen.stream ~rng:(Stats.Rng.create ~seed:33) spec ~f:(fun fd ->
+      streamed := fd :: !streamed);
+  let streamed = List.rev !streamed in
+  Alcotest.(check int) "same count" (List.length materialized) (List.length streamed);
+  List.iter2
+    (fun (a : Flowgen.flow_desc) (b : Flowgen.flow_desc) ->
+      Alcotest.(check bool) "identical descriptor" true
+        (a.Flowgen.start = b.Flowgen.start && a.Flowgen.rank = b.Flowgen.rank
+        && a.Flowgen.packets = b.Flowgen.packets
+        && a.Flowgen.pkt_bytes = b.Flowgen.pkt_bytes
+        && Netcore.Flow.equal a.Flowgen.flow b.Flowgen.flow))
+    materialized streamed
+
+let test_flowgen_streaming_memory () =
+  (* The reason E27 can run 1M-flow mixes at all: [install] keeps
+     O(live flows) state, never O(num_flows). Run a million-flow
+     population to completion and check the heap halfway through the
+     arrival chain has grown by far less than a materialized
+     population would cost (a million flow_desc records is >= 15M
+     words; we demand under 2M over baseline). *)
+  let sched = Scheduler.create () in
+  let rng = Stats.Rng.create ~seed:35 in
+  let spec =
+    {
+      Flowgen.default_spec with
+      Flowgen.num_flows = 1_000_000;
+      key_space = 10_000;
+      mean_packets = 2.;
+      max_packets = 3;
+      arrival_rate_per_sec = 5e8;
+    }
+  in
+  Gc.full_major ();
+  let baseline = (Gc.stat ()).Gc.live_words in
+  (* Probe the heap once, at the 500k-th arrival, via the hook. *)
+  let mid_words = ref 0 in
+  let stats = ref None in
+  let s =
+    Flowgen.install ~sched ~rng ~rate_pps_per_flow:1e7
+      ~on_flow:(fun _ ->
+        match !stats with
+        | Some (st : Flowgen.source_stats) when !mid_words = 0 && st.Flowgen.flows_started >= 500_000 ->
+            Gc.full_major ();
+            mid_words := (Gc.stat ()).Gc.live_words
+        | _ -> ())
+      spec
+      ~send:(fun _ -> ())
+      ()
+  in
+  stats := Some s;
+  Scheduler.run sched;
+  let stats = s in
+  Alcotest.(check int) "all flows arrived" 1_000_000 stats.Flowgen.flows_started;
+  Alcotest.(check int) "all flows finished" 1_000_000 stats.Flowgen.flows_finished;
+  Alcotest.(check int) "no flow left live" 0 stats.Flowgen.live_flows;
+  Alcotest.(check bool) "probe fired" true (!mid_words > 0);
+  let growth = !mid_words - baseline in
+  Alcotest.(check bool)
+    (Printf.sprintf "heap growth at 500k flows under 2M words (got %d)" growth)
+    true
+    (growth < 2_000_000)
+
 let test_flowgen_replay () =
   let sched = Scheduler.create () in
   let rng = Stats.Rng.create ~seed:23 in
@@ -230,6 +303,8 @@ let suite =
     Alcotest.test_case "on/off duty cycle" `Quick test_on_off_duty_cycle;
     Alcotest.test_case "stop_now" `Quick test_stop_now;
     Alcotest.test_case "flowgen population" `Quick test_flowgen_population;
+    Alcotest.test_case "flowgen stream = generate" `Quick test_flowgen_stream_matches_generate;
+    Alcotest.test_case "flowgen 1M flows, O(live) memory" `Quick test_flowgen_streaming_memory;
     Alcotest.test_case "flowgen replay" `Quick test_flowgen_replay;
     Alcotest.test_case "topology single" `Quick test_topology_single;
     Alcotest.test_case "topology chain" `Quick test_topology_chain;
